@@ -1,0 +1,64 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.hpp"
+
+namespace eesmr::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("-- %s\n", text.c_str());
+}
+
+/// Run an honest cluster until `blocks` commits; returns the result.
+inline harness::RunResult run_steady(harness::ClusterConfig cfg,
+                                     std::size_t blocks) {
+  harness::Cluster cluster(cfg);
+  harness::RunResult r =
+      cluster.run_until_commits(blocks, sim::seconds(100000));
+  if (!r.safety_ok()) {
+    std::fprintf(stderr, "SAFETY VIOLATION in %s run\n",
+                 harness::protocol_name(cfg.protocol));
+  }
+  return r;
+}
+
+/// Energy attributable to one view change for `node`:
+/// E(faulty run to B blocks) − E(honest run to B blocks), i.e. the
+/// ψ_V = ψ_W − ψ_B decomposition of Section 4 measured empirically.
+struct ViewChangeCost {
+  double node_mj = 0;    ///< surcharge at `node`
+  double total_mj = 0;   ///< surcharge summed over correct nodes
+  std::uint64_t view_changes = 0;
+};
+
+inline ViewChangeCost view_change_cost(harness::ClusterConfig cfg,
+                                       const harness::FaultSpec& fault,
+                                       NodeId node, std::size_t blocks) {
+  harness::RunResult honest = run_steady(cfg, blocks);
+  harness::ClusterConfig faulty_cfg = cfg;
+  faulty_cfg.faults.push_back(fault);
+  harness::RunResult faulty = run_steady(faulty_cfg, blocks);
+
+  ViewChangeCost out;
+  out.view_changes = faulty.view_changes;
+  const double per_vc =
+      faulty.view_changes == 0 ? 1.0 : static_cast<double>(faulty.view_changes);
+  out.node_mj =
+      (faulty.node_energy_mj(node) - honest.node_energy_mj(node)) / per_vc;
+  out.total_mj =
+      (faulty.total_energy_mj() - honest.total_energy_mj()) / per_vc;
+  return out;
+}
+
+}  // namespace eesmr::bench

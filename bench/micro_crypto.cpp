@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks for the from-scratch cryptographic
+// primitives: the host-CPU counterpart of Table 2, confirming the
+// relative ordering the paper exploits (RSA verify << RSA sign,
+// RSA verify << ECDSA verify, HMAC cheapest).
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/ecdsa.hpp"
+#include "src/crypto/hmac.hpp"
+#include "src/crypto/rsa.hpp"
+#include "src/crypto/sha256.hpp"
+#include "src/sim/rng.hpp"
+
+namespace {
+
+using namespace eesmr;
+using namespace eesmr::crypto;
+
+const Bytes& message() {
+  static const Bytes msg = to_bytes(std::string(64, 'm'));
+  return msg;
+}
+
+void BM_Sha256_64B(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(message()));
+  }
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  const Bytes big(4096, 0x77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(big));
+  }
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(64, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac(key, message()));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+const RsaKeyPair& rsa1024() {
+  static const RsaKeyPair kp = [] {
+    sim::Rng rng(1);
+    return rsa_generate(1024, rng);
+  }();
+  return kp;
+}
+
+void BM_Rsa1024_Sign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(rsa1024().priv, message()));
+  }
+}
+BENCHMARK(BM_Rsa1024_Sign)->MinTime(0.2);
+
+void BM_Rsa1024_Verify(benchmark::State& state) {
+  const Bytes sig = rsa_sign(rsa1024().priv, message());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_verify(rsa1024().pub, message(), sig));
+  }
+}
+BENCHMARK(BM_Rsa1024_Verify)->MinTime(0.2);
+
+const EcdsaKeyPair& p256_key() {
+  static const EcdsaKeyPair kp = [] {
+    sim::Rng rng(2);
+    return ecdsa_generate(CurveId::kSecp256r1, rng);
+  }();
+  return kp;
+}
+
+void BM_EcdsaP256_Sign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_sign(p256_key().priv, message()));
+  }
+}
+BENCHMARK(BM_EcdsaP256_Sign)->MinTime(0.2);
+
+void BM_EcdsaP256_Verify(benchmark::State& state) {
+  const Bytes sig = ecdsa_sign(p256_key().priv, message());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_verify(p256_key().pub, message(), sig));
+  }
+}
+BENCHMARK(BM_EcdsaP256_Verify)->MinTime(0.2);
+
+void BM_BigInt_ModExp_2048(benchmark::State& state) {
+  sim::Rng rng(3);
+  const BigInt m = BigInt::random_bits(rng, 2048);
+  const BigInt b = BigInt::random_below(rng, m);
+  const BigInt e(65537);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::mod_exp(b, e, m));
+  }
+}
+BENCHMARK(BM_BigInt_ModExp_2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table 2: energy for signature generation and verification across the
+// ECDSA curves, RSA moduli and HMAC the paper measured on the
+// NUCLEO-F401RE. The calibrated model reproduces the table; the
+// wall-clock column cross-checks the *ordering* with this repository's
+// from-scratch implementations (see bench/micro_crypto for the full
+// google-benchmark version).
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "src/crypto/ecdsa.hpp"
+#include "src/crypto/hmac.hpp"
+#include "src/crypto/rsa.hpp"
+#include "src/energy/cost_model.hpp"
+
+using namespace eesmr;
+using namespace eesmr::crypto;
+
+namespace {
+
+double ms_of(const std::function<void()>& fn, int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         iters;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 2 — signature scheme energy (J) + local wall-clock",
+                "Table 2 (§5.5, public key primitives)");
+
+  const Bytes msg = to_bytes(std::string("Table-2 measurement payload"));
+  sim::Rng rng(2024);
+
+  std::printf("%-18s | %9s %9s | %12s %12s\n", "Scheme", "Sign(J)",
+              "Verify(J)", "impl sign ms", "impl vrfy ms");
+  std::printf("-------------------+---------------------+--------------------------\n");
+
+  for (SchemeId scheme : all_schemes()) {
+    const SchemeInfo& info = scheme_info(scheme);
+    double sign_ms = 0, verify_ms = 0;
+    switch (scheme) {
+      case SchemeId::kHmacSha256: {
+        const Bytes key(64, 0x42);
+        sign_ms = ms_of([&] { (void)hmac(key, msg); }, 200);
+        verify_ms = sign_ms;
+        break;
+      }
+      case SchemeId::kRsa1024:
+      case SchemeId::kRsa1260:
+      case SchemeId::kRsa2048: {
+        const std::size_t bits = scheme == SchemeId::kRsa1024   ? 1024
+                                 : scheme == SchemeId::kRsa1260 ? 1260
+                                                                : 2048;
+        const RsaKeyPair kp = rsa_generate(bits, rng);
+        Bytes sig;
+        sign_ms = ms_of([&] { sig = rsa_sign(kp.priv, msg); }, 3);
+        verify_ms = ms_of([&] { (void)rsa_verify(kp.pub, msg, sig); }, 20);
+        break;
+      }
+      default: {
+        const CurveId curve =
+            scheme == SchemeId::kEcdsaBp160r1     ? CurveId::kBrainpoolP160r1
+            : scheme == SchemeId::kEcdsaBp256r1   ? CurveId::kBrainpoolP256r1
+            : scheme == SchemeId::kEcdsaSecp192r1 ? CurveId::kSecp192r1
+            : scheme == SchemeId::kEcdsaSecp192k1 ? CurveId::kSecp192k1
+            : scheme == SchemeId::kEcdsaSecp224r1 ? CurveId::kSecp224r1
+            : scheme == SchemeId::kEcdsaSecp256r1 ? CurveId::kSecp256r1
+                                                  : CurveId::kSecp256k1;
+        const EcdsaKeyPair kp = ecdsa_generate(curve, rng);
+        Bytes sig;
+        sign_ms = ms_of([&] { sig = ecdsa_sign(kp.priv, msg); }, 3);
+        verify_ms = ms_of([&] { (void)ecdsa_verify(kp.pub, msg, sig); }, 3);
+        break;
+      }
+    }
+    std::printf("%-18s | %9.2f %9.2f | %12.3f %12.3f\n", info.name,
+                energy::sign_energy_mj(scheme) / 1000.0,
+                energy::verify_energy_mj(scheme) / 1000.0, sign_ms,
+                verify_ms);
+  }
+
+  bench::note("expected shape: RSA verification is orders of magnitude "
+              "cheaper than any ECDSA verification (the paper's reason for "
+              "choosing RSA-1024: leader signs once, n replicas verify)");
+  bench::note("the wall-clock columns use this repo's from-scratch bigint/"
+              "EC code on the host CPU; the J columns are the paper's "
+              "Cortex-M4 calibration used by the simulator");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Table 3: best-case / worst-case comparison of SMR protocols —
+// communication complexity, public-key operations and block period.
+//
+// The EESMR / Sync HotStuff / OptSync rows are *measured* from the
+// simulator (operation counters over a steady-state window and over a
+// view change); the Abraham et al. and Rotating-BFT rows are reported
+// analytically (those protocols share Sync HotStuff's steady-state cost
+// structure in the paper's table).
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+
+using namespace eesmr;
+using namespace eesmr::harness;
+
+namespace {
+
+struct Counts {
+  double msgs_per_block;     // transmissions per committed block
+  double bytes_per_block;    // bytes on the air per committed block
+  double signs_per_block;    // total signing ops per committed block
+  double verifies_per_block; // total verification ops per committed block
+};
+
+Counts steady_counts(Protocol p, std::size_t n, bool rotating = false) {
+  ClusterConfig cfg;
+  cfg.protocol = p;
+  cfg.synchs.rotating_leader = rotating;
+  cfg.n = n;
+  cfg.f = (n - 1) / 2;
+  cfg.k = 0;  // full mesh, matching the table's d = n-1 setting
+  cfg.seed = 5;
+  const std::size_t blocks = 12;
+  const RunResult r = bench::run_steady(cfg, blocks);
+  Counts c{};
+  const double b = static_cast<double>(r.min_committed());
+  c.msgs_per_block = static_cast<double>(r.transmissions) / b;
+  c.bytes_per_block = static_cast<double>(r.bytes_transmitted) / b;
+  std::uint64_t signs = 0, verifies = 0;
+  for (const auto& m : r.meters) {
+    signs += m.ops(energy::Category::kSign);
+    verifies += m.ops(energy::Category::kVerify);
+  }
+  c.signs_per_block = static_cast<double>(signs) / b;
+  c.verifies_per_block = static_cast<double>(verifies) / b;
+  return c;
+}
+
+/// Least-squares slope of log(y) over log(n): the measured growth
+/// exponent ("O(n^slope)").
+double growth_exponent(const std::vector<std::pair<std::size_t, double>>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [n, y] : pts) {
+    const double lx = std::log(static_cast<double>(n));
+    const double ly = std::log(std::max(1e-9, y));
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double m = static_cast<double>(pts.size());
+  return (m * sxy - sx * sy) / (m * sxx - sx * sx);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 3 — best-case cost comparison (measured)",
+                "Table 3 (related-work comparison)");
+
+  const std::vector<std::size_t> ns = {5, 7, 9, 11, 13};
+  std::printf("%-14s | %3s | %10s | %10s | %8s | %10s\n", "Protocol", "n",
+              "msgs/blk", "bytes/blk", "sign/blk", "verify/blk");
+  std::printf("---------------+-----+------------+------------+----------+"
+              "------------\n");
+
+  std::vector<std::pair<std::size_t, double>> ee_msgs, shs_msgs, ee_ver,
+      shs_ver;
+  for (int variant = 0; variant < 4; ++variant) {
+    const Protocol p = variant == 0   ? Protocol::kEesmr
+                       : variant == 1 ? Protocol::kSyncHotStuff
+                       : variant == 2 ? Protocol::kOptSync
+                                      : Protocol::kSyncHotStuff;
+    const bool rotating = variant == 3;
+    for (std::size_t n : ns) {
+      const Counts c = steady_counts(p, n, rotating);
+      std::printf("%-14s | %3zu | %10.1f | %10.0f | %8.2f | %10.1f\n",
+                  rotating ? "RotatingBFT" : protocol_name(p), n,
+                  c.msgs_per_block, c.bytes_per_block,
+                  c.signs_per_block, c.verifies_per_block);
+      if (p == Protocol::kEesmr) {
+        ee_msgs.emplace_back(n, c.msgs_per_block);
+        ee_ver.emplace_back(n, c.verifies_per_block);
+      }
+      if (p == Protocol::kSyncHotStuff) {
+        shs_msgs.emplace_back(n, c.msgs_per_block);
+        shs_ver.emplace_back(n, c.verifies_per_block);
+      }
+    }
+  }
+
+  std::printf("\nMeasured growth exponents over n (full mesh, d = n-1;\n"
+              "transmissions are per-edge, so O(nd) appears as n^2):\n");
+  std::printf("  EESMR   msgs/blk   ~ O(n^%.2f)   (paper: O(nd) -> n^2)\n",
+              growth_exponent(ee_msgs));
+  std::printf("  SyncHS  msgs/blk   ~ O(n^%.2f)   (paper: O(n^2 d) -> n^3 "
+              "with full vote forwarding; our measurement applies the "
+              "paper's\n      partial-vote-forwarding assumption in Sync "
+              "HotStuff's favor, which removes the extra n)\n",
+              growth_exponent(shs_msgs));
+  std::printf("  EESMR   verify/blk ~ O(n^%.2f)   (paper: O(n))\n",
+              growth_exponent(ee_ver));
+  std::printf("  SyncHS  verify/blk ~ O(n^%.2f)   (paper: O(n^2))\n",
+              growth_exponent(shs_ver));
+
+  std::printf("\nAnalytic row (not separately implemented; identical\n"
+              "steady-state structure to Sync HotStuff per the paper):\n");
+  std::printf("  %-22s O(n^2 d) comm, O(n) sign, O(n^2) verify, period -\n",
+              "Abraham et al. [4]:");
+  bench::note("expected shape: EESMR needs ONE signature per block "
+              "system-wide and one flood; Sync HotStuff adds n per-block "
+              "votes (locally broadcast under the partial-forwarding "
+              "assumption) and f+1-signature certificates inside every "
+              "proposal - visible in the sign/blk, verify/blk and "
+              "bytes/blk columns");
+  return 0;
+}

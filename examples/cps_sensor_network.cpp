@@ -1,0 +1,68 @@
+// CPS scenario from the paper's introduction: a field of battery-powered
+// soil-nutrient sensors must agree on a shared state (e.g. aggregated
+// readings reported at sporadic base-station contacts), with some sensors
+// possibly compromised (the DHS precision-agriculture threat model).
+//
+// The sensors form a k-cast ring (each node's radio reaches its k ring
+// successors), run EESMR over BLE advertisements, and we project battery
+// life from the measured energy.
+#include <cstdio>
+
+#include "src/harness/cluster.hpp"
+
+using namespace eesmr;
+using namespace eesmr::harness;
+
+int main() {
+  const std::size_t n = 10;  // sensors
+  const std::size_t k = 3;   // radio reach: 3 ring successors
+  const std::size_t f = 2;   // tolerated compromised sensors (f < k)
+
+  // Sanity-check the deployment against the hypergraph theory (App. A).
+  const auto topology = net::Hypergraph::kcast_ring(n, k);
+  sim::Rng rng(7);
+  std::printf("topology: %zu-node ring of %zu-casts\n", n, k);
+  std::printf("  d_in = d_out = %zu, D_in = %zu, D_out = %zu\n",
+              topology.min_d_in(), topology.cap_d_in(), topology.cap_d_out());
+  std::printf("  Lemma A.5  f < min(d_in, d_out):      f=%zu -> %s\n", f,
+              topology.satisfies_fault_bound(f) ? "ok" : "VIOLATED");
+  std::printf("  Lemma A.6  f < k*min(D_in, D_out):    f=%zu -> %s\n", f,
+              topology.satisfies_kcast_bound(f, k) ? "ok" : "VIOLATED");
+  std::printf("  partition resistance for f=%zu:        %s\n", f,
+              topology.partition_resistant(f, rng) ? "ok" : "VIOLATED");
+  std::printf("  flood diameter: %zu hops\n\n", topology.diameter());
+
+  ClusterConfig cfg;
+  cfg.protocol = Protocol::kEesmr;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.k = k;
+  cfg.medium = energy::Medium::kBle;
+  cfg.cmd_bytes = 16;  // one sensor reading
+  cfg.scheme = crypto::SchemeId::kRsa1024;
+
+  Cluster cluster(cfg);
+  const std::size_t blocks = 10;
+  const RunResult r = cluster.run_until_commits(blocks, sim::seconds(600));
+
+  std::printf("agreed on %zu state updates, safety=%s, view changes=%llu\n",
+              r.min_committed(), r.safety_ok() ? "ok" : "VIOLATED",
+              static_cast<unsigned long long>(r.view_changes));
+
+  const double per_block = r.energy_per_block_mj() / n;  // per sensor
+  std::printf("energy per sensor per agreement: %.1f mJ\n", per_block);
+
+  // Battery-life projection: a CR2477 coin cell holds ~3.4 kJ. The paper
+  // notes ~0.3 mW sleep draw; one agreement per hour adds the SMR cost.
+  const double battery_mj = 3.4e6;
+  const double sleep_per_hour_mj = energy::kSleepPowerMw * 3600.0;
+  const double hours =
+      battery_mj / (sleep_per_hour_mj + per_block);
+  std::printf("projected lifetime at 1 agreement/hour on a 3.4 kJ cell: "
+              "%.0f hours (%.1f months)\n",
+              hours, hours / (24 * 30));
+  std::printf("(sleep draw alone would allow %.1f months — the SMR "
+              "protocol's efficiency decides the gap)\n",
+              battery_mj / sleep_per_hour_mj / (24 * 30));
+  return 0;
+}

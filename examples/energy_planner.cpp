@@ -1,0 +1,93 @@
+// The Section-4 "easy-to-use template for comparing SMR protocols":
+// given a deployment (n, f, payload, media), print each protocol's
+// ψ decomposition, the ν_f view-change-ratio bound, the amortization
+// bound, and the energy-fault bound (EB) — then recommend a protocol,
+// exactly the decision an administrator would make from the paper.
+#include <cmath>
+#include <cstdio>
+
+#include "src/energy/analysis.hpp"
+
+using namespace eesmr;
+using namespace eesmr::energy;
+
+namespace {
+
+void plan(const char* title, SystemParams x, double expected_vc_ratio) {
+  std::printf("=== %s ===\n", title);
+  std::printf("n=%zu f=%zu payload=%zuB k=%zu medium=%s scheme=%s\n", x.n,
+              x.f, x.m, x.k, medium_name(x.node_medium),
+              crypto::scheme_info(x.scheme).name);
+
+  const PsiBreakdown ee = psi_eesmr(x);
+  const PsiBreakdown shs = psi_sync_hotstuff(x);
+  const PsiBreakdown opt = psi_optsync(x);
+  const double bl = psi_trusted_baseline(x);
+
+  std::printf("%-14s %12s %12s %12s\n", "protocol", "psi_B (mJ)",
+              "psi_V (mJ)", "psi_W (mJ)");
+  std::printf("%-14s %12.0f %12.0f %12.0f\n", "EESMR", ee.best,
+              ee.view_change, ee.worst());
+  std::printf("%-14s %12.0f %12.0f %12.0f\n", "SyncHotStuff", shs.best,
+              shs.view_change, shs.worst());
+  std::printf("%-14s %12.0f %12.0f %12.0f\n", "OptSync", opt.best,
+              opt.view_change, opt.worst());
+  std::printf("%-14s %12.0f %12s %12s\n", "TrustedBase", bl, "-", "-");
+
+  const double nu = max_view_change_ratio(ee, shs);
+  const double amortize = min_blocks_to_amortize(ee, shs, 1.0);
+  const double fe = energy_fault_bound(bl, ee);
+  std::printf("nu_f bound (EESMR vs SyncHS): view changes may be up to "
+              "%.1f%% of blocks\n", nu * 100.0);
+  std::printf("amortization: one view change repaid after %.1f steady "
+              "blocks\n", amortize);
+  std::printf("energy-fault bound vs baseline (EB): f_e <= %.2f\n", fe);
+
+  const char* choice =
+      (bl < ee.best && bl < shs.best) ? "TrustedBaseline"
+      : (ee.best < shs.best && nu > expected_vc_ratio) ? "EESMR"
+                                                       : "SyncHotStuff";
+  std::printf("-> recommendation at ~%.0f%% expected view-change ratio: "
+              "%s\n\n", expected_vc_ratio * 100.0, choice);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section-4 energy planner — model protocols, then choose.\n\n");
+
+  // Scenario 1: the paper's CPS testbed — BLE k-casts, RSA-1024.
+  SystemParams cps;
+  cps.n = 10;
+  cps.f = 2;
+  cps.m = 64;
+  cps.k = 3;
+  cps.comm = CommMode::kKcastRing;
+  cps.node_medium = Medium::kBle;
+  cps.control_medium = Medium::k4gLte;
+  cps.scheme = crypto::SchemeId::kRsa1024;
+  plan("farm sensor field (BLE k-cast ring)", cps, 0.01);
+
+  // Scenario 2: small WiFi deployment near a 4G gateway (Fig 1 regime).
+  SystemParams wifi;
+  wifi.n = 4;
+  wifi.f = 1;
+  wifi.m = 1024;
+  wifi.comm = CommMode::kUnicastFullMesh;
+  wifi.node_medium = Medium::kWifi;
+  wifi.control_medium = Medium::k4gLte;
+  wifi.scheme = crypto::SchemeId::kRsa1024;
+  plan("small WiFi cluster vs 4G control node", wifi, 0.01);
+
+  // Scenario 3: what if we had picked ECDSA instead (the §5.5 lesson)?
+  SystemParams ecdsa = cps;
+  ecdsa.scheme = crypto::SchemeId::kEcdsaSecp256k1;
+  plan("same field, ECDSA-SECP256K1 signatures", ecdsa, 0.01);
+
+  std::printf("takeaways: (1) EESMR wins the steady state whenever the\n"
+              "leader is usually correct; (2) the trusted baseline only\n"
+              "wins when the system is large and its medium cheap; (3)\n"
+              "scheme choice moves psi by the verify-cost multiple —\n"
+              "RSA's cheap verification is the paper's §5.5 conclusion.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "src/baselines/dolev_strong.hpp"
+
+#include <algorithm>
+
+#include "src/common/serde.hpp"
+#include "src/energy/cost_model.hpp"
+
+namespace eesmr::baselines {
+
+namespace {
+
+/// Wire format: value || count || (signer, signature)*.
+struct Chain {
+  Bytes value;
+  std::vector<std::pair<NodeId, Bytes>> sigs;
+
+  Bytes encode() const {
+    Writer w;
+    w.bytes(value);
+    w.u32(static_cast<std::uint32_t>(sigs.size()));
+    for (const auto& [node, sig] : sigs) {
+      w.u32(node);
+      w.bytes(sig);
+    }
+    return w.take();
+  }
+
+  static Chain decode(BytesView data) {
+    Reader r(data);
+    Chain c;
+    c.value = r.bytes();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const NodeId node = r.u32();
+      c.sigs.emplace_back(node, r.bytes());
+    }
+    r.expect_done();
+    return c;
+  }
+};
+
+}  // namespace
+
+DolevStrongNode::DolevStrongNode(net::Network& net, DolevStrongConfig cfg,
+                                 energy::Meter* meter)
+    : sched_(net.scheduler()),
+      router_(net, cfg.id, this),
+      cfg_(std::move(cfg)),
+      meter_(meter) {}
+
+Bytes DolevStrongNode::sign_value(const Bytes& value) const {
+  if (meter_ != nullptr) {
+    meter_->charge(energy::Category::kSign,
+                   energy::sign_energy_mj(cfg_.keyring->scheme()));
+  }
+  return cfg_.keyring->signer(cfg_.id).sign(value);
+}
+
+void DolevStrongNode::start(const Bytes& value,
+                            const std::optional<Bytes>& equivocate_with) {
+  // Decision fires at the end of round f+1.
+  sched_.after(static_cast<sim::Duration>(cfg_.f + 2) * cfg_.delta,
+               [this] { decide(); });
+  if (cfg_.id != cfg_.sender) return;
+
+  Chain c;
+  c.value = value;
+  c.sigs.emplace_back(cfg_.id, sign_value(value));
+  extracted_.push_back(value);
+  router_.broadcast(c.encode());
+  if (equivocate_with.has_value()) {
+    Chain c2;
+    c2.value = *equivocate_with;
+    c2.sigs.emplace_back(cfg_.id, sign_value(*equivocate_with));
+    extracted_.push_back(*equivocate_with);
+    router_.broadcast(c2.encode());
+  }
+}
+
+void DolevStrongNode::on_deliver(NodeId /*origin*/, BytesView payload) {
+  if (decision_.has_value()) return;
+  Chain c;
+  try {
+    c = Chain::decode(payload);
+  } catch (const SerdeError&) {
+    return;
+  }
+  // Validate: distinct signers, sender's signature first-class, every
+  // signature genuine.
+  std::set<NodeId> signers;
+  bool sender_signed = false;
+  for (const auto& [node, sig] : c.sigs) {
+    if (node >= cfg_.n || !signers.insert(node).second) return;
+    if (meter_ != nullptr) {
+      meter_->charge(energy::Category::kVerify,
+                     energy::verify_energy_mj(cfg_.keyring->scheme()));
+    }
+    if (!cfg_.keyring->verify(node, c.value, sig)) return;
+    sender_signed |= (node == cfg_.sender);
+  }
+  if (!sender_signed) return;
+
+  // Round-r acceptance: by the end of round r a valid chain carries at
+  // least r signatures (late chains with too few signatures are stale
+  // Byzantine injections and are dropped).
+  const auto round = static_cast<std::size_t>(
+      sched_.now() / std::max<sim::Duration>(1, cfg_.delta));
+  if (c.sigs.size() + 1 < round) return;
+
+  // Track at most two distinct values — two already prove equivocation.
+  if (std::find(extracted_.begin(), extracted_.end(), c.value) !=
+      extracted_.end()) {
+    return;
+  }
+  if (extracted_.size() >= 2) return;
+  extracted_.push_back(c.value);
+
+  // Relay with our signature appended (unless the chain is already
+  // conclusive with f+1 signatures).
+  if (c.sigs.size() <= cfg_.f && !signers.count(cfg_.id)) {
+    c.sigs.emplace_back(cfg_.id, sign_value(c.value));
+    router_.broadcast(c.encode());
+  }
+}
+
+void DolevStrongNode::decide() {
+  if (decision_.has_value()) return;
+  decision_ = (extracted_.size() == 1) ? extracted_.front() : bottom();
+}
+
+bool DolevStrongResult::agreement() const {
+  for (std::size_t i = 1; i < decisions.size(); ++i) {
+    if (decisions[i] != decisions[0]) return false;
+  }
+  return true;
+}
+
+DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
+                                   const Bytes& value, bool byzantine_sender,
+                                   std::uint64_t seed) {
+  sim::Scheduler sched;
+  std::vector<energy::Meter> meters(n);
+  net::TransportConfig tc;
+  tc.medium = energy::Medium::kBle;
+  tc.hop_bound = sim::milliseconds(10);
+  net::Network net(sched, net::Hypergraph::full_mesh(n), tc, &meters);
+  net.set_delay_policy(std::make_unique<net::UniformDelay>(
+      sim::Rng(seed), sim::milliseconds(2), sim::milliseconds(10)));
+
+  auto keyring = crypto::Keyring::simulated(crypto::SchemeId::kRsa1024, n,
+                                            seed);
+  std::vector<std::unique_ptr<DolevStrongNode>> nodes;
+  for (NodeId i = 0; i < n; ++i) {
+    DolevStrongConfig cfg;
+    cfg.id = i;
+    cfg.n = n;
+    cfg.f = f;
+    cfg.sender = 0;
+    cfg.delta = sim::milliseconds(20);
+    cfg.keyring = keyring;
+    nodes.push_back(std::make_unique<DolevStrongNode>(net, cfg, &meters[i]));
+  }
+  const Bytes other = to_bytes(std::string("conflicting-value"));
+  for (auto& node : nodes) {
+    node->start(value, byzantine_sender ? std::optional<Bytes>(other)
+                                        : std::nullopt);
+  }
+  sched.run();
+
+  DolevStrongResult out;
+  out.meters = meters;
+  out.transmissions = net.transmissions();
+  for (NodeId i = byzantine_sender ? 1 : 0; i < n; ++i) {
+    out.decisions.push_back(nodes[i]->decision().value_or(Bytes{1, 1, 1}));
+  }
+  return out;
+}
+
+}  // namespace eesmr::baselines

@@ -1,0 +1,86 @@
+// Authenticated Byzantine Broadcast/Agreement à la Dolev-Strong [33]:
+// the classical f+1-round protocol behind Theorem 4.1's lower bound, and
+// the comparison point for the paper's §3.5 "Extensions to BA and BB"
+// discussion (EESMR-style implicit voting only saves certificates in the
+// first iteration; the f+1 round structure is unavoidable in the worst
+// case).
+//
+// Protocol (synchronous rounds of length Δ):
+//   round 0: the designated sender signs its value and broadcasts it.
+//   round r: a node that newly accepted a value with r distinct valid
+//            signatures appends its own signature and broadcasts the
+//            chain (only the first two distinct values are ever relayed).
+//   round f+1: decide — exactly one accepted value -> output it;
+//            zero or conflicting values -> output the default ⊥.
+// All correct nodes provably output the same value; if the sender is
+// correct they output its value.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/energy/meter.hpp"
+#include "src/net/flood.hpp"
+#include "src/sim/scheduler.hpp"
+
+namespace eesmr::baselines {
+
+struct DolevStrongConfig {
+  NodeId id = 0;
+  std::size_t n = 4;
+  std::size_t f = 1;
+  NodeId sender = 0;
+  sim::Duration delta = sim::milliseconds(50);
+  std::shared_ptr<crypto::Keyring> keyring;
+};
+
+class DolevStrongNode final : public net::FloodClient {
+ public:
+  DolevStrongNode(net::Network& net, DolevStrongConfig cfg,
+                  energy::Meter* meter);
+
+  /// Start the protocol; only the designated sender uses `value`.
+  /// Byzantine sender behaviour: pass `equivocate_with` to sign and send
+  /// a second, conflicting value.
+  void start(const Bytes& value, const std::optional<Bytes>& equivocate_with =
+                                     std::nullopt);
+
+  /// Decided output; empty optional before round f+1, ⊥ (empty bytes
+  /// inside the optional) on conflict/silence.
+  [[nodiscard]] const std::optional<Bytes>& decision() const {
+    return decision_;
+  }
+  [[nodiscard]] static Bytes bottom() { return {}; }
+
+  void on_deliver(NodeId origin, BytesView payload) override;
+
+ private:
+  void relay(const Bytes& value);
+  void decide();
+  [[nodiscard]] Bytes sign_value(const Bytes& value) const;
+
+  sim::Scheduler& sched_;
+  net::FloodRouter router_;
+  DolevStrongConfig cfg_;
+  energy::Meter* meter_;
+
+  /// Values accepted with enough signatures (at most 2 tracked).
+  std::vector<Bytes> extracted_;
+  std::optional<Bytes> decision_;
+};
+
+/// Convenience driver: run one BA instance over a fresh network.
+/// Returns each node's decision (index = node id).
+struct DolevStrongResult {
+  std::vector<Bytes> decisions;
+  std::vector<energy::Meter> meters;
+  std::uint64_t transmissions = 0;
+  bool agreement() const;
+};
+
+DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
+                                   const Bytes& value, bool byzantine_sender,
+                                   std::uint64_t seed = 1);
+
+}  // namespace eesmr::baselines

@@ -1,0 +1,390 @@
+#include "src/baselines/sync_hotstuff.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/serde.hpp"
+
+namespace eesmr::baselines {
+
+using smr::Block;
+using smr::BlockHash;
+using smr::Msg;
+using smr::MsgType;
+using smr::QuorumCert;
+
+namespace {
+std::string hkey(const BlockHash& h) {
+  return std::string(h.begin(), h.end());
+}
+}  // namespace
+
+SyncHsReplica::SyncHsReplica(net::Network& net, smr::ReplicaConfig cfg,
+                             SyncHsOptions opts, SyncHsByzantineConfig byz,
+                             energy::Meter* meter)
+    : ReplicaBase(net, std::move(cfg), meter),
+      opts_(opts),
+      byz_(byz),
+      blame_timer_(sched_) {
+  certified_tip_ = smr::genesis_hash();
+  certified_height_ = 0;
+  QuorumCert g;
+  g.type = MsgType::kVote;
+  g.view = 0;
+  g.round = 0;
+  g.data = smr::genesis_hash();
+  tip_cert_ = g;
+}
+
+void SyncHsReplica::start() {
+  if (started_) return;
+  started_ = true;
+  v_cur_ = 1;
+  phase_ = Phase::kSteady;
+  reset_blame_timer(4 * cfg_.delta);
+  if (proposer_for(1) == cfg_.id) propose(1);
+}
+
+// ---------------------------------------------------------------------------
+// Steady state
+// ---------------------------------------------------------------------------
+
+void SyncHsReplica::propose(std::uint64_t height) {
+  if (crashed_ || phase_ != Phase::kSteady) return;
+  if (byz_.mode == SyncHsByzantineMode::kCrash &&
+      byz_.trigger_height != 0 && height >= byz_.trigger_height) {
+    crashed_ = true;
+    blame_timer_.cancel();
+    cancel_commit_timers();
+    router().set_forwarding(false);
+    return;
+  }
+
+  const Block* parent = store_.get(certified_tip_);
+  assert(parent != nullptr);
+  auto build = [&](const std::string& tag) {
+    Block b;
+    b.parent = certified_tip_;
+    b.height = parent->height + 1;
+    b.view = v_cur_;
+    b.round = height;
+    b.proposer = cfg_.id;
+    b.cmds = mempool_.next_batch(cfg_.batch_size);
+    if (!tag.empty()) b.cmds.push_back({to_bytes(tag)});
+    return b;
+  };
+  auto send_proposal = [&](const Block& b) {
+    (void)hash_block(b);
+    Writer w;
+    w.bytes(b.encode());
+    w.bytes(tip_cert_->encode());
+    Msg prop = make_msg(MsgType::kPropose, height, w.take());
+    broadcast(prop);
+    store_.add(b);
+    handle_propose(cfg_.id, prop);
+  };
+
+  if (byz_.mode == SyncHsByzantineMode::kEquivocate &&
+      height == byz_.trigger_height) {
+    send_proposal(build("equivocation-A"));
+    send_proposal(build("equivocation-B"));
+    return;
+  }
+  send_proposal(build(""));
+}
+
+void SyncHsReplica::handle_propose(NodeId from, const Msg& msg) {
+  if (msg.view != v_cur_) {
+    if (msg.view > v_cur_) buffer_future(msg);
+    return;
+  }
+  if (phase_ != Phase::kSteady) return;
+  Block b;
+  QuorumCert parent_cert;
+  try {
+    Reader r(msg.data);
+    b = Block::decode(r.bytes());
+    parent_cert = QuorumCert::decode(r.bytes());
+  } catch (const SerdeError&) {
+    return;
+  }
+  const NodeId leader = proposer_for(msg.round);
+  if (msg.author != leader || b.proposer != leader || b.view != v_cur_ ||
+      b.round != msg.round) {
+    return;
+  }
+  const BlockHash h = hash_block(b);
+
+  // Equivocation detection: conflicting leader proposals for one height.
+  auto [it, inserted] = seen_.try_emplace(b.height, h, msg);
+  if (!inserted && it->second.first != h) {
+    // Keep the conflicting block: other nodes may have certified it
+    // before detecting the equivocation, and the view change's status
+    // exchange can legitimately hand us its certificate.
+    (void)integrate_block(b, from);
+    cancel_commit_timers();
+    commits_disabled_ = true;
+    send_blame();
+    return;
+  }
+
+  // The certificate must certify the parent.
+  if (parent_cert.data != b.parent || !cert_valid(parent_cert)) return;
+  if (!integrate_block(b, from)) {
+    retry_.push_back(msg);
+    return;
+  }
+  // Vote only for proposals extending the highest certified block.
+  if (!store_.extends(h, certified_tip_)) return;
+  if (!voted_.insert(hkey(h)).second) return;
+  vote_for(b, h);
+}
+
+void SyncHsReplica::vote_for(const Block& /*block*/, const BlockHash& h) {
+  Msg vote = make_msg(MsgType::kVote, 0, h);
+  // "Partially implementing vote forwarding" (§5.7, in Sync HotStuff's
+  // favor): one transmission to the direct neighborhood. With k >= f the
+  // k in-neighbors plus the node itself already form an f+1 quorum.
+  broadcast_local(vote);
+  handle_vote(vote);  // count own vote
+  reset_blame_timer(4 * cfg_.delta);
+  // 2Δ commit wait (Sync HotStuff's synchronous commit rule).
+  if (!commits_disabled_) {
+    const auto id =
+        sched_.after(2 * cfg_.delta, [this, h] { commit_timeout(h); });
+    commit_timers_[hkey(h)] = id;
+  }
+}
+
+void SyncHsReplica::handle_vote(const Msg& msg) {
+  if (msg.view != v_cur_) {
+    if (msg.view > v_cur_) buffer_future(msg);
+    return;
+  }
+  auto& bucket = votes_[hkey(msg.data)];
+  for (const Msg& m : bucket) {
+    if (m.author == msg.author) return;
+  }
+  bucket.push_back(msg);
+  if (bucket.size() == quorum()) certify(msg.data);
+  if (opts_.optimistic_fast_path && bucket.size() == optimistic_quorum() &&
+      !commits_disabled_ && store_.contains(msg.data)) {
+    // OptSync responsive commit: ⌊3n/4⌋+1 votes commit immediately.
+    const auto timer = commit_timers_.find(hkey(msg.data));
+    if (timer != commit_timers_.end()) {
+      sched_.cancel(timer->second);
+      commit_timers_.erase(timer);
+    }
+    commit_chain(msg.data);
+  }
+}
+
+void SyncHsReplica::certify(const BlockHash& h) {
+  const Block* b = store_.get(h);
+  if (b == nullptr) return;
+  if (b->height <= certified_height_) return;
+  certified_tip_ = h;
+  certified_height_ = b->height;
+  tip_cert_ = QuorumCert::combine(std::vector<Msg>(
+      votes_[hkey(h)].begin(),
+      votes_[hkey(h)].begin() + static_cast<std::ptrdiff_t>(quorum())));
+  if (proposer_for(b->round + 1) == cfg_.id && phase_ == Phase::kSteady &&
+      !crashed_) {
+    propose(b->round + 1);
+  }
+}
+
+void SyncHsReplica::commit_timeout(const BlockHash& h) {
+  commit_timers_.erase(hkey(h));
+  if (commits_disabled_) return;
+  commit_chain(h);
+}
+
+void SyncHsReplica::cancel_commit_timers() {
+  for (const auto& [h, id] : commit_timers_) sched_.cancel(id);
+  commit_timers_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Blame and view change
+// ---------------------------------------------------------------------------
+
+void SyncHsReplica::reset_blame_timer(sim::Duration d) {
+  if (crashed_) return;
+  blame_timer_.start(d, [this] { send_blame(); });
+}
+
+void SyncHsReplica::send_blame() {
+  if (blamed_ || crashed_) return;
+  blamed_ = true;
+  Msg blame = make_msg(MsgType::kBlame, 0, {});
+  broadcast(blame);
+  handle_blame(blame);
+}
+
+void SyncHsReplica::handle_blame(const Msg& msg) {
+  if (msg.view != v_cur_ || msg.round != 0 || !msg.data.empty()) return;
+  if (!blamers_.insert(msg.author).second) return;
+  blame_msgs_.push_back(msg);
+  if (blamers_.size() >= quorum() && phase_ == Phase::kSteady) {
+    const QuorumCert qc = QuorumCert::combine(std::vector<Msg>(
+        blame_msgs_.begin(),
+        blame_msgs_.begin() + static_cast<std::ptrdiff_t>(quorum())));
+    Msg qc_msg = make_msg(MsgType::kBlameQC, 0, qc.encode());
+    broadcast(qc_msg);
+    on_blame_quorum();
+  }
+}
+
+void SyncHsReplica::handle_blame_qc(const Msg& msg) {
+  if (msg.view != v_cur_) {
+    if (msg.view > v_cur_) buffer_future(msg);
+    return;
+  }
+  if (phase_ != Phase::kSteady) return;
+  QuorumCert qc;
+  try {
+    qc = QuorumCert::decode(msg.data);
+  } catch (const SerdeError&) {
+    return;
+  }
+  if (qc.type != MsgType::kBlame || qc.view != v_cur_) return;
+  if (!verify_qc(qc, quorum())) return;
+  on_blame_quorum();
+}
+
+void SyncHsReplica::on_blame_quorum() {
+  if (phase_ != Phase::kSteady) return;
+  cancel_commit_timers();
+  commits_disabled_ = true;
+  blame_timer_.cancel();
+  phase_ = Phase::kQuitDelay;
+  sched_.after(cfg_.delta, [this] { quit_view(); });
+}
+
+void SyncHsReplica::quit_view() {
+  // Broadcast the highest certified block (status) and move to the next
+  // view after 2Δ — Sync HotStuff's one-round view change.
+  Msg status = make_msg(MsgType::kStatus, 0, tip_cert_->encode());
+  broadcast(status);
+  phase_ = Phase::kNewView;
+  sched_.after(2 * cfg_.delta, [this] { enter_new_view(); });
+}
+
+void SyncHsReplica::handle_status(const Msg& msg) {
+  if (msg.view != v_cur_ && msg.view + 1 != v_cur_) return;
+  QuorumCert qc;
+  try {
+    qc = QuorumCert::decode(msg.data);
+  } catch (const SerdeError&) {
+    return;
+  }
+  if (!cert_valid(qc)) return;
+  const std::uint64_t h = qc_block_height(qc);
+  if (h > certified_height_ && store_.contains(qc.data)) {
+    certified_tip_ = qc.data;
+    certified_height_ = h;
+    tip_cert_ = qc;
+  }
+  status_.emplace(msg.author, qc);
+}
+
+void SyncHsReplica::enter_new_view() {
+  v_cur_ += 1;
+  blamers_.clear();
+  blame_msgs_.clear();
+  blamed_ = false;
+  commits_disabled_ = false;
+  nv_proposed_ = false;
+  seen_.clear();
+  status_.clear();
+  phase_ = Phase::kSteady;
+  if (crashed_) return;
+  reset_blame_timer(6 * cfg_.delta);
+  const bool proposes_next =
+      opts_.rotating_leader
+          ? proposer_for(certified_height_ + 1) == cfg_.id
+          : is_leader();
+  if (proposes_next) {
+    // Give straggler status messages a moment, then propose from the
+    // highest certified block.
+    sched_.after(2 * cfg_.delta, [this, v = v_cur_] {
+      if (v == v_cur_ && !nv_proposed_) leader_propose_new_view();
+    });
+  }
+  drain_buffered();
+}
+
+void SyncHsReplica::leader_propose_new_view() {
+  if (byz_.mode == SyncHsByzantineMode::kCrash && byz_.trigger_height == 0) {
+    crashed_ = true;
+    router().set_forwarding(false);
+    return;
+  }
+  nv_proposed_ = true;
+  const Block* parent = store_.get(certified_tip_);
+  if (parent == nullptr) return;
+  if (proposer_for(parent->round + 1) == cfg_.id) propose(parent->round + 1);
+}
+
+void SyncHsReplica::handle_new_view_proposal(NodeId, const Msg&) {}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+bool SyncHsReplica::cert_valid(const QuorumCert& qc) {
+  if (qc.data == smr::genesis_hash() && qc.sigs.empty()) return true;
+  if (qc.type != MsgType::kVote) return false;
+  return verify_qc(qc, quorum());
+}
+
+std::uint64_t SyncHsReplica::qc_block_height(const QuorumCert& qc) const {
+  const Block* b = store_.get(qc.data);
+  return b == nullptr ? 0 : b->height;
+}
+
+void SyncHsReplica::buffer_future(const Msg& msg) {
+  if (future_.size() > 4096) return;
+  future_.push_back(msg);
+}
+
+void SyncHsReplica::drain_buffered() {
+  std::vector<Msg> retry;
+  retry.swap(retry_);
+  std::vector<Msg> pending;
+  pending.swap(future_);
+  for (const Msg& m : retry) handle(m.author, m);
+  for (const Msg& m : pending) handle(m.author, m);
+}
+
+void SyncHsReplica::on_chain_connected(const Block&) {
+  std::vector<Msg> retry;
+  retry.swap(retry_);
+  for (const Msg& m : retry) handle(m.author, m);
+}
+
+void SyncHsReplica::handle(NodeId from, const Msg& msg) {
+  if (crashed_) return;
+  switch (msg.type) {
+    case MsgType::kPropose:
+      handle_propose(from, msg);
+      break;
+    case MsgType::kVote:
+      handle_vote(msg);
+      break;
+    case MsgType::kBlame:
+      handle_blame(msg);
+      break;
+    case MsgType::kBlameQC:
+      handle_blame_qc(msg);
+      break;
+    case MsgType::kStatus:
+      handle_status(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace eesmr::baselines

@@ -1,0 +1,66 @@
+// Trusted-baseline protocol (§5.1 "Comparison with trusted-baseline").
+//
+// Every CPS node ships its pending commands to an externally-powered
+// trusted control node over an expensive medium (4G in the paper's
+// example) and receives the ordered, control-signed block back. The
+// control node's energy is not counted (it is mains-powered); the CPS
+// nodes pay the uplink/downlink and one signature verification per
+// block. Tolerates f Byzantine CPS nodes trivially (the control node is
+// trusted), but every consensus unit costs 2 expensive-medium messages
+// per node.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/smr/replica.hpp"
+
+namespace eesmr::baselines {
+
+/// The control node: collects kSubmit batches, orders them into a
+/// hash-chained log, and unicasts the signed block to every CPS node.
+/// Deployed as node id n in an (n+1)-node star topology.
+class TrustedController final : public smr::ReplicaBase {
+ public:
+  TrustedController(net::Network& net, smr::ReplicaConfig cfg,
+                    energy::Meter* meter);
+
+  void start() override;
+
+  [[nodiscard]] std::uint64_t blocks_ordered() const {
+    return blocks_ordered_;
+  }
+
+ protected:
+  void handle(NodeId from, const smr::Msg& msg) override;
+
+ private:
+  void order_round();
+
+  smr::BlockHash tip_;
+  std::uint64_t tip_height_ = 0;
+  std::vector<smr::Command> pending_;
+  bool round_timer_armed_ = false;
+  std::uint64_t blocks_ordered_ = 0;
+};
+
+/// A CPS node in the baseline: submits commands every `submit interval`
+/// and commits whatever ordered blocks the control node signs.
+class TrustedBaselineReplica final : public smr::ReplicaBase {
+ public:
+  /// `controller` is the control node's id (= n by convention).
+  TrustedBaselineReplica(net::Network& net, smr::ReplicaConfig cfg,
+                         NodeId controller, energy::Meter* meter);
+
+  void start() override;
+
+ protected:
+  void handle(NodeId from, const smr::Msg& msg) override;
+
+ private:
+  void submit_round();
+
+  NodeId controller_;
+};
+
+}  // namespace eesmr::baselines

@@ -1,0 +1,30 @@
+// Basic byte-buffer vocabulary types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eesmr {
+
+/// Owned byte buffer. All wire formats, hashes and signatures use this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Build an owned buffer from a view.
+inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+/// Build an owned buffer from a UTF-8 string (no terminator).
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interpret a buffer as a string (for tests / examples).
+inline std::string to_string(BytesView v) {
+  return std::string(v.begin(), v.end());
+}
+
+}  // namespace eesmr

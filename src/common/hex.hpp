@@ -1,0 +1,17 @@
+// Hex encoding/decoding used by tests, traces and block-id printing.
+#pragma once
+
+#include <string>
+
+#include "src/common/bytes.hpp"
+
+namespace eesmr {
+
+/// Lower-case hex encoding of a byte buffer.
+std::string hex_encode(BytesView data);
+
+/// Decode a hex string (case-insensitive). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes hex_decode(const std::string& hex);
+
+}  // namespace eesmr

@@ -1,0 +1,13 @@
+// Node identifiers shared across network, crypto directory and protocols.
+#pragma once
+
+#include <cstdint>
+
+namespace eesmr {
+
+/// Index of a node in the system N = {p_1 ... p_n}; 0-based internally.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+}  // namespace eesmr

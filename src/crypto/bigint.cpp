@@ -1,0 +1,448 @@
+#include "src/crypto/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace eesmr::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+constexpr std::uint64_t kMask = 0xffffffffull;
+}  // namespace
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v & kMask));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+BigInt BigInt::from_bytes_be(BytesView data) {
+  BigInt out;
+  out.limbs_.assign((data.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Byte i (from the most significant end) lands at bit offset
+    // 8*(data.size()-1-i) from the least significant end.
+    const std::size_t shift = 8 * (data.size() - 1 - i);
+    out.limbs_[shift / 32] |= static_cast<std::uint32_t>(data[i])
+                              << (shift % 32);
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  const std::size_t n_bytes = (bit_length() + 7) / 8;
+  const std::size_t len = std::max(n_bytes, std::max<std::size_t>(min_len, 1));
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    const std::size_t shift = 8 * i;
+    out[len - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[shift / 32] >> (shift % 32));
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  BigInt out;
+  if (hex.empty()) return out;
+  out.limbs_.assign((hex.size() * 4 + 31) / 32, 0);
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[hex.size() - 1 - i];
+    std::uint32_t v;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("BigInt::from_hex: bad character");
+    }
+    out.limbs_[i / 8] |= v << (4 * (i % 8));
+  }
+  out.trim();
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      s.push_back(kDigits[(limbs_[i] >> (4 * nib)) & 0xf]);
+    }
+  }
+  const std::size_t first = s.find_first_not_of('0');
+  return s.substr(first);
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  BigInt v = *this;
+  const BigInt ten(10);
+  std::string s;
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, ten);
+    s.push_back(static_cast<char>('0' + r.low_u64()));
+    v = std::move(q);
+  }
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigInt::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum & kMask);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (a.compare(b) < 0) {
+    throw std::underflow_error("BigInt: subtraction underflow");
+  }
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  assert(borrow == 0);
+  out.trim();
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  if (a.is_zero() || b.is_zero()) return out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] +
+          carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur & kMask);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& u, const BigInt& v) {
+  if (v.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (u.compare(v) < 0) return {BigInt{}, u};
+
+  // Fast path: single-limb divisor.
+  if (v.limbs_.size() == 1) {
+    const std::uint64_t d = v.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(u.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | u.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {std::move(q), BigInt(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D, with 32-bit digits.
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+  const int shift = std::countl_zero(v.limbs_.back());
+
+  // Normalized copies: vn has top bit of top limb set; un gains one limb.
+  std::vector<std::uint32_t> vn(n);
+  for (std::size_t i = n; i-- > 1;) {
+    vn[i] = (shift == 0)
+                ? v.limbs_[i]
+                : (v.limbs_[i] << shift) | (v.limbs_[i - 1] >> (32 - shift));
+  }
+  vn[0] = v.limbs_[0] << shift;
+
+  std::vector<std::uint32_t> un(u.limbs_.size() + 1);
+  un[u.limbs_.size()] =
+      (shift == 0) ? 0 : (u.limbs_.back() >> (32 - shift));
+  for (std::size_t i = u.limbs_.size(); i-- > 1;) {
+    un[i] = (shift == 0)
+                ? u.limbs_[i]
+                : (u.limbs_[i] << shift) | (u.limbs_[i - 1] >> (32 - shift));
+  }
+  un[0] = u.limbs_[0] << shift;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q̂ from the top two dividend digits and top divisor digit.
+    const std::uint64_t num =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = num / vn[n - 1];
+    std::uint64_t rhat = num % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply and subtract: un[j..j+n] -= qhat * vn.
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i];
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) - borrow -
+                             static_cast<std::int64_t>(p & kMask);
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = static_cast<std::int64_t>(p >> 32) - (t >> 32);
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // q̂ was one too large: add the divisor back.
+      --qhat;
+      std::uint64_t carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry;
+        un[i + j] = static_cast<std::uint32_t>(sum & kMask);
+        carry = sum >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + carry);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  q.trim();
+
+  // Denormalize the remainder.
+  BigInt r;
+  r.limbs_.resize(n, 0);
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    r.limbs_[i] = (shift == 0)
+                      ? un[i]
+                      : (un[i] >> shift) | (un[i + 1] << (32 - shift));
+  }
+  r.limbs_[n - 1] = un[n - 1] >> shift;
+  r.trim();
+  return {std::move(q), std::move(r)};
+}
+
+BigInt BigInt::shl(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v & kMask);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shr(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt{};
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v & kMask);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::mod_add(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a + b;
+  if (s.compare(m) >= 0) s = s % m;
+  return s;
+}
+
+BigInt BigInt::mod_sub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  if (a.compare(b) >= 0) return a - b;
+  return (a + m) - b;
+}
+
+BigInt BigInt::mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b) % m;
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp,
+                       const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("BigInt::mod_exp: zero modulus");
+  if (m.is_one()) return BigInt{};
+  BigInt result(1);
+  BigInt b = base % m;
+  const std::size_t nbits = exp.bit_length();
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (exp.bit(i)) result = mod_mul(result, b, m);
+    if (i + 1 < nbits) b = mod_mul(b, b, m);
+  }
+  return result;
+}
+
+std::optional<BigInt> BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m.is_zero() || m.is_one()) return std::nullopt;
+  // Extended Euclid with sign-tracked Bezout coefficient for a.
+  BigInt r0 = m;
+  BigInt r1 = a % m;
+  if (r1.is_zero()) return std::nullopt;
+  BigInt t0;          // coefficient of a for r0
+  bool t0_neg = false;
+  BigInt t1(1);       // coefficient of a for r1
+  bool t1_neg = false;
+
+  while (!r1.is_zero()) {
+    auto [q, r2] = divmod(r0, r1);
+    // t2 = t0 - q * t1 in signed arithmetic.
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (t0.compare(qt1) >= 0) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      // Opposite signs: magnitudes add, sign of t0 wins.
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (!r0.is_one()) return std::nullopt;  // not coprime
+  BigInt inv = t0 % m;
+  if (t0_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::random_bits(sim::Rng& rng, std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("random_bits: bits must be >= 1");
+  BigInt out;
+  out.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next());
+  // Clear excess high bits, then force the top bit so the bit length is
+  // exactly `bits`.
+  const std::size_t top = (bits - 1) % 32;
+  out.limbs_.back() &= (top == 31) ? 0xffffffffu : ((1u << (top + 1)) - 1);
+  out.limbs_.back() |= 1u << top;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::random_below(sim::Rng& rng, const BigInt& bound) {
+  if (bound.is_zero()) {
+    throw std::invalid_argument("random_below: zero bound");
+  }
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling over the enclosing power of two.
+  for (;;) {
+    BigInt candidate;
+    candidate.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& l : candidate.limbs_) {
+      l = static_cast<std::uint32_t>(rng.next());
+    }
+    const std::size_t top = (bits - 1) % 32;
+    candidate.limbs_.back() &=
+        (top == 31) ? 0xffffffffu : ((1u << (top + 1)) - 1);
+    candidate.trim();
+    if (candidate.compare(bound) < 0) return candidate;
+  }
+}
+
+BigInt BigInt::random_unit(sim::Rng& rng, const BigInt& bound) {
+  for (;;) {
+    BigInt v = random_below(rng, bound);
+    if (!v.is_zero()) return v;
+  }
+}
+
+}  // namespace eesmr::crypto

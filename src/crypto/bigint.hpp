@@ -1,0 +1,108 @@
+// Arbitrary-precision unsigned integers for RSA and elliptic-curve math.
+//
+// Representation: little-endian vector of 32-bit limbs, normalized (no
+// leading zero limbs; zero is the empty vector). All values are
+// non-negative; operator- requires a >= b (checked). Division is Knuth's
+// Algorithm D. This is deliberately a small, auditable implementation —
+// performance is adequate for 2048-bit RSA and 256-bit curves in tests
+// and benchmarks.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a machine word.
+  explicit BigInt(std::uint64_t v);
+
+  /// Big-endian byte import/export (the usual crypto wire order).
+  static BigInt from_bytes_be(BytesView data);
+  /// Export as big-endian, left-padded with zeros to at least min_len.
+  [[nodiscard]] Bytes to_bytes_be(std::size_t min_len = 0) const;
+
+  /// Hex import/export (no 0x prefix; case-insensitive input).
+  static BigInt from_hex(const std::string& hex);
+  [[nodiscard]] std::string to_hex() const;
+  [[nodiscard]] std::string to_decimal() const;
+
+  // -- queries ------------------------------------------------------------
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_one() const {
+    return limbs_.size() == 1 && limbs_[0] == 1;
+  }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1);
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Value of bit i (i = 0 is least significant).
+  [[nodiscard]] bool bit(std::size_t i) const;
+  /// Low 64 bits.
+  [[nodiscard]] std::uint64_t low_u64() const;
+
+  [[nodiscard]] int compare(const BigInt& other) const;
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+    const int c = a.compare(b);
+    return c < 0    ? std::strong_ordering::less
+           : c == 0 ? std::strong_ordering::equal
+                    : std::strong_ordering::greater;
+  }
+
+  // -- arithmetic ----------------------------------------------------------
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  /// Requires a >= b; throws std::underflow_error otherwise.
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Quotient and remainder; throws std::domain_error on division by zero.
+  static std::pair<BigInt, BigInt> divmod(const BigInt& u, const BigInt& v);
+  friend BigInt operator/(const BigInt& a, const BigInt& b) {
+    return divmod(a, b).first;
+  }
+  friend BigInt operator%(const BigInt& a, const BigInt& b) {
+    return divmod(a, b).second;
+  }
+  [[nodiscard]] BigInt shl(std::size_t bits) const;
+  [[nodiscard]] BigInt shr(std::size_t bits) const;
+
+  // -- modular arithmetic ----------------------------------------------------
+  static BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (a - b) mod m for a, b already reduced mod m.
+  static BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m);
+  static BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// base^exp mod m (square-and-multiply). m must be nonzero.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exp,
+                        const BigInt& m);
+  /// Multiplicative inverse of a mod m via extended Euclid, if it exists.
+  static std::optional<BigInt> mod_inverse(const BigInt& a, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+
+  // -- randomness ------------------------------------------------------------
+  /// Uniform integer with exactly `bits` bits (top bit set). bits >= 1.
+  static BigInt random_bits(sim::Rng& rng, std::size_t bits);
+  /// Uniform in [0, bound). bound must be nonzero.
+  static BigInt random_below(sim::Rng& rng, const BigInt& bound);
+  /// Uniform in [1, bound).
+  static BigInt random_unit(sim::Rng& rng, const BigInt& bound);
+
+ private:
+  void trim();
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,203 @@
+#include "src/crypto/ec.hpp"
+
+#include <array>
+#include <mutex>
+#include <stdexcept>
+
+namespace eesmr::crypto {
+
+namespace {
+
+CurveParams make_params(const char* name, const char* p, const char* a,
+                        const char* b, const char* gx, const char* gy,
+                        const char* n) {
+  CurveParams cp;
+  cp.name = name;
+  cp.p = BigInt::from_hex(p);
+  cp.a = BigInt::from_hex(a);
+  cp.b = BigInt::from_hex(b);
+  cp.gx = BigInt::from_hex(gx);
+  cp.gy = BigInt::from_hex(gy);
+  cp.n = BigInt::from_hex(n);
+  cp.bits = cp.p.bit_length();
+  return cp;
+}
+
+// SEC 2 / FIPS 186 / RFC 5639 domain parameters.
+const CurveParams& registry(CurveId id) {
+  static const std::array<CurveParams, 7> kCurves = {
+      make_params("secp192r1",
+                  "fffffffffffffffffffffffffffffffeffffffffffffffff",
+                  "fffffffffffffffffffffffffffffffefffffffffffffffc",
+                  "64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1",
+                  "188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012",
+                  "07192b95ffc8da78631011ed6b24cdd573f977a11e794811",
+                  "ffffffffffffffffffffffff99def836146bc9b1b4d22831"),
+      make_params("secp192k1",
+                  "fffffffffffffffffffffffffffffffffffffffeffffee37",
+                  "0",
+                  "3",
+                  "db4ff10ec057e9ae26b07d0280b7f4341da5d1b1eae06c7d",
+                  "9b2f2f6d9c5628a7844163d015be86344082aa88d95e2f9d",
+                  "fffffffffffffffffffffffe26f2fc170f69466a74defd8d"),
+      make_params(
+          "secp224r1",
+          "ffffffffffffffffffffffffffffffff000000000000000000000001",
+          "fffffffffffffffffffffffffffffffefffffffffffffffffffffffe",
+          "b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4",
+          "b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21",
+          "bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34",
+          "ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d"),
+      make_params(
+          "secp256r1",
+          "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+          "ffffffff00000001000000000000000000000000fffffffffffffffffffffffc",
+          "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+          "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+          "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+          "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"),
+      make_params(
+          "secp256k1",
+          "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+          "0",
+          "7",
+          "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+          "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"),
+      make_params("brainpoolP160r1",
+                  "e95e4a5f737059dc60dfc7ad95b3d8139515620f",
+                  "340e7be2a280eb74e2be61bada745d97e8f7c300",
+                  "1e589a8595423412134faa2dbdec95c8d8675e58",
+                  "bed5af16ea3f6a4f62938c4631eb5af7bdbcdbc3",
+                  "1667cb477a1a8ec338f94741669c976316da6321",
+                  "e95e4a5f737059dc60df5991d45029409e60fc09"),
+      make_params(
+          "brainpoolP256r1",
+          "a9fb57dba1eea9bc3e660a909d838d726e3bf623d52620282013481d1f6e5377",
+          "7d5a0975fc2c3057eef67530417affe7fb8055c126dc5c6ce94a4b44f330b5d9",
+          "26dc5c6ce94a4b44f330b5d9bbd77cbf958416295cf7e1ce6bccdc18ff8c07b6",
+          "8bd2aeb9cb7e57cb2c4b482ffc81b7afb9de27e1e3bd23c23a4453bd9ace3262",
+          "547ef835c3dac4fd97f8461a14611dc9c27745132ded8e545c1d54c72f046997",
+          "a9fb57dba1eea9bc3e660a909d838d718c397aa3b561a6f7901e0e82974856a7"),
+  };
+  return kCurves[static_cast<std::size_t>(id)];
+}
+
+}  // namespace
+
+const CurveParams& curve_params(CurveId id) { return registry(id); }
+
+const char* curve_name(CurveId id) { return registry(id).name.c_str(); }
+
+bool Curve::on_curve(const AffinePoint& pt) const {
+  if (pt.infinity) return true;
+  if (pt.x.compare(P_.p) >= 0 || pt.y.compare(P_.p) >= 0) return false;
+  const BigInt lhs = fmul(pt.y, pt.y);
+  const BigInt rhs = fadd(fadd(fmul(fmul(pt.x, pt.x), pt.x),
+                               fmul(P_.a, pt.x)),
+                          P_.b);
+  return lhs == rhs;
+}
+
+BigInt Curve::finv(const BigInt& a) const {
+  // p is prime: a^(p-2) mod p. (Fermat; avoids signed Euclid in the hot
+  // path and is constant-shape.)
+  return BigInt::mod_exp(a, P_.p - BigInt(2), P_.p);
+}
+
+Curve::Jac Curve::to_jac(const AffinePoint& p) const {
+  if (p.infinity) return Jac{};
+  return Jac{p.x, p.y, BigInt(1), false};
+}
+
+AffinePoint Curve::to_affine(const Jac& p) const {
+  if (p.infinity) return AffinePoint::identity();
+  const BigInt zinv = finv(p.z);
+  const BigInt zinv2 = fmul(zinv, zinv);
+  const BigInt zinv3 = fmul(zinv2, zinv);
+  return AffinePoint::make(fmul(p.x, zinv2), fmul(p.y, zinv3));
+}
+
+Curve::Jac Curve::jac_dbl(const Jac& p) const {
+  if (p.infinity || p.y.is_zero()) return Jac{};
+  // dbl-2007-bl (generic a).
+  const BigInt xx = fmul(p.x, p.x);
+  const BigInt yy = fmul(p.y, p.y);
+  const BigInt yyyy = fmul(yy, yy);
+  const BigInt zz = fmul(p.z, p.z);
+  // S = 2*((X+YY)^2 - XX - YYYY)
+  const BigInt xyy = fadd(p.x, yy);
+  BigInt s = fsub(fsub(fmul(xyy, xyy), xx), yyyy);
+  s = fadd(s, s);
+  // M = 3*XX + a*ZZ^2
+  const BigInt m = fadd(fadd(fadd(xx, xx), xx), fmul(P_.a, fmul(zz, zz)));
+  // T = M^2 - 2*S
+  const BigInt t = fsub(fmul(m, m), fadd(s, s));
+  Jac out;
+  out.infinity = false;
+  out.x = t;
+  // Y3 = M*(S - T) - 8*YYYY
+  BigInt y8 = fadd(yyyy, yyyy);
+  y8 = fadd(y8, y8);
+  y8 = fadd(y8, y8);
+  out.y = fsub(fmul(m, fsub(s, t)), y8);
+  // Z3 = (Y+Z)^2 - YY - ZZ  (= 2*Y*Z)
+  const BigInt yz = fadd(p.y, p.z);
+  out.z = fsub(fsub(fmul(yz, yz), yy), zz);
+  return out;
+}
+
+Curve::Jac Curve::jac_add(const Jac& p, const Jac& q) const {
+  if (p.infinity) return q;
+  if (q.infinity) return p;
+  // add-2007-bl.
+  const BigInt z1z1 = fmul(p.z, p.z);
+  const BigInt z2z2 = fmul(q.z, q.z);
+  const BigInt u1 = fmul(p.x, z2z2);
+  const BigInt u2 = fmul(q.x, z1z1);
+  const BigInt s1 = fmul(p.y, fmul(q.z, z2z2));
+  const BigInt s2 = fmul(q.y, fmul(p.z, z1z1));
+  if (u1 == u2) {
+    if (s1 == s2) return jac_dbl(p);
+    return Jac{};  // P + (-P) = infinity
+  }
+  const BigInt h = fsub(u2, u1);
+  const BigInt h2 = fadd(h, h);
+  const BigInt i = fmul(h2, h2);
+  const BigInt j = fmul(h, i);
+  BigInt r = fsub(s2, s1);
+  r = fadd(r, r);
+  const BigInt v = fmul(u1, i);
+  Jac out;
+  out.infinity = false;
+  // X3 = r^2 - J - 2*V
+  out.x = fsub(fsub(fmul(r, r), j), fadd(v, v));
+  // Y3 = r*(V - X3) - 2*S1*J
+  const BigInt s1j = fmul(s1, j);
+  out.y = fsub(fmul(r, fsub(v, out.x)), fadd(s1j, s1j));
+  // Z3 = ((Z1+Z2)^2 - Z1Z1 - Z2Z2) * H
+  const BigInt zz = fadd(p.z, q.z);
+  out.z = fmul(fsub(fsub(fmul(zz, zz), z1z1), z2z2), h);
+  return out;
+}
+
+AffinePoint Curve::add(const AffinePoint& p, const AffinePoint& q) const {
+  return to_affine(jac_add(to_jac(p), to_jac(q)));
+}
+
+AffinePoint Curve::dbl(const AffinePoint& p) const {
+  return to_affine(jac_dbl(to_jac(p)));
+}
+
+AffinePoint Curve::mul(const BigInt& k, const AffinePoint& p) const {
+  if (k.is_zero() || p.infinity) return AffinePoint::identity();
+  const Jac base = to_jac(p);
+  Jac acc;  // infinity
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = jac_dbl(acc);
+    if (k.bit(i)) acc = jac_add(acc, base);
+  }
+  return to_affine(acc);
+}
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,111 @@
+// Generic short-Weierstrass elliptic curve arithmetic (y² = x³ + ax + b
+// over GF(p)) with Jacobian-coordinate point operations.
+//
+// Parameter sets cover every curve in the paper's Table 2: the NIST/SEC
+// curves secp192r1/k1, secp224r1, secp256r1/k1 and the Brainpool curves
+// brainpoolP160r1 / brainpoolP256r1 (RFC 5639).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/crypto/bigint.hpp"
+
+namespace eesmr::crypto {
+
+/// Identifiers for the curves evaluated in Table 2.
+enum class CurveId {
+  kSecp192r1,
+  kSecp192k1,
+  kSecp224r1,
+  kSecp256r1,
+  kSecp256k1,
+  kBrainpoolP160r1,
+  kBrainpoolP256r1,
+};
+
+/// Domain parameters for y² = x³ + ax + b mod p with base point G of
+/// prime order n.
+struct CurveParams {
+  std::string name;
+  BigInt p;   ///< field prime
+  BigInt a;   ///< curve coefficient a
+  BigInt b;   ///< curve coefficient b
+  BigInt gx;  ///< base point x
+  BigInt gy;  ///< base point y
+  BigInt n;   ///< order of G (prime)
+  std::size_t bits = 0;  ///< field size in bits
+
+  [[nodiscard]] std::size_t field_bytes() const { return (bits + 7) / 8; }
+};
+
+/// Registry lookup (parameters are constructed once, lazily).
+const CurveParams& curve_params(CurveId id);
+const char* curve_name(CurveId id);
+
+/// Affine point; infinity is represented by `infinity = true`.
+struct AffinePoint {
+  BigInt x;
+  BigInt y;
+  bool infinity = true;
+
+  static AffinePoint identity() { return {}; }
+  static AffinePoint make(BigInt x, BigInt y) {
+    return {std::move(x), std::move(y), false};
+  }
+  friend bool operator==(const AffinePoint& p, const AffinePoint& q) {
+    if (p.infinity || q.infinity) return p.infinity == q.infinity;
+    return p.x == q.x && p.y == q.y;
+  }
+};
+
+/// Stateless curve-arithmetic engine bound to one parameter set.
+class Curve {
+ public:
+  explicit Curve(const CurveParams& params) : P_(params) {}
+
+  [[nodiscard]] const CurveParams& params() const { return P_; }
+  [[nodiscard]] AffinePoint generator() const {
+    return AffinePoint::make(P_.gx, P_.gy);
+  }
+
+  /// Check y² = x³ + ax + b mod p (identity is on the curve).
+  [[nodiscard]] bool on_curve(const AffinePoint& pt) const;
+
+  [[nodiscard]] AffinePoint add(const AffinePoint& p,
+                                const AffinePoint& q) const;
+  [[nodiscard]] AffinePoint dbl(const AffinePoint& p) const;
+  /// Scalar multiplication k·P (Jacobian double-and-add).
+  [[nodiscard]] AffinePoint mul(const BigInt& k, const AffinePoint& p) const;
+  /// k·G
+  [[nodiscard]] AffinePoint mul_base(const BigInt& k) const {
+    return mul(k, generator());
+  }
+
+ private:
+  // Jacobian coordinates (X, Y, Z): x = X/Z², y = Y/Z³.
+  struct Jac {
+    BigInt x, y, z;
+    bool infinity = true;
+  };
+  [[nodiscard]] Jac to_jac(const AffinePoint& p) const;
+  [[nodiscard]] AffinePoint to_affine(const Jac& p) const;
+  [[nodiscard]] Jac jac_dbl(const Jac& p) const;
+  [[nodiscard]] Jac jac_add(const Jac& p, const Jac& q) const;
+
+  // Field helpers.
+  [[nodiscard]] BigInt fadd(const BigInt& a, const BigInt& b) const {
+    return BigInt::mod_add(a, b, P_.p);
+  }
+  [[nodiscard]] BigInt fsub(const BigInt& a, const BigInt& b) const {
+    return BigInt::mod_sub(a, b, P_.p);
+  }
+  [[nodiscard]] BigInt fmul(const BigInt& a, const BigInt& b) const {
+    return BigInt::mod_mul(a, b, P_.p);
+  }
+  [[nodiscard]] BigInt finv(const BigInt& a) const;
+
+  const CurveParams& P_;
+};
+
+}  // namespace eesmr::crypto

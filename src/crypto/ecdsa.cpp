@@ -1,0 +1,106 @@
+#include "src/crypto/ecdsa.hpp"
+
+#include <stdexcept>
+
+#include "src/crypto/hmac.hpp"
+#include "src/crypto/sha256.hpp"
+
+namespace eesmr::crypto {
+
+namespace {
+
+/// Convert a message digest to an integer, truncating to the order's bit
+/// length per SEC 1 §4.1.3 step 5.
+BigInt digest_to_scalar(const Sha256Digest& digest, const BigInt& n) {
+  BigInt e = BigInt::from_bytes_be(BytesView(digest.data(), digest.size()));
+  const std::size_t digest_bits = digest.size() * 8;
+  const std::size_t n_bits = n.bit_length();
+  if (n_bits < digest_bits) e = e.shr(digest_bits - n_bits);
+  return e;
+}
+
+/// Deterministic nonce: HMAC(d_be, digest || ctr) expanded and reduced.
+BigInt derive_nonce(const BigInt& d, const Sha256Digest& digest,
+                    const BigInt& n, std::uint32_t counter) {
+  const Bytes key = d.to_bytes_be();
+  Bytes msg(digest.begin(), digest.end());
+  msg.push_back(static_cast<std::uint8_t>(counter >> 24));
+  msg.push_back(static_cast<std::uint8_t>(counter >> 16));
+  msg.push_back(static_cast<std::uint8_t>(counter >> 8));
+  msg.push_back(static_cast<std::uint8_t>(counter));
+  // Expand to enough bytes for the order size (two HMAC blocks cover all
+  // Table-2 curves: up to 256-bit orders).
+  Bytes stream = hmac(key, msg);
+  msg.push_back(0x01);
+  const Bytes more = hmac(key, msg);
+  stream.insert(stream.end(), more.begin(), more.end());
+  stream.resize((n.bit_length() + 7) / 8 + 8);
+  return BigInt::from_bytes_be(stream) % n;
+}
+
+}  // namespace
+
+EcdsaKeyPair ecdsa_generate(CurveId curve_id, sim::Rng& rng) {
+  const CurveParams& params = curve_params(curve_id);
+  const Curve curve(params);
+  const BigInt d = BigInt::random_unit(rng, params.n);
+  EcdsaKeyPair kp;
+  kp.priv = {curve_id, d};
+  kp.pub = {curve_id, curve.mul_base(d)};
+  return kp;
+}
+
+Bytes ecdsa_sign(const EcdsaPrivateKey& key, BytesView msg) {
+  const CurveParams& params = curve_params(key.curve);
+  const Curve curve(params);
+  const Sha256Digest digest = Sha256::hash(msg);
+  const BigInt e = digest_to_scalar(digest, params.n);
+
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    const BigInt k = derive_nonce(key.d, digest, params.n, ctr);
+    if (k.is_zero()) continue;
+    const AffinePoint kg = curve.mul_base(k);
+    if (kg.infinity) continue;
+    const BigInt r = kg.x % params.n;
+    if (r.is_zero()) continue;
+    const auto kinv = BigInt::mod_inverse(k, params.n);
+    if (!kinv) continue;
+    // s = k^-1 (e + r d) mod n
+    const BigInt s = BigInt::mod_mul(
+        *kinv, BigInt::mod_add(e, BigInt::mod_mul(r, key.d, params.n),
+                               params.n),
+        params.n);
+    if (s.is_zero()) continue;
+
+    const std::size_t fb = params.field_bytes();
+    Bytes sig = r.to_bytes_be(fb);
+    const Bytes s_bytes = s.to_bytes_be(fb);
+    sig.insert(sig.end(), s_bytes.begin(), s_bytes.end());
+    return sig;
+  }
+}
+
+bool ecdsa_verify(const EcdsaPublicKey& key, BytesView msg, BytesView sig) {
+  const CurveParams& params = curve_params(key.curve);
+  const Curve curve(params);
+  const std::size_t fb = params.field_bytes();
+  if (sig.size() != 2 * fb) return false;
+  const BigInt r = BigInt::from_bytes_be(sig.subspan(0, fb));
+  const BigInt s = BigInt::from_bytes_be(sig.subspan(fb, fb));
+  if (r.is_zero() || s.is_zero()) return false;
+  if (r.compare(params.n) >= 0 || s.compare(params.n) >= 0) return false;
+  if (key.q.infinity || !curve.on_curve(key.q)) return false;
+
+  const Sha256Digest digest = Sha256::hash(msg);
+  const BigInt e = digest_to_scalar(digest, params.n);
+  const auto sinv = BigInt::mod_inverse(s, params.n);
+  if (!sinv) return false;
+  const BigInt u1 = BigInt::mod_mul(e, *sinv, params.n);
+  const BigInt u2 = BigInt::mod_mul(r, *sinv, params.n);
+  const AffinePoint point =
+      curve.add(curve.mul_base(u1), curve.mul(u2, key.q));
+  if (point.infinity) return false;
+  return (point.x % params.n) == r;
+}
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,38 @@
+// ECDSA over the Table-2 curves, with deterministic nonces.
+//
+// The nonce k is derived with HMAC-SHA256(d, digest || counter) reduced
+// mod n (an RFC 6979-inspired construction: deterministic, so signing is
+// reproducible in simulation and never reuses k across distinct digests).
+#pragma once
+
+#include "src/common/bytes.hpp"
+#include "src/crypto/ec.hpp"
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+
+struct EcdsaPublicKey {
+  CurveId curve;
+  AffinePoint q;  ///< Q = d·G
+};
+
+struct EcdsaPrivateKey {
+  CurveId curve;
+  BigInt d;  ///< in [1, n-1]
+};
+
+struct EcdsaKeyPair {
+  EcdsaPrivateKey priv;
+  EcdsaPublicKey pub;
+};
+
+/// Generate a key pair on the given curve (deterministic given the RNG).
+EcdsaKeyPair ecdsa_generate(CurveId curve, sim::Rng& rng);
+
+/// Sign SHA-256(msg). Signature is r || s, each padded to the field size.
+Bytes ecdsa_sign(const EcdsaPrivateKey& key, BytesView msg);
+
+/// Verify an r || s signature over SHA-256(msg).
+bool ecdsa_verify(const EcdsaPublicKey& key, BytesView msg, BytesView sig);
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104), used as the paper's MAC scheme and as the
+// deterministic-nonce PRF for ECDSA.
+#pragma once
+
+#include "src/common/bytes.hpp"
+#include "src/crypto/sha256.hpp"
+
+namespace eesmr::crypto {
+
+/// HMAC-SHA256(key, msg) -> 32 bytes.
+Sha256Digest hmac_sha256(BytesView key, BytesView msg);
+
+/// Same, as an owned buffer.
+Bytes hmac(BytesView key, BytesView msg);
+
+/// Constant-time-ish comparison of two MACs (length mismatch -> false).
+bool mac_equal(BytesView a, BytesView b);
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,147 @@
+#include "src/crypto/rsa.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "src/crypto/sha256.hpp"
+
+namespace eesmr::crypto {
+
+namespace {
+
+// Small primes for fast trial division before Miller-Rabin.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// DER DigestInfo prefix for SHA-256 (RFC 8017 section 9.2 note 1).
+constexpr std::array<std::uint8_t, 19> kSha256DigestInfo = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+/// EMSA-PKCS1-v1_5 encoding of SHA-256(msg) into em_len bytes.
+Bytes emsa_encode(BytesView msg, std::size_t em_len) {
+  const Sha256Digest digest = Sha256::hash(msg);
+  const std::size_t t_len = kSha256DigestInfo.size() + digest.size();
+  if (em_len < t_len + 11) {
+    throw std::invalid_argument("RSA modulus too small for SHA-256 PKCS#1");
+  }
+  Bytes em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(kSha256DigestInfo.begin(), kSha256DigestInfo.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(em_len - t_len));
+  std::copy(digest.begin(), digest.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(em_len - digest.size()));
+  return em;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, sim::Rng& rng, int rounds) {
+  if (n.compare(BigInt(2)) < 0) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // Write n - 1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  std::size_t r = 0;
+  BigInt d = n_minus_1;
+  while (!d.is_odd()) {
+    d = d.shr(1);
+    ++r;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt a =
+        BigInt(2) + BigInt::random_below(rng, n - BigInt(4));  // [2, n-2]
+    BigInt x = BigInt::mod_exp(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t j = 0; j + 1 < r; ++j) {
+      x = BigInt::mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(std::size_t bits, sim::Rng& rng) {
+  if (bits < 16) throw std::invalid_argument("generate_prime: bits too small");
+  for (;;) {
+    BigInt candidate = BigInt::random_bits(rng, bits);
+    // Force the second-highest bit (so products of two primes reach the
+    // full modulus length) and oddness. Setting a currently-zero bit via
+    // addition cannot carry, so the bit length stays exactly `bits`.
+    if (!candidate.bit(bits - 2)) {
+      candidate = candidate + BigInt(1).shl(bits - 2);
+    }
+    if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+RsaKeyPair rsa_generate(std::size_t modulus_bits, sim::Rng& rng) {
+  if (modulus_bits < 512 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("rsa_generate: modulus_bits must be even, >= 512");
+  }
+  const BigInt e(65537);
+  const std::size_t prime_bits = modulus_bits / 2;
+  for (;;) {
+    const BigInt p = generate_prime(prime_bits, rng);
+    const BigInt q = generate_prime(prime_bits, rng);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+    const BigInt p1 = p - BigInt(1);
+    const BigInt q1 = q - BigInt(1);
+    const BigInt phi = p1 * q1;
+    const auto d = BigInt::mod_inverse(e, phi);
+    if (!d) continue;  // gcd(e, phi) != 1; pick new primes
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = *d;
+    priv.p = p;
+    priv.q = q;
+    priv.dp = *d % p1;
+    priv.dq = *d % q1;
+    const auto qinv = BigInt::mod_inverse(q, p);
+    if (!qinv) continue;
+    priv.qinv = *qinv;
+    priv.modulus_bytes = (modulus_bits + 7) / 8;
+    return RsaKeyPair{priv, priv.public_key()};
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView msg) {
+  const Bytes em = emsa_encode(msg, key.modulus_bytes);
+  const BigInt m = BigInt::from_bytes_be(em);
+  // CRT: s = sq + q * ((sp - sq) * qinv mod p).
+  const BigInt sp = BigInt::mod_exp(m % key.p, key.dp, key.p);
+  const BigInt sq = BigInt::mod_exp(m % key.q, key.dq, key.q);
+  const BigInt h = BigInt::mod_mul(BigInt::mod_sub(sp, sq % key.p, key.p),
+                                   key.qinv, key.p);
+  const BigInt s = sq + key.q * h;
+  return s.to_bytes_be(key.modulus_bytes);
+}
+
+bool rsa_verify(const RsaPublicKey& key, BytesView msg, BytesView sig) {
+  if (sig.size() != key.modulus_bytes) return false;
+  const BigInt s = BigInt::from_bytes_be(sig);
+  if (s.compare(key.n) >= 0) return false;
+  const BigInt m = BigInt::mod_exp(s, key.e, key.n);
+  const Bytes em = m.to_bytes_be(key.modulus_bytes);
+  const Bytes expected = emsa_encode(msg, key.modulus_bytes);
+  return em == expected;
+}
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,56 @@
+// RSA signatures (PKCS#1 v1.5 with SHA-256), built on BigInt.
+//
+// The paper (Table 2, §5.5) identifies verification-efficient RSA as the
+// energy-optimal signature scheme for the leader-signs/replicas-verify
+// pattern. We implement key generation (Miller-Rabin), signing with the
+// CRT speed-up, and verification with e = 65537.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/bytes.hpp"
+#include "src/crypto/bigint.hpp"
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  ///< modulus
+  BigInt e;  ///< public exponent (65537)
+  std::size_t modulus_bytes = 0;
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  // CRT components.
+  BigInt p, q, dp, dq, qinv;
+  std::size_t modulus_bytes = 0;
+
+  [[nodiscard]] RsaPublicKey public_key() const { return {n, e, modulus_bytes}; }
+};
+
+struct RsaKeyPair {
+  RsaPrivateKey priv;
+  RsaPublicKey pub;
+};
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+bool is_probable_prime(const BigInt& n, sim::Rng& rng, int rounds = 20);
+
+/// Generate a random prime with exactly `bits` bits (top two bits set so
+/// products of two primes reach full modulus length).
+BigInt generate_prime(std::size_t bits, sim::Rng& rng);
+
+/// Generate an RSA key with the given modulus size (e.g. 1024, 1260, 2048).
+/// Deterministic given the RNG state.
+RsaKeyPair rsa_generate(std::size_t modulus_bits, sim::Rng& rng);
+
+/// Sign SHA-256(msg) with EMSA-PKCS1-v1_5. Returns modulus_bytes bytes.
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView msg);
+
+/// Verify a PKCS#1 v1.5 SHA-256 signature.
+bool rsa_verify(const RsaPublicKey& key, BytesView msg, BytesView sig);
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block hashing, HMAC, PKCS#1 v1.5 digests and ECDSA message
+// digests. Verified against the NIST example vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.hpp"
+
+namespace eesmr::crypto {
+
+/// 32-byte digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  /// Finalizes and returns the digest. The context must be reset() before
+  /// reuse.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Digest as an owned byte buffer (for serde and signatures).
+Bytes sha256(BytesView data);
+
+}  // namespace eesmr::crypto

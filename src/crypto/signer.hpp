@@ -1,0 +1,101 @@
+// Signature-scheme abstraction and the per-system key directory (the
+// paper's "PKI is used to set up keys before starting the protocol").
+//
+// Three families are provided:
+//  * real digital signatures (RSA PKCS#1 v1.5, ECDSA on all Table-2
+//    curves),
+//  * HMAC-SHA256 "MAC signatures" (the paper's symmetric-key comparison
+//    point),
+//  * a keyed-hash *simulated* signature scheme for large simulation runs:
+//    functionally a signature inside one trusted process (sign/verify/
+//    unforgeability-by-honest-code), sized and energy-accounted as the
+//    scheme it emulates. DESIGN.md documents this substitution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/common/ids.hpp"
+
+namespace eesmr::crypto {
+
+/// Every signature scheme whose energy Table 2 reports, plus HMAC.
+enum class SchemeId : std::uint8_t {
+  kHmacSha256,
+  kEcdsaBp160r1,
+  kEcdsaBp256r1,
+  kEcdsaSecp192r1,
+  kEcdsaSecp192k1,
+  kEcdsaSecp224r1,
+  kEcdsaSecp256r1,
+  kEcdsaSecp256k1,
+  kRsa1024,
+  kRsa1260,
+  kRsa2048,
+};
+
+struct SchemeInfo {
+  const char* name;
+  std::size_t signature_bytes;
+  bool symmetric;
+};
+
+/// Static metadata for a scheme (name, wire size of one signature).
+const SchemeInfo& scheme_info(SchemeId id);
+
+/// All schemes, in Table-2 order (for sweeps).
+std::vector<SchemeId> all_schemes();
+
+/// Private signing half, bound to one node.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+  [[nodiscard]] virtual Bytes sign(BytesView msg) const = 0;
+  [[nodiscard]] virtual SchemeId scheme() const = 0;
+};
+
+/// Public verifying half, bound to one node's key.
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+  [[nodiscard]] virtual bool verify(BytesView msg, BytesView sig) const = 0;
+  [[nodiscard]] virtual SchemeId scheme() const = 0;
+};
+
+/// Key directory for an n-node system: node i signs with signer(i); anyone
+/// verifies node i's signatures with verify(i, ...). Immutable once built.
+class Keyring {
+ public:
+  /// Generate real keys for every node. Deterministic in `seed`.
+  /// RSA/ECDSA key generation is comparatively slow; callers that only
+  /// need protocol-level behaviour should prefer `simulated`.
+  static std::shared_ptr<Keyring> generate(SchemeId scheme, std::size_t n,
+                                           std::uint64_t seed);
+
+  /// Keyed-hash signature simulation emulating `scheme`'s wire size.
+  static std::shared_ptr<Keyring> simulated(SchemeId scheme, std::size_t n,
+                                            std::uint64_t seed);
+
+  [[nodiscard]] const Signer& signer(NodeId id) const;
+  [[nodiscard]] bool verify(NodeId claimed, BytesView msg,
+                            BytesView sig) const;
+
+  [[nodiscard]] SchemeId scheme() const { return scheme_; }
+  [[nodiscard]] bool is_simulated() const { return simulated_; }
+  [[nodiscard]] std::size_t signature_bytes() const {
+    return scheme_info(scheme_).signature_bytes;
+  }
+  [[nodiscard]] std::size_t size() const { return signers_.size(); }
+
+ private:
+  Keyring() = default;
+
+  SchemeId scheme_ = SchemeId::kHmacSha256;
+  bool simulated_ = false;
+  std::vector<std::unique_ptr<Signer>> signers_;
+  std::vector<std::unique_ptr<Verifier>> verifiers_;
+};
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,191 @@
+// EESMR replica — the paper's primary contribution (Algorithm 2).
+//
+// Steady state ("voting in the head", §3.3): the leader signs ONE
+// proposal per round; every node re-broadcasts it once (done by the
+// flood router), updates its lock, and commits after a 4Δ
+// equivocation-free wait. No per-block certificates.
+//
+// View change (§3.4): blame on timeout or equivocation; f+1 blames form
+// a blame QC; nodes quit the view, certify their highest committed
+// blocks (turning the implicit head-votes into explicit certificates),
+// and a two-round bootstrap (rounds 1 and 2) starts the new view.
+//
+// Options cover the paper's §3.2/§3.5/§5.6 variants: crash-fault-only
+// version, equivocation fast path, commands in bootstrap rounds, and the
+// non-blocking (pipelined) mode.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/smr/replica.hpp"
+
+namespace eesmr::protocol {
+
+struct EesmrOptions {
+  /// §3.2: crash-version (equivocation handling removed; only the
+  /// no-progress blame path remains).
+  bool crash_fault_only = false;
+  /// §3.5/§5.6: on a transferable equivocation proof, quit the view
+  /// immediately instead of waiting for a blame quorum certificate.
+  bool equivocation_fast_path = true;
+  /// §3.5: include client commands in the round-1 bootstrap block.
+  bool cmds_in_bootstrap = false;
+  /// Number of rounds the leader may run ahead of its highest accepted
+  /// round. 1 = the blocking variant evaluated in §5.6.
+  std::size_t pipeline = 1;
+  /// §3.5 "Batching optimization": when > 0, steady-state proposals are
+  /// optimistically pre-committed WITHOUT a signature check; only every
+  /// checkpoint_interval-th round's proposal is verified. Hash chaining
+  /// makes the checkpoint signature authenticate the whole window, so a
+  /// correct leader costs 1 verification per interval instead of per
+  /// block; a faulty leader degrades to the standard recovery path.
+  std::size_t checkpoint_interval = 0;
+};
+
+/// Byzantine behaviours used by the evaluation (§5.6, Fig 2e / Fig 3).
+enum class ByzantineMode {
+  kHonest,
+  /// Stop participating entirely at the trigger round (no-progress VC
+  /// when this node is the leader).
+  kCrash,
+  /// Propose two conflicting blocks in the trigger round (flooded to
+  /// everyone) — the equivocation VC scenario.
+  kEquivocate,
+  /// Equivocate, but transmit each conflicting proposal on only half of
+  /// the outgoing edges; detection then relies on honest re-broadcast.
+  kEquivocateSelective,
+};
+
+struct ByzantineConfig {
+  ByzantineMode mode = ByzantineMode::kHonest;
+  std::uint64_t trigger_round = 0;  ///< steady-state round to act in
+};
+
+class EesmrReplica final : public smr::ReplicaBase {
+ public:
+  EesmrReplica(net::Network& net, smr::ReplicaConfig cfg, EesmrOptions opts,
+               ByzantineConfig byz, energy::Meter* meter);
+
+  void start() override;
+
+  // -- observability ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t view_changes() const { return v_cur_ - 1; }
+  [[nodiscard]] const smr::BlockHash& locked_block() const { return b_lck_; }
+  [[nodiscard]] std::uint64_t equivocations_detected() const {
+    return equivocations_detected_;
+  }
+  [[nodiscard]] std::uint64_t blames_sent() const { return blames_sent_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+ protected:
+  void handle(NodeId from, const smr::Msg& msg) override;
+  void on_chain_connected(const smr::Block& block) override;
+  [[nodiscard]] bool requires_signature_check(
+      const smr::Msg& msg) const override;
+
+ private:
+  enum class Phase {
+    kSteady,      // rounds >= 3
+    kQuitDelay,   // saw blame QC; Δ wait (line 233)
+    kQuitView,    // 5Δ certify window (lines 235-250)
+    kQcExchange,  // Δ commit-QC broadcast window (line 240)
+    kBootstrap1,  // round 1: waiting for NewViewProposal
+    kBootstrap2,  // round 2: waiting for the QC proposal
+  };
+
+  // -- steady state ------------------------------------------------------------
+  void enter_steady_round(std::uint64_t round);
+  void propose_block(std::uint64_t round);
+  void handle_propose(NodeId from, const smr::Msg& msg);
+  void try_accept(const smr::Msg& msg, NodeId origin);
+  void accept_proposal(const smr::Block& block, const smr::BlockHash& h);
+
+  // -- blame / equivocation -----------------------------------------------------
+  void send_blame();
+  void handle_blame(const smr::Msg& msg);
+  void handle_equiv_proof(const smr::Msg& msg);
+  void record_proposal_hash(std::uint64_t round, const smr::BlockHash& h,
+                            const smr::Msg& msg);
+  [[nodiscard]] bool can_start_view_change() const;
+  void on_blame_quorum();
+  void handle_blame_qc(const smr::Msg& msg);
+  void cancel_commit_timers();
+
+  // -- view change ---------------------------------------------------------------
+  void quit_view();
+  void handle_commit_update(NodeId from, const smr::Msg& msg);
+  void handle_certify(const smr::Msg& msg);
+  void handle_commit_qc(const smr::Msg& msg);
+  void finish_quit_view();
+  void enter_new_view();
+  void handle_status(const smr::Msg& msg);
+  void leader_propose_new_view();
+  void handle_new_view_proposal(NodeId from, const smr::Msg& msg);
+  void handle_vote(const smr::Msg& msg);
+  void handle_round2(NodeId from, const smr::Msg& msg);
+
+  // -- commit rule -----------------------------------------------------------------
+  void arm_commit_timer(const smr::BlockHash& h);
+  void commit_timeout(const smr::BlockHash& h);
+
+  // -- helpers ----------------------------------------------------------------------
+  [[nodiscard]] bool is_commit_qc_valid(const smr::QuorumCert& qc);
+  [[nodiscard]] std::uint64_t qc_block_height(const smr::QuorumCert& qc) const;
+  void reset_blame_timer(sim::Duration d);
+  void buffer_future(const smr::Msg& msg);
+  void drain_buffered();
+  void byzantine_equivocate(std::uint64_t round);
+
+  EesmrOptions opts_;
+  ByzantineConfig byz_;
+  Phase phase_ = Phase::kSteady;
+  bool started_ = false;
+  bool crashed_ = false;
+
+  smr::BlockHash b_lck_;  ///< locked chain tip (B_lck); set in ctor body
+  std::uint64_t b_lck_height_ = 0;
+
+  /// Highest round accepted in the current view (the leader may propose
+  /// up to opts_.pipeline rounds ahead of this).
+  std::uint64_t accepted_round_ = 2;
+
+  /// First proposal hash seen per round of the current view (for
+  /// equivocation detection) together with the signed message (proof
+  /// material).
+  std::map<std::uint64_t, std::pair<smr::BlockHash, smr::Msg>> seen_;
+
+  sim::Timer blame_timer_;
+  std::map<std::string, sim::EventId> commit_timers_;
+
+  // Blame state for the current view.
+  std::vector<smr::Msg> blame_msgs_;
+  std::set<NodeId> blamers_;
+  bool blamed_ = false;
+  bool blame_qc_seen_ = false;
+  /// Set after an equivocation proof or blame quorum in this view: no
+  /// further block may be committed under the compromised leader.
+  bool commits_disabled_ = false;
+
+  // Quit-view state.
+  std::optional<smr::QuorumCert> commit_qc_;
+  std::uint64_t commit_qc_height_ = 0;
+  std::vector<smr::Msg> certify_msgs_;
+
+  // Bootstrap state (new leader).
+  std::map<NodeId, smr::QuorumCert> status_;
+  bool nv_proposed_ = false;
+  std::optional<smr::Block> nv_block_;
+  std::vector<smr::Msg> nv_votes_;
+  bool round2_sent_ = false;
+
+  std::vector<smr::Msg> future_;
+  std::vector<smr::Msg> retry_;
+
+  std::uint64_t equivocations_detected_ = 0;
+  std::uint64_t blames_sent_ = 0;
+};
+
+}  // namespace eesmr::protocol

@@ -1,0 +1,230 @@
+#include "src/energy/analysis.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace eesmr::energy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Energy for ONE node transmitting a message of `bytes` to its
+/// neighborhood, plus the energy of every node that hears it.
+struct HopCost {
+  double send_mj;      ///< paid by the transmitting node
+  double per_recv_mj;  ///< paid by each receiving node
+  std::size_t receivers;
+};
+
+HopCost hop_cost(const SystemParams& x, std::size_t bytes) {
+  if (x.comm == CommMode::kKcastRing && x.node_medium == Medium::kBle) {
+    const std::size_t r = kcast_redundancy_for(bytes, x.k, x.kcast_reliability);
+    return {kcast_send_energy_mj(bytes, r), kcast_recv_energy_mj(bytes, r),
+            x.k};
+  }
+  if (x.comm == CommMode::kKcastRing) {
+    // Link-layer multicast on WiFi/4G: one transmission, k listeners.
+    return {multicast_energy_mj(x.node_medium, bytes),
+            recv_energy_mj(x.node_medium, bytes), x.k};
+  }
+  // Full mesh: a "transmission" is n-1 unicasts.
+  const double send = send_energy_mj(x.node_medium, bytes) *
+                      static_cast<double>(x.n - 1);
+  return {send, recv_energy_mj(x.node_medium, bytes), x.n - 1};
+}
+
+/// Total system energy for one protocol-level broadcast *with flooding*:
+/// every node transmits the message once to its neighborhood (this is the
+/// EESMR Line-213 re-broadcast pattern; in Table 3 terms, O(nd) bits).
+double flood_mj(const SystemParams& x, std::size_t bytes) {
+  const HopCost hop = hop_cost(x, bytes);
+  return static_cast<double>(x.n) *
+         (hop.send_mj + hop.per_recv_mj * static_cast<double>(hop.receivers));
+}
+
+/// Energy for `senders` nodes each sending a point-to-point message of
+/// `bytes` to one destination (e.g. status messages to the new leader).
+double direct_mj(const SystemParams& x, std::size_t bytes,
+                 std::size_t senders) {
+  double send, recv;
+  if (x.comm == CommMode::kKcastRing && x.node_medium == Medium::kBle) {
+    // Point-to-point over BLE uses the reliable GATT unicast.
+    send = gatt_send_energy_mj(bytes);
+    recv = gatt_recv_energy_mj(bytes);
+  } else {
+    send = send_energy_mj(x.node_medium, bytes);
+    recv = recv_energy_mj(x.node_medium, bytes);
+  }
+  return static_cast<double>(senders) * (send + recv);
+}
+
+struct Sizes {
+  std::size_t sig;       ///< one signature
+  std::size_t qc;        ///< f+1 signatures + framing
+  std::size_t proposal;  ///< header + payload + leader signature
+  std::size_t small;     ///< header + signature (blame, vote, ...)
+};
+
+Sizes sizes_of(const SystemParams& x) {
+  Sizes s;
+  s.sig = crypto::scheme_info(x.scheme).signature_bytes;
+  s.qc = x.header_bytes + (x.f + 1) * s.sig;
+  s.proposal = x.header_bytes + x.m + s.sig;
+  s.small = x.header_bytes + s.sig;
+  return s;
+}
+
+double sign_mj(const SystemParams& x, double count) {
+  return count * sign_energy_mj(x.scheme);
+}
+double verify_mj(const SystemParams& x, double count) {
+  return count * verify_energy_mj(x.scheme);
+}
+
+}  // namespace
+
+PsiBreakdown psi_eesmr(const SystemParams& x) {
+  const Sizes s = sizes_of(x);
+  const double n = static_cast<double>(x.n);
+  const double f = static_cast<double>(x.f);
+  PsiBreakdown psi;
+
+  // -- Steady state (§3.3): leader signs once, proposal floods, every
+  //    node verifies the single leader signature and hashes the block.
+  psi.best = flood_mj(x, s.proposal)           // proposal + re-broadcasts
+             + sign_mj(x, 1)                   // "O(1) signing operations"
+             + verify_mj(x, n - 1)             // each replica checks L's sig
+             + n * hash_energy_mj(s.proposal); // chain hashing
+
+  // -- View change (§3.4). Operation counts per Algorithm 2:
+  //    blame broadcast, blame-QC broadcast, CommitUpdate broadcast,
+  //    Certify replies (f+1 per node), commit-QC broadcast, status to the
+  //    new leader, NewViewProposal flood, vote broadcast, round-2 flood.
+  double vc = 0;
+  vc += flood_mj(x, s.small) + sign_mj(x, n) + verify_mj(x, n * (f + 1));
+  vc += flood_mj(x, s.qc) + verify_mj(x, n * (f + 1));      // blameQC
+  vc += flood_mj(x, s.small);                               // CommitUpdate
+  vc += direct_mj(x, s.small, x.n * (x.f + 1))              // Certify votes
+        + sign_mj(x, n * (f + 1)) + verify_mj(x, n * (f + 1));
+  vc += flood_mj(x, s.qc) + verify_mj(x, n * (f + 1));      // commitQC flood
+  vc += direct_mj(x, s.qc, x.n);                            // status -> L
+  // NewViewProposal carries f+1 commit certificates.
+  const std::size_t nv_size = x.header_bytes + (x.f + 1) * s.qc + s.sig;
+  vc += flood_mj(x, nv_size) + sign_mj(x, 1) +
+        verify_mj(x, n * (f + 1 + 1));  // nodes check QCs + leader sig
+  vc += flood_mj(x, s.small) + sign_mj(x, n) + verify_mj(x, f + 1);  // votes
+  vc += flood_mj(x, s.qc) + verify_mj(x, n * (f + 1));  // round-2 proposal
+  psi.view_change = vc;
+  return psi;
+}
+
+PsiBreakdown psi_sync_hotstuff(const SystemParams& x) {
+  const Sizes s = sizes_of(x);
+  const double n = static_cast<double>(x.n);
+  const double f = static_cast<double>(x.f);
+  PsiBreakdown psi;
+
+  // -- Steady state: the proposal carries the previous block's
+  //    certificate (f+1 signatures); every node broadcasts a signed vote.
+  const std::size_t proposal = s.proposal + (x.f + 1) * s.sig;
+  psi.best = flood_mj(x, proposal)   // proposal + forwarding
+             + flood_mj(x, s.small)  // per-node vote broadcast
+             + sign_mj(x, n)        // every node signs its vote
+             // verify: leader sig + certificate (f+1) + f+1 votes, per node
+             + verify_mj(x, n * (1 + (f + 1) + (f + 1)))
+             + n * hash_energy_mj(proposal);
+
+  // -- View change: blame broadcast, blame certificate, status (highest
+  //    certified block) broadcast, new-view proposal. One round shorter
+  //    than EESMR (EESMR "performs slightly worse ... by adding an extra
+  //    round"): no commit-certificate construction phase.
+  double vc = 0;
+  vc += flood_mj(x, s.small) + sign_mj(x, n) + verify_mj(x, n * (f + 1));
+  vc += flood_mj(x, s.qc) + verify_mj(x, n * (f + 1));   // blame cert
+  vc += flood_mj(x, s.qc);                               // status broadcast
+  vc += flood_mj(x, s.qc + s.sig) + sign_mj(x, 1) +
+        verify_mj(x, n * (f + 2));                       // new-view proposal
+  vc += flood_mj(x, s.small) + sign_mj(x, n) + verify_mj(x, f + 1);  // votes
+  psi.view_change = vc;
+  return psi;
+}
+
+PsiBreakdown psi_optsync(const SystemParams& x) {
+  const Sizes s = sizes_of(x);
+  const double n = static_cast<double>(x.n);
+  // Optimistic quorum of ⌊3n/4⌋+1.
+  const double q = std::floor(3.0 * n / 4.0) + 1;
+  PsiBreakdown psi;
+  const std::size_t proposal =
+      s.proposal + static_cast<std::size_t>(q) * s.sig;
+  psi.best = flood_mj(x, proposal) + flood_mj(x, s.small) + sign_mj(x, n) +
+             verify_mj(x, n * (1 + 2 * q)) + n * hash_energy_mj(proposal);
+  // View change structurally matches Sync HotStuff's.
+  psi.view_change = psi_sync_hotstuff(x).view_change;
+  return psi;
+}
+
+double psi_trusted_baseline(const SystemParams& x) {
+  const Sizes s = sizes_of(x);
+  const double n = static_cast<double>(x.n);
+  // Every node uploads its share of the block and downloads the ordered
+  // block, both over the control medium. The control node is externally
+  // powered (its energy is not counted), but CPS nodes still verify its
+  // signature and hash the block.
+  const double up = send_energy_mj(x.control_medium, x.m + x.header_bytes);
+  const double down =
+      recv_energy_mj(x.control_medium, s.proposal);
+  return n * (up + down) + verify_mj(x, n) +
+         n * hash_energy_mj(s.proposal);
+}
+
+double max_view_change_ratio(const PsiBreakdown& psi,
+                             const PsiBreakdown& star) {
+  // (N-V)ψ_B + Vψ_W <= (N-V)ψ*_B + Vψ*_W  =>  V/N <= (ψ*_B-ψ_B)/(ψ_V-ψ*_V).
+  const double best_gain = star.best - psi.best;
+  const double vc_loss = psi.view_change - star.view_change;
+  if (vc_loss <= 0) {
+    // View change is no worse: ψ wins for every ratio iff it also wins
+    // the best case.
+    return best_gain >= 0 ? kInf : 0.0;
+  }
+  if (best_gain <= 0) return 0.0;
+  return std::min(1.0, best_gain / vc_loss);
+}
+
+double min_blocks_to_amortize(const PsiBreakdown& psi,
+                              const PsiBreakdown& star, double view_changes) {
+  const double best_gain = star.best - psi.best;
+  const double vc_loss = psi.view_change - star.view_change;
+  if (best_gain <= 0) return kInf;
+  if (vc_loss <= 0) return view_changes;  // already ahead
+  return view_changes * vc_loss / best_gain;
+}
+
+double energy_fault_bound(double psi_baseline, const PsiBreakdown& eesmr) {
+  const double denom = eesmr.best + eesmr.view_change;
+  if (denom <= 0) return kInf;
+  return (psi_baseline - eesmr.best) / denom;
+}
+
+std::vector<FeasiblePoint> feasible_region(const std::vector<std::size_t>& ns,
+                                           const std::vector<std::size_t>& ms,
+                                           SystemParams base) {
+  std::vector<FeasiblePoint> out;
+  out.reserve(ns.size() * ms.size());
+  for (std::size_t n : ns) {
+    for (std::size_t m : ms) {
+      SystemParams x = base;
+      x.n = n;
+      x.m = m;
+      x.f = (n - 1) / 2;
+      const double e = psi_eesmr(x).best;
+      const double b = psi_trusted_baseline(x);
+      out.push_back({n, m, e, b, e - b});
+    }
+  }
+  return out;
+}
+
+}  // namespace eesmr::energy

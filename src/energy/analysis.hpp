@@ -1,0 +1,93 @@
+// Section-4 analysis framework: closed-form energy models ψ for each
+// protocol, the best-case/worst-case decision machinery (ν_f bound,
+// amortization bound, energy-fault bound (EB)) and the Fig-1 feasible
+// region sweep against the trusted-baseline protocol.
+//
+// These are *analytical operation-count models* — the counterpart of the
+// paper's MATLAB analysis. The discrete-event simulator (src/harness)
+// measures the same quantities empirically; tests cross-check the two.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/crypto/signer.hpp"
+#include "src/energy/cost_model.hpp"
+
+namespace eesmr::energy {
+
+/// How protocol-level broadcasts are realized.
+enum class CommMode : std::uint8_t {
+  kUnicastFullMesh,  ///< every broadcast = n-1 unicasts; flooding forwards
+  kKcastRing,        ///< §5.6 topology: D_out = 1 k-cast, D_in = k
+};
+
+/// The parameter vector X = (n, f, m, S, R, σs, σv) from Section 4, plus
+/// the communication-modality knobs the paper's CPS analysis adds.
+struct SystemParams {
+  std::size_t n = 4;                  ///< number of nodes
+  std::size_t f = 1;                  ///< tolerated Byzantine faults
+  std::size_t m = 256;                ///< payload (Cmds) bytes per block
+  std::size_t k = 1;                  ///< k-cast degree (CommMode::kKcastRing)
+  std::size_t header_bytes = 48;      ///< fixed per-message framing + hashes
+  crypto::SchemeId scheme = crypto::SchemeId::kRsa1024;
+  CommMode comm = CommMode::kUnicastFullMesh;
+  Medium node_medium = Medium::kWifi;     ///< links among the CPS nodes
+  Medium control_medium = Medium::k4gLte; ///< uplink to the trusted node
+  double kcast_reliability = 0.9999;      ///< target for BLE k-casts
+};
+
+/// ψ decomposition (mJ per consensus unit, summed over all nodes):
+/// best case ψ_B, view-change surcharge ψ_V, worst case ψ_W = ψ_B + ψ_V.
+struct PsiBreakdown {
+  double best = 0;
+  double view_change = 0;
+  [[nodiscard]] double worst() const { return best + view_change; }
+};
+
+/// EESMR (Algorithm 2): steady state uses a single leader signature and
+/// proposal flooding; the view change pays blame/commit-cert/new-view.
+PsiBreakdown psi_eesmr(const SystemParams& x);
+
+/// Sync HotStuff: per-block quorum certificate (f+1 signatures) inside
+/// proposals plus an explicit vote broadcast per node per block.
+PsiBreakdown psi_sync_hotstuff(const SystemParams& x);
+
+/// OptSync: optimistic fast path quorums of ⌊3n/4⌋+1 votes.
+PsiBreakdown psi_optsync(const SystemParams& x);
+
+/// Trusted-baseline protocol (§5.1): every node ships its requests to an
+/// externally-powered control node over the expensive medium and receives
+/// the ordered block back. Returns mJ per consensus unit over all nodes.
+double psi_trusted_baseline(const SystemParams& x);
+
+/// ν_f bound: the maximum ratio V/N of view changes to blocks for which
+/// protocol ψ is still no worse than ψ*. +inf if ψ dominates everywhere,
+/// 0 if ψ never wins (§4, "(Un)Favorable conditions").
+double max_view_change_ratio(const PsiBreakdown& psi,
+                             const PsiBreakdown& star);
+
+/// N ≥ V (ψ_V − ψ*_V)/(ψ*_B − ψ_B): blocks needed to amortize V view
+/// changes. Returns +inf when ψ_B ≥ ψ*_B (no best-case advantage).
+double min_blocks_to_amortize(const PsiBreakdown& psi,
+                              const PsiBreakdown& star, double view_changes);
+
+/// Energy-fault bound (EB):
+/// f_e ≤ (ψ^Baseline − ψ^EESMR_B) / (ψ^EESMR_B + ψ^EESMR_V).
+double energy_fault_bound(double psi_baseline, const PsiBreakdown& eesmr);
+
+/// One cell of the Fig-1 grid.
+struct FeasiblePoint {
+  std::size_t n;
+  std::size_t m;
+  double eesmr_mj;
+  double baseline_mj;
+  double diff_mj;  ///< EESMR − baseline; negative → EESMR preferable
+};
+
+/// Sweep ψ^EESMR_B − ψ^Baseline over (n, m), Fig-1 style.
+std::vector<FeasiblePoint> feasible_region(const std::vector<std::size_t>& ns,
+                                           const std::vector<std::size_t>& ms,
+                                           SystemParams base);
+
+}  // namespace eesmr::energy

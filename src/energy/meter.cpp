@@ -1,0 +1,87 @@
+#include "src/energy/meter.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace eesmr::energy {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kSend:
+      return "send";
+    case Category::kRecv:
+      return "recv";
+    case Category::kSign:
+      return "sign";
+    case Category::kVerify:
+      return "verify";
+    case Category::kHash:
+      return "hash";
+    case Category::kMac:
+      return "mac";
+  }
+  return "?";
+}
+
+void Meter::charge(Category c, double millijoules) {
+  if (millijoules < 0) {
+    throw std::invalid_argument("Meter::charge: negative energy");
+  }
+  mj_[static_cast<std::size_t>(c)] += millijoules;
+  ops_[static_cast<std::size_t>(c)] += 1;
+}
+
+void Meter::charge_send(double millijoules, std::size_t bytes) {
+  charge(Category::kSend, millijoules);
+  bytes_sent_ += bytes;
+}
+
+void Meter::charge_recv(double millijoules, std::size_t bytes) {
+  charge(Category::kRecv, millijoules);
+  bytes_recv_ += bytes;
+}
+
+double Meter::millijoules(Category c) const {
+  return mj_[static_cast<std::size_t>(c)];
+}
+
+double Meter::total_millijoules() const {
+  double sum = 0;
+  for (double v : mj_) sum += v;
+  return sum;
+}
+
+std::uint64_t Meter::ops(Category c) const {
+  return ops_[static_cast<std::size_t>(c)];
+}
+
+void Meter::reset() {
+  mj_.fill(0);
+  ops_.fill(0);
+  bytes_sent_ = 0;
+  bytes_recv_ = 0;
+}
+
+Meter& Meter::operator+=(const Meter& other) {
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    mj_[i] += other.mj_[i];
+    ops_[i] += other.ops_[i];
+  }
+  bytes_sent_ += other.bytes_sent_;
+  bytes_recv_ += other.bytes_recv_;
+  return *this;
+}
+
+std::string Meter::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.2fmJ send=%.2f recv=%.2f sign=%.2f verify=%.2f "
+                "hash=%.2f mac=%.2f",
+                total_millijoules(), millijoules(Category::kSend),
+                millijoules(Category::kRecv), millijoules(Category::kSign),
+                millijoules(Category::kVerify), millijoules(Category::kHash),
+                millijoules(Category::kMac));
+  return buf;
+}
+
+}  // namespace eesmr::energy

@@ -1,0 +1,55 @@
+// Per-node energy accounting, mirroring the paper's measurement
+// methodology (§5.6): the meter accumulates protocol-attributable energy
+// by category; idle/sleep energy is excluded (the paper subtracts it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace eesmr::energy {
+
+/// Where a Joule went. Categories match the paper's cost drivers.
+enum class Category : std::uint8_t {
+  kSend,    ///< radio transmit
+  kRecv,    ///< radio receive / scanning
+  kSign,    ///< digital-signature generation
+  kVerify,  ///< digital-signature verification
+  kHash,    ///< hashing (block ids, chaining)
+  kMac,     ///< HMAC computations
+};
+constexpr std::size_t kNumCategories = 6;
+
+const char* category_name(Category c);
+
+/// Accumulates milliJoules and operation counts per category.
+class Meter {
+ public:
+  void charge(Category c, double millijoules);
+  void charge_send(double millijoules, std::size_t bytes);
+  void charge_recv(double millijoules, std::size_t bytes);
+
+  [[nodiscard]] double millijoules(Category c) const;
+  [[nodiscard]] double total_millijoules() const;
+  [[nodiscard]] std::uint64_t ops(Category c) const;
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_recv_; }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return ops(Category::kSend);
+  }
+
+  void reset();
+  /// Elementwise sum (for cluster-wide totals).
+  Meter& operator+=(const Meter& other);
+
+  /// One-line human-readable summary (mJ per category).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::array<double, kNumCategories> mj_{};
+  std::array<std::uint64_t, kNumCategories> ops_{};
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_recv_ = 0;
+};
+
+}  // namespace eesmr::energy

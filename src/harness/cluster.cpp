@@ -1,0 +1,258 @@
+#include "src/harness/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eesmr::harness {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kEesmr:
+      return "EESMR";
+    case Protocol::kSyncHotStuff:
+      return "SyncHotStuff";
+    case Protocol::kOptSync:
+      return "OptSync";
+    case Protocol::kTrustedBaseline:
+      return "TrustedBaseline";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// RunResult
+// ---------------------------------------------------------------------------
+
+bool RunResult::safety_ok() const {
+  // Compare committed blocks per height across correct nodes.
+  for (std::size_t a = 0; a < logs.size(); ++a) {
+    if (!correct[a]) continue;
+    for (std::size_t b = a + 1; b < logs.size(); ++b) {
+      if (!correct[b]) continue;
+      const std::size_t common = std::min(logs[a].size(), logs[b].size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (!(logs[a][i] == logs[b][i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t RunResult::min_committed() const {
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    if (correct[i] && counted[i]) best = std::min(best, logs[i].size());
+  }
+  return best == SIZE_MAX ? 0 : best;
+}
+
+std::size_t RunResult::max_committed() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    if (correct[i] && counted[i]) best = std::max(best, logs[i].size());
+  }
+  return best;
+}
+
+double RunResult::total_energy_mj() const {
+  double total = 0;
+  for (std::size_t i = 0; i < meters.size(); ++i) {
+    if (correct[i] && counted[i]) total += meters[i].total_millijoules();
+  }
+  return total;
+}
+
+double RunResult::energy_per_block_mj() const {
+  const std::size_t blocks = min_committed();
+  return blocks == 0 ? 0.0 : total_energy_mj() / static_cast<double>(blocks);
+}
+
+double RunResult::node_energy_mj(NodeId id) const {
+  return meters.at(id).total_millijoules();
+}
+
+double RunResult::node_energy_per_block_mj(NodeId id) const {
+  const std::size_t blocks = logs.at(id).size();
+  return blocks == 0 ? 0.0 : node_energy_mj(id) / static_cast<double>(blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  if (cfg_.n < 2) throw std::invalid_argument("Cluster: n >= 2 required");
+  const bool baseline = cfg_.protocol == Protocol::kTrustedBaseline;
+  const std::size_t total = baseline ? cfg_.n + 1 : cfg_.n;
+
+  // Topology.
+  net::Hypergraph graph(total);
+  if (baseline) {
+    // Star: every CPS node <-> the control node (id n).
+    const NodeId ctl = static_cast<NodeId>(cfg_.n);
+    for (NodeId i = 0; i < cfg_.n; ++i) {
+      graph.add_edge({i, {ctl}});
+      graph.add_edge({ctl, {i}});
+    }
+  } else if (cfg_.k == 0) {
+    graph = net::Hypergraph::full_mesh(total);
+  } else {
+    graph = net::Hypergraph::kcast_ring(total, cfg_.k);
+  }
+  const std::size_t diameter = std::max<std::size_t>(1, graph.diameter());
+  delta_ = cfg_.hop_delay * static_cast<sim::Duration>(diameter + 1);
+
+  meters_.resize(total);
+  net::TransportConfig tc;
+  tc.medium = cfg_.medium;
+  tc.hop_bound = cfg_.hop_delay;
+  net_ = std::make_unique<net::Network>(sched_, std::move(graph), tc,
+                                        &meters_);
+  if (cfg_.adversarial_delays) {
+    net_->set_delay_policy(std::make_unique<net::MaxDelay>(cfg_.hop_delay));
+  } else {
+    net_->set_delay_policy(std::make_unique<net::UniformDelay>(
+        sim::Rng(cfg_.seed ^ 0xde1a7), std::max<sim::Duration>(1, cfg_.hop_delay / 4),
+        cfg_.hop_delay));
+  }
+
+  // Keys.
+  keyring_ = cfg_.simulated_keys
+                 ? crypto::Keyring::simulated(cfg_.scheme, total, cfg_.seed)
+                 : crypto::Keyring::generate(cfg_.scheme, total, cfg_.seed);
+
+  correct_.assign(total, true);
+  counted_.assign(total, true);
+  for (const FaultSpec& fs : cfg_.faults) {
+    if (fs.mode != protocol::ByzantineMode::kHonest) {
+      correct_.at(fs.node) = false;
+    }
+  }
+
+  smr::ReplicaConfig base;
+  base.n = total;
+  base.f = cfg_.f;
+  base.delta = delta_;
+  base.batch_size = cfg_.batch_size;
+  base.cmd_bytes = cfg_.cmd_bytes;
+  base.keyring = keyring_;
+
+  auto fault_for = [&](NodeId id) {
+    protocol::ByzantineConfig byz;
+    for (const FaultSpec& fs : cfg_.faults) {
+      if (fs.node == id) {
+        byz.mode = fs.mode;
+        byz.trigger_round = fs.trigger_round;
+      }
+    }
+    return byz;
+  };
+
+  for (NodeId i = 0; i < total; ++i) {
+    smr::ReplicaConfig rc = base;
+    rc.id = i;
+    switch (cfg_.protocol) {
+      case Protocol::kEesmr: {
+        replicas_.push_back(std::make_unique<protocol::EesmrReplica>(
+            *net_, rc, cfg_.eesmr, fault_for(i), &meters_[i]));
+        break;
+      }
+      case Protocol::kSyncHotStuff:
+      case Protocol::kOptSync: {
+        baselines::SyncHsOptions so = cfg_.synchs;
+        so.optimistic_fast_path = cfg_.protocol == Protocol::kOptSync;
+        baselines::SyncHsByzantineConfig sbyz;
+        const protocol::ByzantineConfig byz = fault_for(i);
+        switch (byz.mode) {
+          case protocol::ByzantineMode::kHonest:
+            sbyz.mode = baselines::SyncHsByzantineMode::kHonest;
+            break;
+          case protocol::ByzantineMode::kCrash:
+            sbyz.mode = baselines::SyncHsByzantineMode::kCrash;
+            break;
+          default:
+            sbyz.mode = baselines::SyncHsByzantineMode::kEquivocate;
+            break;
+        }
+        sbyz.trigger_height = byz.trigger_round;
+        replicas_.push_back(std::make_unique<baselines::SyncHsReplica>(
+            *net_, rc, so, sbyz, &meters_[i]));
+        break;
+      }
+      case Protocol::kTrustedBaseline: {
+        if (i == cfg_.n) {
+          // The control node's energy is not counted (mains-powered).
+          counted_[i] = false;
+          replicas_.push_back(std::make_unique<baselines::TrustedController>(
+              *net_, rc, &meters_[i]));
+        } else {
+          replicas_.push_back(
+              std::make_unique<baselines::TrustedBaselineReplica>(
+                  *net_, rc, static_cast<NodeId>(cfg_.n), &meters_[i]));
+        }
+        break;
+      }
+    }
+  }
+}
+
+protocol::EesmrReplica& Cluster::eesmr(NodeId id) {
+  auto* r = dynamic_cast<protocol::EesmrReplica*>(replicas_.at(id).get());
+  if (r == nullptr) throw std::logic_error("Cluster: not an EESMR replica");
+  return *r;
+}
+
+void Cluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& r : replicas_) r->start();
+}
+
+std::size_t Cluster::min_committed_correct() const {
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (correct_[i] && counted_[i]) {
+      best = std::min(best, replicas_[i]->log().size());
+    }
+  }
+  return best == SIZE_MAX ? 0 : best;
+}
+
+RunResult Cluster::run_until_commits(std::size_t target_blocks,
+                                     sim::Duration max_time) {
+  start();
+  const sim::SimTime deadline = sched_.now() + max_time;
+  while (sched_.now() < deadline &&
+         min_committed_correct() < target_blocks && !sched_.empty()) {
+    sched_.run_until(std::min<sim::SimTime>(
+        deadline, sched_.now() + cfg_.hop_delay * 4));
+  }
+  return snapshot();
+}
+
+RunResult Cluster::run_for(sim::Duration time) {
+  start();
+  sched_.run_until(sched_.now() + time);
+  return snapshot();
+}
+
+RunResult Cluster::snapshot() const {
+  RunResult out;
+  out.meters = meters_;
+  out.correct = correct_;
+  out.counted = counted_;
+  for (const auto& r : replicas_) out.logs.push_back(r->log());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (correct_[i] && counted_[i]) {
+      out.view_changes =
+          std::max<std::uint64_t>(out.view_changes,
+                                  replicas_[i]->current_view() - 1);
+    }
+  }
+  out.transmissions = net_->transmissions();
+  out.bytes_transmitted = net_->bytes_transmitted();
+  out.end_time = sched_.now();
+  return out;
+}
+
+}  // namespace eesmr::harness

@@ -1,0 +1,40 @@
+// Run-level measurements: the quantities the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/energy/meter.hpp"
+#include "src/sim/time.hpp"
+#include "src/smr/block.hpp"
+
+namespace eesmr::harness {
+
+struct RunResult {
+  std::vector<energy::Meter> meters;            ///< per node
+  std::vector<std::vector<smr::Block>> logs;    ///< committed, per node
+  std::vector<bool> correct;                    ///< honest && counted
+  std::vector<bool> counted;                    ///< counted in energy sums
+  std::uint64_t view_changes = 0;               ///< max over correct nodes
+  std::uint64_t transmissions = 0;
+  std::uint64_t bytes_transmitted = 0;
+  sim::SimTime end_time = 0;
+
+  /// Safety (Definition 2.1): for every height, all correct nodes that
+  /// committed a block at that height committed the same block.
+  [[nodiscard]] bool safety_ok() const;
+
+  /// Minimum committed-log length over correct nodes.
+  [[nodiscard]] std::size_t min_committed() const;
+  [[nodiscard]] std::size_t max_committed() const;
+
+  /// Total energy over counted correct nodes (mJ).
+  [[nodiscard]] double total_energy_mj() const;
+  /// Total energy / min committed blocks — the paper's "energy per SMR".
+  [[nodiscard]] double energy_per_block_mj() const;
+  [[nodiscard]] double node_energy_mj(NodeId id) const;
+  /// Per-node energy / committed blocks of that node.
+  [[nodiscard]] double node_energy_per_block_mj(NodeId id) const;
+};
+
+}  // namespace eesmr::harness

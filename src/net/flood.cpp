@@ -1,0 +1,91 @@
+#include "src/net/flood.hpp"
+
+#include "src/common/serde.hpp"
+
+namespace eesmr::net {
+
+FloodRouter::FloodRouter(Network& net, NodeId self, FloodClient* client)
+    : net_(net), self_(self), client_(client) {
+  net_.attach(self, this);
+}
+
+Bytes FloodRouter::make_frame(NodeId dest, std::uint8_t flags,
+                              BytesView payload) {
+  Writer w;
+  w.u32(self_);
+  w.u64(next_seq_++);
+  w.u32(dest);
+  w.u8(flags);
+  w.raw(payload);
+  return w.take();
+}
+
+void FloodRouter::broadcast(BytesView payload) {
+  const Bytes frame = make_frame(kNoNode, 0, payload);
+  // Mark our own frame as seen so echoes are not re-forwarded.
+  seen_[self_].insert(next_seq_ - 1);
+  net_.transmit(self_, frame);
+}
+
+void FloodRouter::broadcast_local(BytesView payload) {
+  const Bytes frame = make_frame(kNoNode, kNoForward, payload);
+  seen_[self_].insert(next_seq_ - 1);
+  net_.transmit(self_, frame);
+}
+
+void FloodRouter::send_to(NodeId dest, BytesView payload) {
+  if (dest == self_) {
+    // Local delivery shortcut (no radio energy).
+    if (client_ != nullptr) client_->on_deliver(self_, payload);
+    return;
+  }
+  const Bytes frame = make_frame(dest, 0, payload);
+  seen_[self_].insert(next_seq_ - 1);
+  net_.transmit_towards(self_, dest, frame);
+}
+
+void FloodRouter::broadcast_on_edges(const std::vector<std::size_t>& edge_sel,
+                                     BytesView payload) {
+  const Bytes frame = make_frame(kNoNode, 0, payload);
+  seen_[self_].insert(next_seq_ - 1);
+  net_.transmit_on(self_, edge_sel, frame);
+}
+
+void FloodRouter::on_packet(NodeId link_sender, BytesView frame) {
+  NodeId origin;
+  std::uint64_t seq;
+  NodeId dest;
+  std::uint8_t flags;
+  Bytes payload;
+  try {
+    Reader r(frame);
+    origin = r.u32();
+    seq = r.u64();
+    dest = r.u32();
+    flags = r.u8();
+    payload = r.raw(r.remaining());
+  } catch (const SerdeError&) {
+    return;  // malformed frame: drop
+  }
+  if (origin == self_) return;  // our own flood echoing back
+  if (!seen_[origin].insert(seq).second) return;  // duplicate
+
+  // Forward first (Line 213's "broadcast once"), then deliver.
+  const bool forward = forwarding_ && (flags & kNoForward) == 0;
+  if (forward && dest == kNoNode) {
+    net_.transmit(self_, frame);
+  } else if (forward && dest != self_) {
+    // Addressed frame: route along shrinking shortest-path distance.
+    constexpr std::size_t kInf = static_cast<std::size_t>(-1);
+    const std::size_t mine = net_.hops(self_, dest);
+    const std::size_t theirs = net_.hops(link_sender, dest);
+    if (mine != kInf && mine < theirs) {
+      net_.transmit_towards(self_, dest, frame);
+    }
+  }
+  if (client_ != nullptr && (dest == kNoNode || dest == self_)) {
+    client_->on_deliver(origin, payload);
+  }
+}
+
+}  // namespace eesmr::net

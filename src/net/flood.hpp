@@ -1,0 +1,83 @@
+// Flooding router: emulates logical full connectivity over a partially
+// connected hypergraph (§A.3 "we emulate logical full-connectivity using
+// flooding").
+//
+// Each broadcast is framed as (origin, seq, dest, payload). Every router
+// delivers a frame to its protocol at most once (dedup on (origin, seq))
+// and re-transmits it exactly once on its own out-edges — this *is* the
+// paper's Line-213 "broadcast once" re-broadcast in partially connected
+// networks. A frame addressed to a specific node is still forwarded by
+// everyone (routing) but delivered only at the destination.
+//
+// Byzantine hooks: `set_forwarding(false)` models nodes that withhold
+// forwarding; `broadcast_on_edges` models selective (equivocating)
+// transmission to a subset of neighbors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/bytes.hpp"
+#include "src/common/ids.hpp"
+#include "src/net/network.hpp"
+
+namespace eesmr::net {
+
+/// Protocol-facing delivery callback: exactly-once per (origin, seq).
+class FloodClient {
+ public:
+  virtual ~FloodClient() = default;
+  virtual void on_deliver(NodeId origin, BytesView payload) = 0;
+};
+
+class FloodRouter final : public PacketSink {
+ public:
+  FloodRouter(Network& net, NodeId self, FloodClient* client);
+
+  /// Flood `payload` to every node (including delivery at every correct
+  /// router, but never back to self).
+  void broadcast(BytesView payload);
+
+  /// Transmit `payload` once on own out-edges, with NO re-forwarding by
+  /// receivers. This is the "partial vote forwarding" primitive: with
+  /// k >= f in the ring topology, a node's k in-neighbors plus itself
+  /// already form a quorum, so votes need not flood.
+  void broadcast_local(BytesView payload);
+
+  /// Route `payload` to `dest`: intermediate routers forward only along
+  /// shrinking shortest-path distance (point-to-point over the
+  /// hypergraph), and only `dest` delivers.
+  void send_to(NodeId dest, BytesView payload);
+
+  /// Byzantine: start the flood only on a subset of own out-edges (the
+  /// selective-equivocation primitive). Honest receivers keep forwarding.
+  void broadcast_on_edges(const std::vector<std::size_t>& edge_sel,
+                          BytesView payload);
+
+  /// Byzantine: stop forwarding other nodes' frames.
+  void set_forwarding(bool enabled) { forwarding_ = enabled; }
+
+  // PacketSink:
+  void on_packet(NodeId link_sender, BytesView frame) override;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  /// Per-node wire overhead added by the router framing.
+  static constexpr std::size_t kFrameOverhead = 4 + 8 + 4 + 1;
+
+ private:
+  /// Frame flags.
+  static constexpr std::uint8_t kNoForward = 0x01;
+
+  Bytes make_frame(NodeId dest, std::uint8_t flags, BytesView payload);
+
+  Network& net_;
+  NodeId self_;
+  FloodClient* client_;
+  std::uint64_t next_seq_ = 1;
+  bool forwarding_ = true;
+  std::unordered_map<NodeId, std::unordered_set<std::uint64_t>> seen_;
+};
+
+}  // namespace eesmr::net

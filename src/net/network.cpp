@@ -1,0 +1,137 @@
+#include "src/net/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace eesmr::net {
+
+Network::Network(sim::Scheduler& sched, Hypergraph graph,
+                 TransportConfig config, std::vector<energy::Meter>* meters)
+    : sched_(sched),
+      graph_(std::move(graph)),
+      config_(config),
+      meters_(meters),
+      sinks_(graph_.n(), nullptr) {
+  if (meters_ != nullptr && meters_->size() != graph_.n()) {
+    throw std::invalid_argument("Network: meters size mismatch");
+  }
+  policy_ = std::make_unique<UniformDelay>(
+      sim::Rng(0xbeef), std::max<sim::Duration>(1, config_.hop_bound / 5),
+      config_.hop_bound);
+
+  // All-pairs BFS hop distances for directed-frame routing.
+  const std::size_t n = graph_.n();
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  hop_matrix_.assign(n, std::vector<std::size_t>(n, kInf));
+  for (NodeId s = 0; s < n; ++s) {
+    hop_matrix_[s][s] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (std::size_t idx : graph_.out_edges(u)) {
+        for (NodeId v : graph_.edges()[idx].receivers) {
+          if (hop_matrix_[s][v] != kInf) continue;
+          hop_matrix_[s][v] = hop_matrix_[s][u] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+}
+
+std::size_t Network::hops(NodeId from, NodeId to) const {
+  return hop_matrix_.at(from).at(to);
+}
+
+void Network::attach(NodeId node, PacketSink* sink) {
+  sinks_.at(node) = sink;
+}
+
+void Network::set_delay_policy(std::unique_ptr<DelayPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+void Network::charge_energy(const HyperEdge& edge, std::size_t bytes) {
+  if (meters_ == nullptr) return;
+  const std::size_t k = edge.receivers.size();
+  double send_mj, recv_mj;
+  if (config_.medium == energy::Medium::kBle) {
+    if (k > 1) {
+      // Advertisement k-cast with redundancy for the reliability target.
+      const std::size_t r =
+          energy::kcast_redundancy_for(bytes, k, config_.kcast_reliability);
+      send_mj = energy::kcast_send_energy_mj(bytes, r);
+      recv_mj = energy::kcast_recv_energy_mj(bytes, r);
+    } else {
+      // Reliable connection-oriented GATT unicast.
+      send_mj = energy::gatt_send_energy_mj(bytes);
+      recv_mj = energy::gatt_recv_energy_mj(bytes);
+    }
+  } else {
+    send_mj = (k > 1) ? energy::multicast_energy_mj(config_.medium, bytes)
+                      : energy::send_energy_mj(config_.medium, bytes);
+    recv_mj = energy::recv_energy_mj(config_.medium, bytes);
+  }
+  (*meters_)[edge.sender].charge_send(send_mj, bytes);
+  for (NodeId r : edge.receivers) {
+    (*meters_)[r].charge_recv(recv_mj, bytes);
+  }
+}
+
+void Network::transmit_edge(const HyperEdge& edge, BytesView frame) {
+  ++transmissions_;
+  bytes_tx_ += frame.size();
+  charge_energy(edge, frame.size());
+  for (NodeId to : edge.receivers) {
+    PacketSink* sink = sinks_[to];
+    if (sink == nullptr) continue;
+    sim::Duration d = policy_->delay(edge.sender, to, frame.size());
+    d = std::clamp<sim::Duration>(d, 1, config_.hop_bound);
+    ++deliveries_;
+    sched_.after(d, [sink, from = edge.sender, data = to_bytes(frame)] {
+      sink->on_packet(from, data);
+    });
+  }
+}
+
+void Network::transmit(NodeId from, BytesView frame) {
+  for (std::size_t idx : graph_.out_edges(from)) {
+    transmit_edge(graph_.edges()[idx], frame);
+  }
+}
+
+void Network::transmit_on(NodeId from,
+                          const std::vector<std::size_t>& edge_sel,
+                          BytesView frame) {
+  const auto& out = graph_.out_edges(from);
+  for (std::size_t pos : edge_sel) {
+    transmit_edge(graph_.edges()[out.at(pos)], frame);
+  }
+}
+
+void Network::transmit_towards(NodeId from, NodeId dest, BytesView frame) {
+  const std::size_t mine = hops(from, dest);
+  for (std::size_t idx : graph_.out_edges(from)) {
+    const HyperEdge& edge = graph_.edges()[idx];
+    bool useful = false;
+    for (NodeId r : edge.receivers) {
+      if (hops(r, dest) < mine) {
+        useful = true;
+        break;
+      }
+    }
+    if (useful) transmit_edge(edge, frame);
+  }
+}
+
+void Network::reset_stats() {
+  transmissions_ = 0;
+  deliveries_ = 0;
+  bytes_tx_ = 0;
+}
+
+}  // namespace eesmr::net

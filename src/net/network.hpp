@@ -1,0 +1,129 @@
+// Bounded-synchronous message fabric over a hypergraph.
+//
+// One transmit() by a node sends a frame on every outgoing hyper-edge.
+// The adversary controls per-delivery delays through a DelayPolicy, but
+// can never exceed the per-hop bound (the Δ assumption). Every
+// transmission charges the sender's and receivers' energy meters using
+// the calibrated medium cost models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/common/ids.hpp"
+#include "src/energy/cost_model.hpp"
+#include "src/energy/meter.hpp"
+#include "src/net/hypergraph.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/scheduler.hpp"
+
+namespace eesmr::net {
+
+/// Receiver interface implemented by the flood router (or any node shim).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// `link_sender` is the physical transmitter of the frame (not
+  /// necessarily the originator of the protocol message).
+  virtual void on_packet(NodeId link_sender, BytesView frame) = 0;
+};
+
+/// Chooses the delivery delay of each (edge, receiver, frame). A correct
+/// implementation must return a value in [1, hop_bound]; the network
+/// clamps to this range to preserve bounded synchrony.
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+  virtual sim::Duration delay(NodeId from, NodeId to, std::size_t bytes) = 0;
+};
+
+/// Uniform random delay in [lo, hi] — the "honest" network.
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(sim::Rng rng, sim::Duration lo, sim::Duration hi)
+      : rng_(rng), lo_(lo), hi_(hi) {}
+  sim::Duration delay(NodeId, NodeId, std::size_t) override {
+    return rng_.range(lo_, hi_);
+  }
+
+ private:
+  sim::Rng rng_;
+  sim::Duration lo_, hi_;
+};
+
+/// Every delivery takes exactly the hop bound — the worst adversary
+/// permitted by bounded synchrony.
+class MaxDelay final : public DelayPolicy {
+ public:
+  explicit MaxDelay(sim::Duration hop_bound) : bound_(hop_bound) {}
+  sim::Duration delay(NodeId, NodeId, std::size_t) override { return bound_; }
+
+ private:
+  sim::Duration bound_;
+};
+
+struct TransportConfig {
+  energy::Medium medium = energy::Medium::kBle;
+  /// Max per-hop delivery delay (the edge-level Δ component).
+  sim::Duration hop_bound = sim::milliseconds(10);
+  /// Reliability target for BLE advertisement k-casts (sets redundancy).
+  double kcast_reliability = 0.9999;
+};
+
+class Network {
+ public:
+  /// `meters` may be nullptr (no energy accounting); otherwise must hold
+  /// one meter per node and outlive the network.
+  Network(sim::Scheduler& sched, Hypergraph graph, TransportConfig config,
+          std::vector<energy::Meter>* meters);
+
+  void attach(NodeId node, PacketSink* sink);
+  void set_delay_policy(std::unique_ptr<DelayPolicy> policy);
+
+  /// Transmit `frame` on every outgoing hyper-edge of `from`.
+  void transmit(NodeId from, BytesView frame);
+  /// Transmit only on the given subset of `from`'s out-edges (Byzantine
+  /// selective sending). Indices are positions into out_edges(from).
+  void transmit_on(NodeId from, const std::vector<std::size_t>& edge_sel,
+                   BytesView frame);
+  /// Transmit only on out-edges that make progress towards `dest`
+  /// (at least one receiver strictly closer than `from`). The unicast-
+  /// routing hop primitive.
+  void transmit_towards(NodeId from, NodeId dest, BytesView frame);
+
+  [[nodiscard]] const Hypergraph& graph() const { return graph_; }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  /// Shortest-path hop distance (SIZE_MAX when unreachable). Used by the
+  /// flood router to forward addressed frames only along shrinking-
+  /// distance paths (point-to-point routing over the hypergraph).
+  [[nodiscard]] std::size_t hops(NodeId from, NodeId to) const;
+
+  // Run statistics (for Table-3 communication-complexity measurements).
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t bytes_transmitted() const { return bytes_tx_; }
+  void reset_stats();
+
+ private:
+  void transmit_edge(const HyperEdge& edge, BytesView frame);
+  void charge_energy(const HyperEdge& edge, std::size_t bytes);
+
+  sim::Scheduler& sched_;
+  Hypergraph graph_;
+  TransportConfig config_;
+  std::vector<energy::Meter>* meters_;
+  std::vector<PacketSink*> sinks_;
+  std::unique_ptr<DelayPolicy> policy_;
+  std::vector<std::vector<std::size_t>> hop_matrix_;
+
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t bytes_tx_ = 0;
+};
+
+}  // namespace eesmr::net

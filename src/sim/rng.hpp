@@ -1,0 +1,41 @@
+// Deterministic pseudo-random generator (xoshiro256**) for reproducible
+// simulation runs. Every run is fully determined by its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace eesmr::sim {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded via splitmix64.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> too.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xE35Au) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace eesmr::sim

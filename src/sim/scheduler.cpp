@@ -1,0 +1,79 @@
+#include "src/sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace eesmr::sim {
+
+EventId Scheduler::at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::at: time in the past");
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Scheduler::after(Duration delay, std::function<void()> fn) {
+  return at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) {
+  return live_.erase(id) > 0;
+}
+
+bool Scheduler::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // was cancelled
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && fire_next()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled entries from the head.
+    while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > until) break;
+    fire_next();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+void Timer::start(Duration delay, std::function<void()> fn) {
+  cancel();
+  deadline_ = sched_->now() + delay;
+  // Wrap so the timer disarms itself when it fires.
+  id_ = sched_->after(delay, [this, fn = std::move(fn)] {
+    id_ = kInvalidEvent;
+    fn();
+  });
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEvent) {
+    sched_->cancel(id_);
+    id_ = kInvalidEvent;
+  }
+}
+
+}  // namespace eesmr::sim

@@ -1,0 +1,97 @@
+// Single-threaded discrete-event scheduler.
+//
+// Determinism contract: events scheduled for the same instant fire in the
+// order they were scheduled (FIFO tie-break by sequence number), so a run
+// is fully reproducible from (program, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace eesmr::sim {
+
+/// Opaque handle for a scheduled event; used to cancel timers.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Scheduler {
+ public:
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  EventId at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventId after(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired, already-
+  /// cancelled or invalid id is a no-op. Returns true if the event was
+  /// pending (and is now cancelled).
+  bool cancel(EventId id);
+
+  /// Run events until the queue drains or `limit` events fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t limit = std::numeric_limits<std::size_t>::max());
+
+  /// Run events with time <= until (inclusive). Time advances to `until`
+  /// even if the queue drains earlier.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Ids scheduled but not yet fired or cancelled. Cancelled entries stay
+  /// in queue_ (lazy deletion) and are skipped when popped.
+  std::unordered_set<EventId> live_;
+};
+
+/// RAII-style named timer owned by protocol code: start/reset/cancel a
+/// single pending callback. Mirrors the paper's T_blame / T_commit usage.
+class Timer {
+ public:
+  explicit Timer(Scheduler& sched) : sched_(&sched) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  /// (Re)arm the timer: cancels any pending firing first.
+  void start(Duration delay, std::function<void()> fn);
+  void cancel();
+  [[nodiscard]] bool armed() const { return id_ != kInvalidEvent; }
+  /// Absolute expiry time; only meaningful while armed().
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+ private:
+  Scheduler* sched_;
+  EventId id_ = kInvalidEvent;
+  SimTime deadline_ = 0;
+};
+
+}  // namespace eesmr::sim

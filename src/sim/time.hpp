@@ -1,0 +1,29 @@
+// Simulated-time vocabulary for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+
+namespace eesmr::sim {
+
+/// Simulated time in microseconds since simulation start.
+///
+/// A strong-ish alias (plain integer arithmetic is intentional: protocol
+/// code computes deadlines as now + k * Delta). 2^63 us ≈ 292k years, so
+/// overflow is not a practical concern.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of SimTime.
+using Duration = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t n) { return n; }
+constexpr Duration milliseconds(std::int64_t n) { return n * 1000; }
+constexpr Duration seconds(std::int64_t n) { return n * 1'000'000; }
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) / 1e3;
+}
+
+}  // namespace eesmr::sim

@@ -1,0 +1,17 @@
+#include "src/sim/trace.hpp"
+
+#include <cstdio>
+
+namespace eesmr::sim {
+
+Trace::Sink Trace::stderr_sink() {
+  return [](SimTime t, TraceLevel lvl, const std::string& msg) {
+    const char* tag = lvl == TraceLevel::kWarn    ? "WARN "
+                      : lvl == TraceLevel::kInfo  ? "INFO "
+                                                  : "DEBUG";
+    std::fprintf(stderr, "[%10.3fms] %s %s\n", to_milliseconds(t), tag,
+                 msg.c_str());
+  };
+}
+
+}  // namespace eesmr::sim

@@ -1,0 +1,35 @@
+// Lightweight structured trace sink for debugging simulation runs.
+// Disabled by default; tests and examples can attach a sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/sim/time.hpp"
+
+namespace eesmr::sim {
+
+/// Severity is deliberately coarse; traces are a debugging aid, not logs.
+enum class TraceLevel { kDebug, kInfo, kWarn };
+
+class Trace {
+ public:
+  using Sink = std::function<void(SimTime, TraceLevel, const std::string&)>;
+
+  /// Attach a sink. Passing nullptr detaches (tracing becomes free).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool enabled() const { return static_cast<bool>(sink_); }
+
+  void emit(SimTime t, TraceLevel lvl, const std::string& msg) const {
+    if (sink_) sink_(t, lvl, msg);
+  }
+
+  /// Sink that writes "t=<ms> <msg>" lines to stderr.
+  static Sink stderr_sink();
+
+ private:
+  Sink sink_;
+};
+
+}  // namespace eesmr::sim

@@ -1,0 +1,68 @@
+#include "src/smr/app.hpp"
+
+#include <sstream>
+
+#include "src/crypto/sha256.hpp"
+
+namespace eesmr::smr {
+
+namespace {
+std::vector<std::string> tokenize(const Bytes& data) {
+  std::istringstream in(to_string(data));
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+}  // namespace
+
+Bytes KvStore::apply(const Command& cmd) {
+  ++applied_;
+  const auto tokens = tokenize(cmd.data);
+  if (tokens.empty()) return to_bytes(std::string("err"));
+  const std::string& op = tokens[0];
+  if (op == "set" && tokens.size() >= 3) {
+    table_[tokens[1]] = tokens[2];
+    return to_bytes(std::string("ok"));
+  }
+  if (op == "get" && tokens.size() >= 2) {
+    const auto it = table_.find(tokens[1]);
+    return to_bytes(it == table_.end() ? std::string("(nil)") : it->second);
+  }
+  if (op == "del" && tokens.size() >= 2) {
+    return to_bytes(table_.erase(tokens[1]) > 0 ? std::string("ok")
+                                                : std::string("(nil)"));
+  }
+  if (op == "inc" && tokens.size() >= 2) {
+    long long v = 0;
+    const auto it = table_.find(tokens[1]);
+    if (it != table_.end()) v = std::stoll(it->second);
+    table_[tokens[1]] = std::to_string(v + 1);
+    return to_bytes(table_[tokens[1]]);
+  }
+  return to_bytes(std::string("err"));
+}
+
+Bytes KvStore::state_digest() const {
+  crypto::Sha256 h;
+  for (const auto& [k, v] : table_) {
+    h.update(to_bytes(k));
+    h.update(Bytes{0});
+    h.update(to_bytes(v));
+    h.update(Bytes{1});
+  }
+  const auto digest = h.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+std::optional<Bytes> AckCollector::add(NodeId replica, const Bytes& result) {
+  if (accepted_) return accepted_;
+  if (seen_[replica]) return std::nullopt;  // one ack per replica
+  seen_[replica] = true;
+  auto& voters = tallies_[std::string(result.begin(), result.end())];
+  voters.push_back(replica);
+  if (voters.size() >= f_ + 1) accepted_ = result;
+  return accepted_;
+}
+
+}  // namespace eesmr::smr

@@ -1,0 +1,76 @@
+// Execution layer: the state machine that committed commands are applied
+// to, and the client-side acknowledgment rule.
+//
+// §3: "The clients wait to receive f+1 identical acknowledgments with
+// execution results and accept the results." The SMR core orders
+// commands; this layer executes them deterministically and lets a client
+// accept a result once f+1 replicas report the same one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/smr/block.hpp"
+
+namespace eesmr::smr {
+
+/// Deterministic state machine: same command sequence -> same results and
+/// same state digest on every correct replica.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  /// Apply one committed command; returns the execution result.
+  virtual Bytes apply(const Command& cmd) = 0;
+  /// Digest of the current state (for cross-replica comparison).
+  [[nodiscard]] virtual Bytes state_digest() const = 0;
+};
+
+/// A small key-value store with a text command language:
+///   "set <key> <value>" -> "ok"
+///   "get <key>"         -> value or "(nil)"
+///   "del <key>"         -> "ok" / "(nil)"
+///   "inc <key>"         -> new integer value (missing keys start at 0)
+/// Unknown commands return "err". Commands are deliberately forgiving:
+/// the consensus layer leaves validity to the application (§6 "BA and
+/// SMR" — validity lives at the semantic layer).
+class KvStore final : public StateMachine {
+ public:
+  Bytes apply(const Command& cmd) override;
+  [[nodiscard]] Bytes state_digest() const override;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t applied() const { return applied_; }
+
+ private:
+  std::map<std::string, std::string> table_;
+  std::uint64_t applied_ = 0;
+};
+
+/// Client-side acceptance: collect per-replica results for a request and
+/// accept once f+1 identical results arrived (§3).
+class AckCollector {
+ public:
+  explicit AckCollector(std::size_t f) : f_(f) {}
+
+  /// Record one replica's result. Returns the accepted result once f+1
+  /// identical results are known (and from then on).
+  std::optional<Bytes> add(NodeId replica, const Bytes& result);
+
+  [[nodiscard]] bool accepted() const { return accepted_.has_value(); }
+  [[nodiscard]] const std::optional<Bytes>& result() const {
+    return accepted_;
+  }
+
+ private:
+  std::size_t f_;
+  std::map<std::string, std::vector<NodeId>> tallies_;
+  std::map<NodeId, bool> seen_;
+  std::optional<Bytes> accepted_;
+};
+
+}  // namespace eesmr::smr

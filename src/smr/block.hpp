@@ -1,0 +1,51 @@
+// Blocks: the unit of the linearizable log (§2 "Blocks").
+//
+// block.contents = Cmds, block.parent = hash of the parent block.
+// We additionally record (view, round, height) — the paper's algorithms
+// index blocks by view/round for equivocation detection and LockCompare,
+// and height is the recursive parent-count (genesis = 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/common/ids.hpp"
+
+namespace eesmr::smr {
+
+/// A client request (opaque payload ordered by the SMR).
+struct Command {
+  Bytes data;
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+/// SHA-256 block identifier.
+using BlockHash = Bytes;  // 32 bytes
+
+struct Block {
+  BlockHash parent;             ///< hash of the parent block (zeros: none)
+  std::uint64_t height = 0;     ///< genesis = 0
+  std::uint64_t view = 0;       ///< view in which the block was proposed
+  std::uint64_t round = 0;      ///< round in which the block was proposed
+  NodeId proposer = kNoNode;    ///< leader that proposed it
+  std::vector<Command> cmds;    ///< Cmds
+
+  [[nodiscard]] Bytes encode() const;
+  static Block decode(BytesView data);
+
+  /// SHA-256 over the canonical encoding.
+  [[nodiscard]] BlockHash hash() const;
+
+  /// Total payload bytes across commands.
+  [[nodiscard]] std::size_t payload_bytes() const;
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// The well-known genesis block G (height 0, no parent, no commands).
+const Block& genesis_block();
+const BlockHash& genesis_hash();
+
+}  // namespace eesmr::smr

@@ -1,0 +1,91 @@
+#include "src/smr/chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eesmr::smr {
+
+BlockStore::BlockStore() {
+  const Block& g = genesis_block();
+  blocks_.emplace(key(g.hash()), g);
+}
+
+bool BlockStore::add(const Block& block) {
+  const std::string k = key(block.hash());
+  if (blocks_.count(k) > 0) return true;
+  const auto parent = blocks_.find(key(block.parent));
+  if (parent == blocks_.end()) return false;
+  if (block.height != parent->second.height + 1) {
+    throw std::invalid_argument("BlockStore::add: height mismatch");
+  }
+  blocks_.emplace(k, block);
+  return true;
+}
+
+void BlockStore::add_orphan(const Block& block) {
+  orphans_.emplace(key(block.hash()), block);
+}
+
+std::vector<Block> BlockStore::adopt_orphans() {
+  std::vector<Block> adopted;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (blocks_.count(key(it->second.parent)) > 0) {
+        if (add(it->second)) adopted.push_back(it->second);
+        it = orphans_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return adopted;
+}
+
+bool BlockStore::contains(const BlockHash& h) const {
+  return blocks_.count(key(h)) > 0;
+}
+
+const Block* BlockStore::get(const BlockHash& h) const {
+  const auto it = blocks_.find(key(h));
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool BlockStore::extends(const BlockHash& descendant,
+                         const BlockHash& ancestor) const {
+  const Block* anc = get(ancestor);
+  if (anc == nullptr) return false;
+  const Block* cur = get(descendant);
+  while (cur != nullptr) {
+    if (cur->hash() == ancestor) return true;
+    if (cur->height <= anc->height) return false;
+    cur = get(cur->parent);
+  }
+  return false;
+}
+
+bool BlockStore::conflicts(const BlockHash& a, const BlockHash& b) const {
+  return !extends(a, b) && !extends(b, a);
+}
+
+std::vector<Block> BlockStore::chain_between(const BlockHash& h,
+                                             const BlockHash& until) const {
+  std::vector<Block> out;
+  const Block* cur = get(h);
+  while (cur != nullptr && cur->hash() != until) {
+    out.push_back(*cur);
+    if (cur->height == 0) {
+      throw std::invalid_argument("chain_between: `until` not an ancestor");
+    }
+    cur = get(cur->parent);
+  }
+  if (cur == nullptr) {
+    throw std::invalid_argument("chain_between: broken chain");
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace eesmr::smr

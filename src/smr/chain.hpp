@@ -1,0 +1,65 @@
+// Hash-chained block store with ancestry queries and an orphan pool for
+// chain synchronization ("when a node obtains a block and does not know
+// its parent blocks, it will request them from the sender", §3.2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/smr/block.hpp"
+
+namespace eesmr::smr {
+
+class BlockStore {
+ public:
+  /// Starts containing the genesis block.
+  BlockStore();
+
+  /// Insert a block whose parent is already known. Returns false (and
+  /// stores nothing) when the parent is missing — use add_orphan then.
+  /// Re-inserting an existing block is a harmless no-op (returns true).
+  /// Throws std::invalid_argument when the height is inconsistent with
+  /// the parent.
+  bool add(const Block& block);
+
+  /// Buffer a block whose ancestry is not yet connected.
+  void add_orphan(const Block& block);
+
+  /// Try to connect orphans after new blocks arrived. Returns the blocks
+  /// adopted (in ancestry order).
+  std::vector<Block> adopt_orphans();
+
+  [[nodiscard]] bool contains(const BlockHash& h) const;
+  [[nodiscard]] const Block* get(const BlockHash& h) const;
+
+  /// True iff `descendant` equals `ancestor` or transitively extends it.
+  [[nodiscard]] bool extends(const BlockHash& descendant,
+                             const BlockHash& ancestor) const;
+
+  /// Two blocks conflict iff neither extends the other (fork).
+  [[nodiscard]] bool conflicts(const BlockHash& a, const BlockHash& b) const;
+
+  /// The chain from `h` down to (and excluding) `until`, deepest first.
+  /// Both must be known and `h` must extend `until`.
+  [[nodiscard]] std::vector<Block> chain_between(const BlockHash& h,
+                                                 const BlockHash& until) const;
+
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t orphan_count() const { return orphans_.size(); }
+
+ private:
+  struct Key {
+    std::string bytes;  // hash as map key
+  };
+  std::unordered_map<std::string, Block> blocks_;
+  std::unordered_map<std::string, Block> orphans_;
+
+  static std::string key(const BlockHash& h) {
+    return std::string(h.begin(), h.end());
+  }
+};
+
+}  // namespace eesmr::smr

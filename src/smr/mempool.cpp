@@ -1,0 +1,35 @@
+#include "src/smr/mempool.hpp"
+
+#include <algorithm>
+
+namespace eesmr::smr {
+
+void Mempool::submit(Command cmd) { queue_.push_back(std::move(cmd)); }
+
+std::vector<Command> Mempool::next_batch(std::size_t max_cmds) {
+  std::vector<Command> batch;
+  batch.reserve(max_cmds);
+  for (std::size_t i = 0; i < std::min(max_cmds, queue_.size()); ++i) {
+    batch.push_back(queue_[i]);
+  }
+  while (batch.size() < max_cmds && synthetic_bytes_ > 0) {
+    // Deterministic filler: counter stamped into a fixed-size payload.
+    Command c;
+    c.data.assign(synthetic_bytes_, 0x5a);
+    std::uint64_t v = synth_counter_++;
+    for (std::size_t b = 0; b < 8 && b < c.data.size(); ++b) {
+      c.data[b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    batch.push_back(std::move(c));
+  }
+  return batch;
+}
+
+void Mempool::remove_committed(const Block& block) {
+  for (const Command& c : block.cmds) {
+    const auto it = std::find(queue_.begin(), queue_.end(), c);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+}
+
+}  // namespace eesmr::smr

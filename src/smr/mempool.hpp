@@ -1,0 +1,47 @@
+// Pending-command pool (the paper's txpool).
+//
+// Two modes:
+//  * explicit: tests/examples submit concrete commands;
+//  * synthetic workload: under the standard throughput assumption
+//    ("clients always have pending requests"), next_batch() fabricates
+//    deterministic commands of a configured size when the queue is empty.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/smr/block.hpp"
+
+namespace eesmr::smr {
+
+class Mempool {
+ public:
+  /// `synthetic_cmd_bytes` > 0 enables the synthetic workload; each
+  /// fabricated command has exactly that many bytes.
+  explicit Mempool(std::size_t synthetic_cmd_bytes = 0)
+      : synthetic_bytes_(synthetic_cmd_bytes) {}
+
+  void submit(Command cmd);
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Up to `max_cmds` commands for the next proposal. Commands are not
+  /// removed until committed (a failed view may need to re-propose them),
+  /// but repeated calls rotate through the queue.
+  std::vector<Command> next_batch(std::size_t max_cmds);
+
+  /// Drop commands that appear in a committed block (§3 "on committing a
+  /// block, remove the commands in the block from the txpool").
+  void remove_committed(const Block& block);
+
+  [[nodiscard]] std::uint64_t synthesized() const { return synth_counter_; }
+
+ private:
+  std::size_t synthetic_bytes_;
+  std::deque<Command> queue_;
+  std::uint64_t synth_counter_ = 0;
+};
+
+}  // namespace eesmr::smr

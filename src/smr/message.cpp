@@ -1,0 +1,150 @@
+#include "src/smr/message.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "src/common/serde.hpp"
+
+namespace eesmr::smr {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPropose:
+      return "Propose";
+    case MsgType::kBlame:
+      return "Blame";
+    case MsgType::kBlameQC:
+      return "BlameQC";
+    case MsgType::kCommitUpdate:
+      return "CommitUpdate";
+    case MsgType::kCertify:
+      return "Certify";
+    case MsgType::kCommitQC:
+      return "CommitQC";
+    case MsgType::kStatus:
+      return "Status";
+    case MsgType::kNewViewProposal:
+      return "NewViewProposal";
+    case MsgType::kVoteMsg:
+      return "VoteMsg";
+    case MsgType::kVote:
+      return "Vote";
+    case MsgType::kSyncRequest:
+      return "SyncRequest";
+    case MsgType::kSyncResponse:
+      return "SyncResponse";
+    case MsgType::kSubmit:
+      return "Submit";
+    case MsgType::kOrdered:
+      return "Ordered";
+    case MsgType::kEquivProof:
+      return "EquivProof";
+  }
+  return "?";
+}
+
+Bytes Msg::preimage() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(view);
+  w.u64(round);
+  w.bytes(data);
+  return w.take();
+}
+
+Bytes Msg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(view);
+  w.u64(round);
+  w.u32(author);
+  w.bytes(data);
+  w.bytes(sig);
+  return w.take();
+}
+
+Msg Msg::decode(BytesView bytes) {
+  Reader r(bytes);
+  Msg m;
+  m.type = static_cast<MsgType>(r.u8());
+  m.view = r.u64();
+  m.round = r.u64();
+  m.author = r.u32();
+  m.data = r.bytes();
+  m.sig = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes QuorumCert::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(view);
+  w.u64(round);
+  w.bytes(data);
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const auto& [author, sig] : sigs) {
+    w.u32(author);
+    w.bytes(sig);
+  }
+  return w.take();
+}
+
+QuorumCert QuorumCert::decode(BytesView bytes) {
+  Reader r(bytes);
+  QuorumCert qc;
+  qc.type = static_cast<MsgType>(r.u8());
+  qc.view = r.u64();
+  qc.round = r.u64();
+  qc.data = r.bytes();
+  const std::uint32_t n = r.u32();
+  // Clamp against hostile counts (see Block::decode).
+  qc.sigs.reserve(std::min<std::size_t>(n, r.remaining() / 8 + 1));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId author = r.u32();
+    qc.sigs.emplace_back(author, r.bytes());
+  }
+  r.expect_done();
+  return qc;
+}
+
+bool QuorumCert::verify(const crypto::Keyring& keyring,
+                        std::size_t quorum) const {
+  if (sigs.size() < quorum) return false;
+  std::set<NodeId> authors;
+  Msg probe;
+  probe.type = type;
+  probe.view = view;
+  probe.round = round;
+  probe.data = data;
+  const Bytes preimage = probe.preimage();
+  for (const auto& [author, sig] : sigs) {
+    if (!authors.insert(author).second) return false;  // duplicate author
+    if (!keyring.verify(author, preimage, sig)) return false;
+  }
+  return true;
+}
+
+QuorumCert QuorumCert::combine(const std::vector<Msg>& msgs) {
+  if (msgs.empty()) {
+    throw std::invalid_argument("QuorumCert::combine: no messages");
+  }
+  QuorumCert qc;
+  qc.type = msgs.front().type;
+  qc.view = msgs.front().view;
+  qc.round = msgs.front().round;
+  qc.data = msgs.front().data;
+  std::set<NodeId> authors;
+  for (const Msg& m : msgs) {
+    if (m.type != qc.type || m.view != qc.view || m.round != qc.round ||
+        m.data != qc.data) {
+      throw std::invalid_argument("QuorumCert::combine: mismatched messages");
+    }
+    if (authors.insert(m.author).second) {
+      qc.sigs.emplace_back(m.author, m.sig);
+    }
+  }
+  return qc;
+}
+
+}  // namespace eesmr::smr

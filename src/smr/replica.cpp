@@ -1,0 +1,178 @@
+#include "src/smr/replica.hpp"
+
+#include <stdexcept>
+
+#include "src/common/serde.hpp"
+#include "src/crypto/sha256.hpp"
+
+namespace eesmr::smr {
+
+namespace {
+std::string hkey(const BlockHash& h) {
+  return std::string(h.begin(), h.end());
+}
+/// Cap on blocks per SyncResponse (a Byzantine peer can request often;
+/// the per-response size must stay bounded).
+constexpr std::size_t kMaxSyncBlocks = 64;
+}  // namespace
+
+ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
+                         energy::Meter* meter)
+    : sched_(net.scheduler()),
+      router_(net, cfg.id, this),
+      cfg_(std::move(cfg)),
+      meter_(meter),
+      mempool_(cfg_.cmd_bytes),
+      committed_tip_(genesis_hash()) {
+  if (!cfg_.keyring) {
+    throw std::invalid_argument("ReplicaBase: keyring required");
+  }
+  if (cfg_.keyring->size() < cfg_.n) {
+    throw std::invalid_argument("ReplicaBase: keyring too small");
+  }
+}
+
+void ReplicaBase::charge(energy::Category cat, double mj) {
+  if (meter_ != nullptr && cfg_.meter_crypto) meter_->charge(cat, mj);
+}
+
+Msg ReplicaBase::make_msg(MsgType type, std::uint64_t round, Bytes data) {
+  Msg m;
+  m.type = type;
+  m.view = v_cur_;
+  m.round = round;
+  m.author = cfg_.id;
+  m.data = std::move(data);
+  m.sig = cfg_.keyring->signer(cfg_.id).sign(m.preimage());
+  charge(energy::Category::kSign,
+         energy::sign_energy_mj(cfg_.keyring->scheme()));
+  return m;
+}
+
+bool ReplicaBase::verify_msg(const Msg& m) {
+  if (m.author >= cfg_.n) return false;
+  charge(energy::Category::kVerify,
+         energy::verify_energy_mj(cfg_.keyring->scheme()));
+  return cfg_.keyring->verify(m.author, m.preimage(), m.sig);
+}
+
+bool ReplicaBase::verify_qc(const QuorumCert& qc, std::size_t quorum_size) {
+  // Each contained signature costs one verification.
+  for (std::size_t i = 0; i < qc.sigs.size(); ++i) {
+    charge(energy::Category::kVerify,
+           energy::verify_energy_mj(cfg_.keyring->scheme()));
+  }
+  return qc.verify(*cfg_.keyring, quorum_size);
+}
+
+BlockHash ReplicaBase::hash_block(const Block& b) {
+  const Bytes enc = b.encode();
+  charge(energy::Category::kHash, energy::hash_energy_mj(enc.size()));
+  return crypto::sha256(enc);
+}
+
+void ReplicaBase::broadcast(const Msg& m) { router_.broadcast(m.encode()); }
+
+void ReplicaBase::broadcast_local(const Msg& m) {
+  router_.broadcast_local(m.encode());
+}
+
+void ReplicaBase::send(NodeId to, const Msg& m) {
+  router_.send_to(to, m.encode());
+}
+
+bool ReplicaBase::integrate_block(const Block& block, NodeId origin) {
+  if (store_.add(block)) return true;
+  store_.add_orphan(block);
+  // Request the missing ancestry once per parent hash.
+  if (sync_requested_.insert(hkey(block.parent)).second) {
+    Msg req = make_msg(MsgType::kSyncRequest, r_cur_, block.parent);
+    send(origin, req);
+  }
+  return false;
+}
+
+void ReplicaBase::on_chain_connected(const Block&) {}
+
+void ReplicaBase::commit_chain(const BlockHash& h) {
+  if (committed_.count(hkey(h)) > 0 || h == genesis_hash()) return;
+  const Block* target = store_.get(h);
+  if (target == nullptr) {
+    throw std::logic_error("commit_chain: unknown block");
+  }
+  if (!store_.extends(h, committed_tip_)) {
+    if (store_.extends(committed_tip_, h)) return;  // already covered
+    throw std::logic_error("commit_chain: conflicting commit (safety bug)");
+  }
+  for (const Block& b : store_.chain_between(h, committed_tip_)) {
+    log_.push_back(b);
+    committed_.insert(hkey(b.hash()));
+    mempool_.remove_committed(b);
+    if (app_ != nullptr) {
+      for (const Command& cmd : b.cmds) {
+        results_.push_back(app_->apply(cmd));
+      }
+    }
+    on_commit(b);
+  }
+  committed_tip_ = h;
+  committed_height_ = target->height;
+}
+
+void ReplicaBase::on_commit(const Block&) {}
+
+void ReplicaBase::on_deliver(NodeId origin, BytesView payload) {
+  Msg m;
+  try {
+    m = Msg::decode(payload);
+  } catch (const SerdeError&) {
+    return;  // malformed: drop
+  }
+  if (m.type == MsgType::kSyncRequest || m.type == MsgType::kSyncResponse) {
+    handle_sync(origin, m);
+    return;
+  }
+  if (requires_signature_check(m) && !verify_msg(m)) return;
+  handle(origin, m);
+}
+
+void ReplicaBase::handle_sync(NodeId from, const Msg& msg) {
+  if (!verify_msg(msg)) return;
+  if (msg.type == MsgType::kSyncRequest) {
+    // data = hash of the block the peer is missing. Reply with that block
+    // and up to kMaxSyncBlocks of its ancestors (deepest first).
+    const BlockHash& want = msg.data;
+    const Block* b = store_.get(want);
+    if (b == nullptr) return;
+    Writer w;
+    std::vector<Bytes> chain;
+    const Block* cur = b;
+    while (cur != nullptr && chain.size() < kMaxSyncBlocks) {
+      chain.push_back(cur->encode());
+      if (cur->height == 0) break;
+      cur = store_.get(cur->parent);
+    }
+    w.u32(static_cast<std::uint32_t>(chain.size()));
+    // Deepest-first so the receiver can connect as it reads.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) w.bytes(*it);
+    Msg resp = make_msg(MsgType::kSyncResponse, r_cur_, w.take());
+    send(from, resp);
+    return;
+  }
+  // SyncResponse: adopt blocks then retry orphans.
+  try {
+    Reader r(msg.data);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && i < kMaxSyncBlocks; ++i) {
+      const Block b = Block::decode(r.bytes());
+      if (!store_.add(b)) store_.add_orphan(b);
+    }
+  } catch (const SerdeError&) {
+    return;
+  }
+  for (const Block& connected : store_.adopt_orphans()) {
+    on_chain_connected(connected);
+  }
+}
+
+}  // namespace eesmr::smr

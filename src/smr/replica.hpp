@@ -1,0 +1,151 @@
+// Shared replica plumbing for every protocol implementation: signing and
+// verification with energy metering, flood-router communication, the
+// block store with chain synchronization, and the committed log.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/energy/cost_model.hpp"
+#include "src/energy/meter.hpp"
+#include "src/net/flood.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/smr/app.hpp"
+#include "src/smr/chain.hpp"
+#include "src/smr/mempool.hpp"
+#include "src/smr/message.hpp"
+
+namespace eesmr::smr {
+
+struct ReplicaConfig {
+  NodeId id = 0;
+  std::size_t n = 4;
+  std::size_t f = 1;
+  /// End-to-end Δ: upper bound on correct-sender message delivery,
+  /// including flooding across the partially connected graph.
+  sim::Duration delta = sim::milliseconds(50);
+  /// Commands per proposed block and synthetic command size.
+  std::size_t batch_size = 1;
+  std::size_t cmd_bytes = 16;
+  std::shared_ptr<crypto::Keyring> keyring;
+  /// Charge sign/verify/hash energy to the meter (on by default).
+  bool meter_crypto = true;
+};
+
+/// Base class for protocol replicas. Subclasses implement start() and
+/// handle(); the base dispatches, chain-synchronizes, and meters.
+class ReplicaBase : public net::FloodClient {
+ public:
+  ReplicaBase(net::Network& net, ReplicaConfig cfg, energy::Meter* meter);
+  ~ReplicaBase() override = default;
+
+  virtual void start() = 0;
+
+  // -- observability -----------------------------------------------------------
+  [[nodiscard]] NodeId id() const { return cfg_.id; }
+  [[nodiscard]] const ReplicaConfig& config() const { return cfg_; }
+  /// Committed log, in height order (excluding genesis).
+  [[nodiscard]] const std::vector<Block>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t current_view() const { return v_cur_; }
+  [[nodiscard]] std::uint64_t current_round() const { return r_cur_; }
+  [[nodiscard]] const BlockStore& store() const { return store_; }
+  [[nodiscard]] Mempool& mempool() { return mempool_; }
+  [[nodiscard]] const BlockHash& committed_tip() const {
+    return committed_tip_;
+  }
+  [[nodiscard]] std::uint64_t committed_height() const {
+    return committed_height_;
+  }
+
+  /// Attach an execution-layer state machine: every committed command is
+  /// applied in log order; results are the per-request acknowledgments a
+  /// client matches f+1-fold (§3). The app must outlive the replica.
+  void attach_app(StateMachine* app) { app_ = app; }
+  [[nodiscard]] StateMachine* app() const { return app_; }
+  /// Execution results in commit order (one per committed command).
+  [[nodiscard]] const std::vector<Bytes>& execution_results() const {
+    return results_;
+  }
+
+  /// Round-robin leader assignment (Leader(v) in the paper).
+  [[nodiscard]] NodeId leader_of(std::uint64_t view) const {
+    return static_cast<NodeId>(view % cfg_.n);
+  }
+  [[nodiscard]] bool is_leader() const {
+    return leader_of(v_cur_) == cfg_.id;
+  }
+
+ protected:
+  // -- crypto with energy metering ------------------------------------------------
+  /// Build and sign a message in the current view.
+  Msg make_msg(MsgType type, std::uint64_t round, Bytes data);
+  /// Verify a message signature (drops author range errors too).
+  [[nodiscard]] bool verify_msg(const Msg& m);
+  [[nodiscard]] bool verify_qc(const QuorumCert& qc, std::size_t quorum_size);
+  /// Hash a block, charging hash energy.
+  [[nodiscard]] BlockHash hash_block(const Block& b);
+  [[nodiscard]] std::size_t quorum() const { return cfg_.f + 1; }
+
+  // -- communication ---------------------------------------------------------------
+  void broadcast(const Msg& m);
+  /// One transmission to the direct neighborhood, no re-forwarding (the
+  /// "partial vote forwarding" primitive).
+  void broadcast_local(const Msg& m);
+  void send(NodeId to, const Msg& m);
+  [[nodiscard]] net::FloodRouter& router() { return router_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  // -- chain handling --------------------------------------------------------------
+  /// Add `block` to the store. If the parent is unknown, stash it as an
+  /// orphan and request ancestors from `origin` (chain synchronization).
+  /// Returns true when the block is connected.
+  bool integrate_block(const Block& block, NodeId origin);
+  /// Called when a previously-orphaned block becomes connected.
+  virtual void on_chain_connected(const Block& block);
+
+  /// Commit `h` and all its uncommitted ancestors (Algorithm 2 line 280).
+  /// No-op if already committed. Throws std::logic_error if `h` conflicts
+  /// with the committed tip — a correct replica must never do that.
+  void commit_chain(const BlockHash& h);
+  virtual void on_commit(const Block& block);
+
+  // -- dispatch ---------------------------------------------------------------------
+  void on_deliver(NodeId origin, BytesView payload) final;
+  /// Protocol logic; called only for messages that passed (or were
+  /// excused from) signature verification.
+  virtual void handle(NodeId from, const Msg& msg) = 0;
+  /// Whether this message's signature must be verified before handling.
+  /// Protocols may skip verification for optimistically pre-committed
+  /// steady-state proposals (§3.5 "Batching optimization").
+  [[nodiscard]] virtual bool requires_signature_check(const Msg& msg) const {
+    (void)msg;
+    return true;
+  }
+
+  sim::Scheduler& sched_;
+  net::FloodRouter router_;
+  ReplicaConfig cfg_;
+  energy::Meter* meter_;  ///< may be nullptr
+
+  BlockStore store_;
+  Mempool mempool_;
+
+  std::uint64_t v_cur_ = 1;
+  std::uint64_t r_cur_ = 3;
+
+ private:
+  void handle_sync(NodeId from, const Msg& msg);
+  void charge(energy::Category cat, double mj);
+
+  std::vector<Block> log_;
+  std::set<std::string> committed_;  // hashes as strings
+  BlockHash committed_tip_;
+  std::uint64_t committed_height_ = 0;
+  std::set<std::string> sync_requested_;
+  StateMachine* app_ = nullptr;
+  std::vector<Bytes> results_;
+};
+
+}  // namespace eesmr::smr

@@ -1,0 +1,195 @@
+#include "src/energy/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eesmr::energy {
+namespace {
+
+SystemParams cps_params(std::size_t n, std::size_t f) {
+  SystemParams x;
+  x.n = n;
+  x.f = f;
+  x.m = 256;
+  x.k = f + 1;
+  x.comm = CommMode::kKcastRing;
+  x.node_medium = Medium::kBle;
+  x.scheme = crypto::SchemeId::kRsa1024;
+  return x;
+}
+
+TEST(Psi, AllModelsPositive) {
+  const SystemParams x = cps_params(10, 4);
+  for (const PsiBreakdown psi :
+       {psi_eesmr(x), psi_sync_hotstuff(x), psi_optsync(x)}) {
+    EXPECT_GT(psi.best, 0);
+    EXPECT_GT(psi.view_change, 0);
+    EXPECT_GT(psi.worst(), psi.best);
+  }
+  EXPECT_GT(psi_trusted_baseline(x), 0);
+}
+
+TEST(Psi, EesmrBeatsSyncHotStuffInSteadyState) {
+  // The headline claim: EESMR's steady state is cheaper for every CPS
+  // configuration the paper evaluates (§5.7 reports 2.85x at n = 13).
+  for (std::size_t n : {7u, 10u, 13u}) {
+    const SystemParams x = cps_params(n, (n - 1) / 2);
+    EXPECT_LT(psi_eesmr(x).best, psi_sync_hotstuff(x).best) << "n=" << n;
+  }
+}
+
+TEST(Psi, EesmrViewChangeCostlierThanSyncHotStuff) {
+  // The trade-off: EESMR pays more during view changes (extra round +
+  // commit-certificate construction); paper reports ~2x at n = 13.
+  const SystemParams x = cps_params(13, 6);
+  EXPECT_GT(psi_eesmr(x).view_change, psi_sync_hotstuff(x).view_change);
+}
+
+TEST(Psi, SteadyStateRatioNearPaper) {
+  // §5.7: Sync HotStuff is 2.85x more energy-hungry when the leader is
+  // correct, and EESMR is ~2.05x costlier during a view change (n = 13,
+  // k = f + 1 = 7). Accept the right ballpark, not the exact testbed
+  // number: ratio in [1.5, 5] steady, [1.2, 4] for the VC.
+  const SystemParams x = cps_params(13, 6);
+  const double steady_ratio = psi_sync_hotstuff(x).best / psi_eesmr(x).best;
+  EXPECT_GT(steady_ratio, 1.5);
+  EXPECT_LT(steady_ratio, 5.0);
+  const double vc_ratio =
+      psi_eesmr(x).view_change / psi_sync_hotstuff(x).view_change;
+  EXPECT_GT(vc_ratio, 1.2);
+  EXPECT_LT(vc_ratio, 4.0);
+}
+
+TEST(Psi, OptSyncCostlierThanSyncHotStuff) {
+  // OptSync's 3n/4+1 quorums verify more signatures (§6 related work).
+  const SystemParams x = cps_params(12, 5);
+  EXPECT_GT(psi_optsync(x).best, psi_sync_hotstuff(x).best);
+}
+
+TEST(Psi, EesmrBestCaseIndependentOfNWithFixedK) {
+  // §5.6 "the energy cost of EESMR is independent of n in the best case
+  // ... only depends on k" — per-node energy, with the k-cast transport.
+  SystemParams x1 = cps_params(8, 2);
+  SystemParams x2 = cps_params(14, 2);
+  x1.k = x2.k = 3;
+  const double per_node1 = psi_eesmr(x1).best / static_cast<double>(x1.n);
+  const double per_node2 = psi_eesmr(x2).best / static_cast<double>(x2.n);
+  EXPECT_NEAR(per_node1, per_node2, per_node1 * 0.05);
+}
+
+TEST(Psi, SyncHotStuffGrowsWithF) {
+  // Certificates of size f+1 make Sync HotStuff's steady state grow
+  // with f even at fixed k.
+  SystemParams a = cps_params(13, 2);
+  SystemParams b = cps_params(13, 6);
+  a.k = b.k = 3;
+  EXPECT_GT(psi_sync_hotstuff(b).best, psi_sync_hotstuff(a).best);
+}
+
+TEST(Psi, EesmrScalesLinearlyWithK) {
+  // Fig 2c: node energy grows linearly in k (k incoming edges).
+  SystemParams x = cps_params(15, 7);
+  std::vector<double> per_k;
+  for (std::size_t k = 2; k <= 7; ++k) {
+    x.k = k;
+    per_k.push_back(psi_eesmr(x).best);
+  }
+  // Increments should be roughly constant (linear growth).
+  const double inc0 = per_k[1] - per_k[0];
+  for (std::size_t i = 2; i < per_k.size(); ++i) {
+    const double inc = per_k[i] - per_k[i - 1];
+    EXPECT_GT(inc, 0);
+    EXPECT_NEAR(inc, inc0, inc0 * 0.6) << "k step " << i;
+  }
+}
+
+// -- Decision machinery ---------------------------------------------------------
+
+TEST(Analysis, MaxViewChangeRatioBasics) {
+  PsiBreakdown cheap_steady{100, 400};
+  PsiBreakdown star{200, 300};
+  // gain = 100, loss = 100 -> nu_f <= 1.
+  EXPECT_DOUBLE_EQ(max_view_change_ratio(cheap_steady, star), 1.0);
+
+  PsiBreakdown tiny_gain{190, 500};
+  // gain = 10, loss = 200 -> 0.05.
+  EXPECT_NEAR(max_view_change_ratio(tiny_gain, star), 0.05, 1e-12);
+
+  PsiBreakdown dominated{300, 400};
+  EXPECT_DOUBLE_EQ(max_view_change_ratio(dominated, star), 0.0);
+
+  PsiBreakdown dominator{100, 200};
+  EXPECT_TRUE(std::isinf(max_view_change_ratio(dominator, star)));
+}
+
+TEST(Analysis, MinBlocksToAmortize) {
+  PsiBreakdown psi{100, 500};
+  PsiBreakdown star{150, 300};
+  // Each view change loses 200, each block gains 50: N >= 4V.
+  EXPECT_DOUBLE_EQ(min_blocks_to_amortize(psi, star, 1), 4.0);
+  EXPECT_DOUBLE_EQ(min_blocks_to_amortize(psi, star, 5), 20.0);
+  PsiBreakdown no_gain{200, 100};
+  EXPECT_TRUE(std::isinf(min_blocks_to_amortize(no_gain, star, 1)));
+}
+
+TEST(Analysis, EnergyFaultBoundEB) {
+  // f_e <= (psi_BL - psi_B) / (psi_B + psi_V).
+  PsiBreakdown eesmr{100, 300};
+  EXPECT_DOUBLE_EQ(energy_fault_bound(900, eesmr), 2.0);
+  EXPECT_LT(energy_fault_bound(50, eesmr), 0);  // baseline already cheaper
+}
+
+TEST(Analysis, EesmrToleratesEnergyFaultsAgainstBaseline) {
+  // With a moderate k and a payload large enough to amortize the BLE
+  // redundancy overhead, the k-cast steady state undercuts the 4G
+  // baseline, so EESMR tolerates energy faults (f_e > 0). The margin
+  // erodes as k grows (receive scanning scales with k, Fig 2c).
+  SystemParams x = cps_params(10, 2);  // k = f + 1 = 3
+  x.m = 1024;
+  x.control_medium = Medium::k4gLte;
+  const double fe =
+      energy_fault_bound(psi_trusted_baseline(x), psi_eesmr(x));
+  EXPECT_GT(fe, 0);
+  // The bound shrinks as k grows.
+  SystemParams x2 = cps_params(10, 4);  // k = 5
+  x2.m = 1024;
+  const double fe2 =
+      energy_fault_bound(psi_trusted_baseline(x2), psi_eesmr(x2));
+  EXPECT_LT(fe2, fe);
+}
+
+// -- Fig 1 feasible region -------------------------------------------------------
+
+TEST(Analysis, FeasibleRegionShape) {
+  SystemParams base;
+  base.comm = CommMode::kUnicastFullMesh;
+  base.node_medium = Medium::kWifi;
+  base.control_medium = Medium::k4gLte;
+  base.scheme = crypto::SchemeId::kRsa1024;
+  const auto grid =
+      feasible_region({4, 6, 8, 12, 16, 24, 32}, {256, 1024, 4096}, base);
+  ASSERT_EQ(grid.size(), 7u * 3u);
+
+  // EESMR (n-1 WiFi exchanges per node) loses to the 4G baseline once n
+  // grows; it must win somewhere at small n and lose at large n.
+  bool eesmr_wins_somewhere = false, baseline_wins_somewhere = false;
+  for (const auto& pt : grid) {
+    if (pt.diff_mj < 0) eesmr_wins_somewhere = true;
+    if (pt.diff_mj > 0) baseline_wins_somewhere = true;
+  }
+  EXPECT_TRUE(eesmr_wins_somewhere);
+  EXPECT_TRUE(baseline_wins_somewhere);
+
+  // Monotone in n at fixed m: larger systems favor the baseline.
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    for (std::size_t ni = 1; ni < 7; ++ni) {
+      const auto& prev = grid[(ni - 1) * 3 + mi];
+      const auto& cur = grid[ni * 3 + mi];
+      EXPECT_GT(cur.diff_mj, prev.diff_mj);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eesmr::energy

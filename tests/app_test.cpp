@@ -1,0 +1,116 @@
+// Execution layer tests: key-value state machine, f+1 client acks, and
+// the end-to-end replica integration (identical state digests).
+#include "src/smr/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.hpp"
+
+namespace eesmr::smr {
+namespace {
+
+Command cmd(const std::string& text) { return Command{to_bytes(text)}; }
+
+TEST(KvStore, SetGetDel) {
+  KvStore kv;
+  EXPECT_EQ(to_string(kv.apply(cmd("set soil_ph 6.5"))), "ok");
+  EXPECT_EQ(to_string(kv.apply(cmd("get soil_ph"))), "6.5");
+  EXPECT_EQ(to_string(kv.apply(cmd("del soil_ph"))), "ok");
+  EXPECT_EQ(to_string(kv.apply(cmd("get soil_ph"))), "(nil)");
+  EXPECT_EQ(to_string(kv.apply(cmd("del soil_ph"))), "(nil)");
+  EXPECT_EQ(kv.applied(), 5u);
+}
+
+TEST(KvStore, IncrementCounter) {
+  KvStore kv;
+  EXPECT_EQ(to_string(kv.apply(cmd("inc visits"))), "1");
+  EXPECT_EQ(to_string(kv.apply(cmd("inc visits"))), "2");
+  EXPECT_EQ(to_string(kv.apply(cmd("get visits"))), "2");
+}
+
+TEST(KvStore, MalformedCommandsReturnErr) {
+  KvStore kv;
+  EXPECT_EQ(to_string(kv.apply(cmd(""))), "err");
+  EXPECT_EQ(to_string(kv.apply(cmd("frobnicate"))), "err");
+  EXPECT_EQ(to_string(kv.apply(cmd("set only_key"))), "err");
+}
+
+TEST(KvStore, StateDigestDeterministic) {
+  KvStore a, b;
+  a.apply(cmd("set x 1"));
+  a.apply(cmd("set y 2"));
+  b.apply(cmd("set y 2"));
+  b.apply(cmd("set x 1"));
+  // Same final state (different order of independent keys) -> same digest.
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  b.apply(cmd("set z 3"));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(AckCollector, AcceptsAtFPlusOne) {
+  AckCollector acks(2);  // f = 2 -> need 3 identical
+  EXPECT_FALSE(acks.add(0, to_bytes(std::string("ok"))).has_value());
+  EXPECT_FALSE(acks.add(1, to_bytes(std::string("ok"))).has_value());
+  const auto r = acks.add(2, to_bytes(std::string("ok")));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(to_string(*r), "ok");
+  EXPECT_TRUE(acks.accepted());
+}
+
+TEST(AckCollector, ByzantineMinorityCannotForgeResult) {
+  AckCollector acks(1);  // f = 1 -> need 2 identical
+  EXPECT_FALSE(acks.add(0, to_bytes(std::string("FORGED"))).has_value());
+  EXPECT_FALSE(acks.add(1, to_bytes(std::string("ok"))).has_value());
+  const auto r = acks.add(2, to_bytes(std::string("ok")));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(to_string(*r), "ok");
+}
+
+TEST(AckCollector, DuplicateReplicaIgnored) {
+  AckCollector acks(1);
+  EXPECT_FALSE(acks.add(0, to_bytes(std::string("ok"))).has_value());
+  EXPECT_FALSE(acks.add(0, to_bytes(std::string("ok"))).has_value());
+  EXPECT_TRUE(acks.add(1, to_bytes(std::string("ok"))).has_value());
+}
+
+TEST(Execution, ReplicasConvergeOnIdenticalState) {
+  harness::ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.batch_size = 1;
+  harness::Cluster cluster(cfg);
+  std::vector<KvStore> stores(4);
+  for (NodeId i = 0; i < 4; ++i) {
+    cluster.replica(i).attach_app(&stores[i]);
+  }
+  // Feed every replica's pool the same client commands (the leader's
+  // pool actually drives proposals).
+  for (NodeId i = 0; i < 4; ++i) {
+    cluster.replica(i).mempool().submit(cmd("set a 1"));
+    cluster.replica(i).mempool().submit(cmd("inc a"));
+  }
+  const auto r = cluster.run_until_commits(4, sim::seconds(60));
+  ASSERT_GE(r.min_committed(), 4u);
+  // All replicas applied the same commands in the same order.
+  const auto& results0 = cluster.replica(0).execution_results();
+  ASSERT_FALSE(results0.empty());
+  for (NodeId i = 1; i < 4; ++i) {
+    const auto& ri = cluster.replica(i).execution_results();
+    const std::size_t common = std::min(results0.size(), ri.size());
+    for (std::size_t j = 0; j < common; ++j) {
+      EXPECT_EQ(results0[j], ri[j]) << "node " << i << " result " << j;
+    }
+  }
+  // And a client collecting acks for the first command accepts it.
+  AckCollector acks(1);
+  std::optional<Bytes> accepted;
+  for (NodeId i = 0; i < 4; ++i) {
+    if (!cluster.replica(i).execution_results().empty()) {
+      accepted = acks.add(i, cluster.replica(i).execution_results()[0]);
+    }
+  }
+  ASSERT_TRUE(accepted.has_value());
+}
+
+}  // namespace
+}  // namespace eesmr::smr

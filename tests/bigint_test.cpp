@@ -1,0 +1,235 @@
+#include "src/crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/hex.hpp"
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+namespace {
+
+using sim::Rng;
+
+TEST(BigInt, ZeroBasics) {
+  const BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.low_u64(), 0u);
+}
+
+TEST(BigInt, FromU64RoundTrip) {
+  const BigInt v(0x0123456789abcdefull);
+  EXPECT_EQ(v.low_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef");
+  EXPECT_EQ(v.bit_length(), 57u);
+}
+
+TEST(BigInt, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef00ff";
+  EXPECT_EQ(BigInt::from_hex(hex).to_hex(), hex);
+  EXPECT_EQ(BigInt::from_hex("0").to_hex(), "0");
+  EXPECT_EQ(BigInt::from_hex("00000001").to_hex(), "1");
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  const Bytes data = hex_decode("0102030405060708090a0b0c0d0e0f");
+  const BigInt v = BigInt::from_bytes_be(data);
+  EXPECT_EQ(v.to_bytes_be(data.size()), data);
+  // Shorter canonical form drops the leading zero byte.
+  const BigInt w = BigInt::from_bytes_be(hex_decode("0001ff"));
+  EXPECT_EQ(hex_encode(w.to_bytes_be()), "01ff");
+  // Padding extends on the left.
+  EXPECT_EQ(hex_encode(w.to_bytes_be(4)), "000001ff");
+}
+
+TEST(BigInt, DecimalConversion) {
+  EXPECT_EQ(BigInt(1234567890).to_decimal(), "1234567890");
+  EXPECT_EQ(BigInt::from_hex("ffffffffffffffffffffffffffffffff").to_decimal(),
+            "340282366920938463463374607431768211455");
+}
+
+TEST(BigInt, CompareOrdering) {
+  const BigInt a(5), b(7), c = BigInt::from_hex("100000000");
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == BigInt(5));
+  EXPECT_TRUE(c > b);
+}
+
+TEST(BigInt, AddSubRoundTrip64) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.next() >> 1, y = rng.next() >> 1;
+    const BigInt a(x), b(y);
+    EXPECT_EQ((a + b).low_u64(), x + y);
+    const BigInt hi = a + b;
+    EXPECT_EQ((hi - a).low_u64(), y);
+  }
+}
+
+TEST(BigInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigInt(3) - BigInt(5), std::underflow_error);
+}
+
+TEST(BigInt, MulMatchesU128) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.next(), y = rng.next();
+    const unsigned __int128 expect =
+        static_cast<unsigned __int128>(x) * y;
+    const BigInt prod = BigInt(x) * BigInt(y);
+    EXPECT_EQ(prod.low_u64(), static_cast<std::uint64_t>(expect));
+    EXPECT_EQ(prod.shr(64).low_u64(), static_cast<std::uint64_t>(expect >> 64));
+  }
+}
+
+TEST(BigInt, DivModMatchesU64) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t x = rng.next();
+    const std::uint64_t y = 1 + (rng.next() >> (rng.below(63)));
+    auto [q, r] = BigInt::divmod(BigInt(x), BigInt(y));
+    EXPECT_EQ(q.low_u64(), x / y);
+    EXPECT_EQ(r.low_u64(), x % y);
+  }
+}
+
+TEST(BigInt, DivByZeroThrows) {
+  EXPECT_THROW(BigInt::divmod(BigInt(1), BigInt()), std::domain_error);
+}
+
+// Property sweep: a = q*b + r with 0 <= r < b, across many random widths.
+// This exercises the Knuth-D normalization and add-back paths.
+TEST(BigInt, DivModIdentityRandomWidths) {
+  Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t abits = 1 + rng.below(700);
+    const std::size_t bbits = 1 + rng.below(500);
+    const BigInt a = BigInt::random_bits(rng, abits);
+    const BigInt b = BigInt::random_bits(rng, bbits);
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(q * b + r, a) << "abits=" << abits << " bbits=" << bbits;
+  }
+}
+
+// Divisors chosen to trigger the q-hat correction / add-back branch:
+// top limb of the divisor just above 2^31 with dense low limbs.
+TEST(BigInt, DivModAddBackStress) {
+  Rng rng(5);
+  const BigInt b = BigInt::from_hex("80000000ffffffffffffffff");
+  for (int i = 0; i < 200; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 96 + rng.below(160));
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigInt, ShiftsMatchMultiplication) {
+  const BigInt v = BigInt::from_hex("123456789abcdef0fedcba9876543210");
+  EXPECT_EQ(v.shl(1), v + v);
+  EXPECT_EQ(v.shl(32).shr(32), v);
+  EXPECT_EQ(v.shl(67).shr(67), v);
+  EXPECT_EQ(v.shr(200).to_hex(), "0");
+  EXPECT_EQ(BigInt(1).shl(128).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BigInt, BitAccess) {
+  const BigInt v = BigInt::from_hex("5");  // 0b101
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(2));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BigInt, ModExpMatchesU64) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t base = rng.below(1000);
+    const std::uint64_t exp = rng.below(30);
+    const std::uint64_t mod = 2 + rng.below(100000);
+    std::uint64_t expect = 1 % mod;
+    for (std::uint64_t j = 0; j < exp; ++j) expect = (expect * base) % mod;
+    EXPECT_EQ(
+        BigInt::mod_exp(BigInt(base), BigInt(exp), BigInt(mod)).low_u64(),
+        expect);
+  }
+}
+
+TEST(BigInt, ModExpFermat) {
+  // 2^(p-1) = 1 mod p for prime p.
+  const BigInt p = BigInt::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff");
+  // This p is the secp192r1 prime.
+  EXPECT_TRUE(BigInt::mod_exp(BigInt(2), p - BigInt(1), p).is_one());
+}
+
+TEST(BigInt, ModInverseSmall) {
+  const auto inv = BigInt::mod_inverse(BigInt(3), BigInt(7));
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(inv->low_u64(), 5u);  // 3*5 = 15 = 1 mod 7
+  EXPECT_FALSE(BigInt::mod_inverse(BigInt(6), BigInt(9)).has_value());
+  EXPECT_FALSE(BigInt::mod_inverse(BigInt(0), BigInt(9)).has_value());
+}
+
+TEST(BigInt, ModInverseRandomProperty) {
+  Rng rng(7);
+  const BigInt m = BigInt::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_unit(rng, m);
+    const auto inv = BigInt::mod_inverse(a, m);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(BigInt::mod_mul(a, *inv, m).is_one());
+  }
+}
+
+TEST(BigInt, ModInverseCompositeModulus) {
+  // phi-style composite modulus as used in RSA keygen.
+  const BigInt m = BigInt(65520);  // 2^4 * 3^2 * 5 * 7 * 13
+  const BigInt a(65537 % 65520);
+  const auto inv = BigInt::mod_inverse(BigInt(65537), m);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(BigInt::mod_mul(a, *inv, m).is_one());
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).low_u64(), 6u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(31)).low_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).low_u64(), 5u);
+}
+
+TEST(BigInt, ModAddSubStayReduced) {
+  const BigInt m(1000);
+  const BigInt a(999), b(999);
+  const BigInt sum = BigInt::mod_add(a, b, m);
+  EXPECT_TRUE(sum < m);
+  EXPECT_EQ(sum.low_u64(), 998u);
+  EXPECT_EQ(BigInt::mod_sub(BigInt(3), BigInt(7), m).low_u64(), 996u);
+}
+
+TEST(BigInt, RandomBitsExactLength) {
+  Rng rng(8);
+  for (std::size_t bits : {1u, 2u, 31u, 32u, 33u, 64u, 100u, 521u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+    }
+  }
+}
+
+TEST(BigInt, RandomBelowInRange) {
+  Rng rng(9);
+  const BigInt bound = BigInt::from_hex("10000000000000001");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(BigInt::random_below(rng, bound) < bound);
+    EXPECT_FALSE(BigInt::random_unit(rng, bound).is_zero());
+  }
+}
+
+}  // namespace
+}  // namespace eesmr::crypto

@@ -1,0 +1,65 @@
+// Dolev-Strong authenticated BA: validity, agreement under an
+// equivocating sender, and the f+1-round cost structure (Theorem 4.1).
+#include "src/baselines/dolev_strong.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eesmr::baselines {
+namespace {
+
+const Bytes kValue = to_bytes(std::string("launch at dawn"));
+
+TEST(DolevStrong, ValidityWithHonestSender) {
+  const auto r = run_dolev_strong(4, 1, kValue, /*byzantine_sender=*/false);
+  ASSERT_EQ(r.decisions.size(), 4u);
+  for (const Bytes& d : r.decisions) EXPECT_EQ(d, kValue);
+  EXPECT_TRUE(r.agreement());
+}
+
+TEST(DolevStrong, AgreementUnderEquivocatingSender) {
+  const auto r = run_dolev_strong(5, 2, kValue, /*byzantine_sender=*/true);
+  // Correct nodes agree; with two extracted values they output ⊥.
+  EXPECT_TRUE(r.agreement());
+  for (const Bytes& d : r.decisions) {
+    EXPECT_EQ(d, DolevStrongNode::bottom());
+  }
+}
+
+TEST(DolevStrong, AgreementAcrossSeedsAndSizes) {
+  for (std::size_t n : {4u, 6u, 9u}) {
+    for (std::uint64_t seed : {1u, 7u, 42u}) {
+      const auto honest =
+          run_dolev_strong(n, (n - 1) / 3, kValue, false, seed);
+      EXPECT_TRUE(honest.agreement()) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(honest.decisions[0], kValue);
+      const auto byz = run_dolev_strong(n, (n - 1) / 3, kValue, true, seed);
+      EXPECT_TRUE(byz.agreement()) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(DolevStrong, SignatureCountGrowsWithRelaying) {
+  // Every correct node relays each newly-extracted value once: the
+  // per-run signature count is Θ(n) for the honest case, more when the
+  // sender equivocates (two values relayed).
+  const auto honest = run_dolev_strong(6, 2, kValue, false);
+  const auto byz = run_dolev_strong(6, 2, kValue, true);
+  auto signs = [](const DolevStrongResult& r) {
+    std::uint64_t total = 0;
+    for (const auto& m : r.meters) total += m.ops(energy::Category::kSign);
+    return total;
+  };
+  EXPECT_GE(signs(honest), 6u - 1);
+  EXPECT_GT(signs(byz), signs(honest));
+}
+
+TEST(DolevStrong, EnergyCostedPerPrimitive) {
+  const auto r = run_dolev_strong(4, 1, kValue, false);
+  for (std::size_t i = 0; i < r.meters.size(); ++i) {
+    EXPECT_GT(r.meters[i].total_millijoules(), 0) << "node " << i;
+  }
+  EXPECT_GT(r.transmissions, 0u);
+}
+
+}  // namespace
+}  // namespace eesmr::baselines

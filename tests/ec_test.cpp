@@ -1,0 +1,111 @@
+#include "src/crypto/ec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+namespace {
+
+const std::vector<CurveId> kAllCurves = {
+    CurveId::kSecp192r1,       CurveId::kSecp192k1, CurveId::kSecp224r1,
+    CurveId::kSecp256r1,       CurveId::kSecp256k1, CurveId::kBrainpoolP160r1,
+    CurveId::kBrainpoolP256r1,
+};
+
+class CurveTest : public ::testing::TestWithParam<CurveId> {};
+
+TEST_P(CurveTest, GeneratorOnCurve) {
+  const CurveParams& p = curve_params(GetParam());
+  const Curve curve(p);
+  EXPECT_TRUE(curve.on_curve(curve.generator())) << p.name;
+}
+
+TEST_P(CurveTest, OrderTimesGeneratorIsInfinity) {
+  const CurveParams& p = curve_params(GetParam());
+  const Curve curve(p);
+  EXPECT_TRUE(curve.mul_base(p.n).infinity) << p.name;
+}
+
+TEST_P(CurveTest, DoubleMatchesAdd) {
+  const Curve curve(curve_params(GetParam()));
+  const AffinePoint g = curve.generator();
+  EXPECT_EQ(curve.dbl(g), curve.add(g, g));
+}
+
+TEST_P(CurveTest, ScalarMulDistributes) {
+  const CurveParams& p = curve_params(GetParam());
+  const Curve curve(p);
+  sim::Rng rng(99);
+  for (int i = 0; i < 3; ++i) {
+    const BigInt a = BigInt::random_unit(rng, p.n);
+    const BigInt b = BigInt::random_unit(rng, p.n);
+    const AffinePoint lhs = curve.mul_base(BigInt::mod_add(a, b, p.n));
+    const AffinePoint rhs = curve.add(curve.mul_base(a), curve.mul_base(b));
+    EXPECT_EQ(lhs, rhs) << p.name;
+  }
+}
+
+TEST_P(CurveTest, ScalarMulResultsOnCurve) {
+  const CurveParams& p = curve_params(GetParam());
+  const Curve curve(p);
+  sim::Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    const BigInt k = BigInt::random_unit(rng, p.n);
+    EXPECT_TRUE(curve.on_curve(curve.mul_base(k))) << p.name;
+  }
+}
+
+TEST_P(CurveTest, AddInverseGivesInfinity) {
+  const CurveParams& p = curve_params(GetParam());
+  const Curve curve(p);
+  const AffinePoint g = curve.generator();
+  const AffinePoint neg = AffinePoint::make(g.x, p.p - g.y);
+  EXPECT_TRUE(curve.on_curve(neg));
+  EXPECT_TRUE(curve.add(g, neg).infinity);
+}
+
+TEST_P(CurveTest, IdentityLaws) {
+  const Curve curve(curve_params(GetParam()));
+  const AffinePoint g = curve.generator();
+  const AffinePoint o = AffinePoint::identity();
+  EXPECT_EQ(curve.add(g, o), g);
+  EXPECT_EQ(curve.add(o, g), g);
+  EXPECT_TRUE(curve.add(o, o).infinity);
+  EXPECT_TRUE(curve.mul(BigInt(0), g).infinity);
+  EXPECT_EQ(curve.mul(BigInt(1), g), g);
+}
+
+TEST_P(CurveTest, SmallMultiplesConsistent) {
+  const Curve curve(curve_params(GetParam()));
+  const AffinePoint g = curve.generator();
+  AffinePoint acc = AffinePoint::identity();
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    acc = curve.add(acc, g);
+    EXPECT_EQ(curve.mul(BigInt(k), g), acc) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2Curves, CurveTest,
+                         ::testing::ValuesIn(kAllCurves),
+                         [](const auto& info) {
+                           return std::string(curve_name(info.param));
+                         });
+
+TEST(Curve, OffCurvePointDetected) {
+  const CurveParams& p = curve_params(CurveId::kSecp256r1);
+  const Curve curve(p);
+  const AffinePoint bogus = AffinePoint::make(p.gx, p.gx);
+  EXPECT_FALSE(curve.on_curve(bogus));
+}
+
+TEST(Curve, FieldSizesMatchNames) {
+  EXPECT_EQ(curve_params(CurveId::kBrainpoolP160r1).bits, 160u);
+  EXPECT_EQ(curve_params(CurveId::kSecp192r1).bits, 192u);
+  EXPECT_EQ(curve_params(CurveId::kSecp224r1).bits, 224u);
+  EXPECT_EQ(curve_params(CurveId::kSecp256k1).bits, 256u);
+  EXPECT_EQ(curve_params(CurveId::kBrainpoolP256r1).bits, 256u);
+}
+
+}  // namespace
+}  // namespace eesmr::crypto

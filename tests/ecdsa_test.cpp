@@ -1,0 +1,76 @@
+#include "src/crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+namespace {
+
+const std::vector<CurveId> kAllCurves = {
+    CurveId::kSecp192r1,       CurveId::kSecp192k1, CurveId::kSecp224r1,
+    CurveId::kSecp256r1,       CurveId::kSecp256k1, CurveId::kBrainpoolP160r1,
+    CurveId::kBrainpoolP256r1,
+};
+
+class EcdsaTest : public ::testing::TestWithParam<CurveId> {
+ protected:
+  EcdsaKeyPair make_key() {
+    sim::Rng rng(31337);
+    return ecdsa_generate(GetParam(), rng);
+  }
+};
+
+TEST_P(EcdsaTest, SignVerifyRoundTrip) {
+  const EcdsaKeyPair kp = make_key();
+  const Bytes msg = to_bytes(std::string("steady-state proposal"));
+  const Bytes sig = ecdsa_sign(kp.priv, msg);
+  EXPECT_EQ(sig.size(), 2 * curve_params(GetParam()).field_bytes());
+  EXPECT_TRUE(ecdsa_verify(kp.pub, msg, sig));
+}
+
+TEST_P(EcdsaTest, TamperedMessageRejected) {
+  const EcdsaKeyPair kp = make_key();
+  const Bytes sig = ecdsa_sign(kp.priv, to_bytes(std::string("block A")));
+  EXPECT_FALSE(ecdsa_verify(kp.pub, to_bytes(std::string("block B")), sig));
+}
+
+TEST_P(EcdsaTest, TamperedSignatureRejected) {
+  const EcdsaKeyPair kp = make_key();
+  const Bytes msg = to_bytes(std::string("payload"));
+  Bytes sig = ecdsa_sign(kp.priv, msg);
+  sig[sig.size() / 2] ^= 0x40;
+  EXPECT_FALSE(ecdsa_verify(kp.pub, msg, sig));
+}
+
+TEST_P(EcdsaTest, DeterministicSignatures) {
+  const EcdsaKeyPair kp = make_key();
+  const Bytes msg = to_bytes(std::string("same message"));
+  EXPECT_EQ(ecdsa_sign(kp.priv, msg), ecdsa_sign(kp.priv, msg));
+}
+
+TEST_P(EcdsaTest, WrongKeyRejected) {
+  const EcdsaKeyPair kp = make_key();
+  sim::Rng rng(777);
+  const EcdsaKeyPair other = ecdsa_generate(GetParam(), rng);
+  const Bytes msg = to_bytes(std::string("payload"));
+  EXPECT_FALSE(ecdsa_verify(other.pub, msg, ecdsa_sign(kp.priv, msg)));
+}
+
+TEST_P(EcdsaTest, MalformedSignatureShapesRejected) {
+  const EcdsaKeyPair kp = make_key();
+  const Bytes msg = to_bytes(std::string("payload"));
+  const std::size_t fb = curve_params(GetParam()).field_bytes();
+  EXPECT_FALSE(ecdsa_verify(kp.pub, msg, Bytes{}));
+  EXPECT_FALSE(ecdsa_verify(kp.pub, msg, Bytes(2 * fb, 0x00)));  // r=s=0
+  EXPECT_FALSE(ecdsa_verify(kp.pub, msg, Bytes(2 * fb + 1, 0x11)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2Curves, EcdsaTest,
+                         ::testing::ValuesIn(kAllCurves),
+                         [](const auto& info) {
+                           return std::string(curve_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace eesmr::crypto

@@ -1,0 +1,104 @@
+// Robustness sweep: decoding arbitrary bytes (Byzantine wire data) must
+// either succeed or throw SerdeError / std::invalid_argument — never
+// crash, never leak unbounded memory. Mutated-valid inputs probe the
+// interesting boundary cases.
+#include <gtest/gtest.h>
+
+#include "src/common/serde.hpp"
+#include "src/sim/rng.hpp"
+#include "src/smr/block.hpp"
+#include "src/smr/message.hpp"
+
+namespace eesmr {
+namespace {
+
+template <typename Fn>
+void expect_no_crash(Fn&& decode, BytesView data) {
+  try {
+    decode(data);
+  } catch (const SerdeError&) {
+  } catch (const std::invalid_argument&) {
+  }
+  // Any other exception type (or a crash) fails the test by escaping.
+}
+
+TEST(FuzzDecode, RandomBytes) {
+  sim::Rng rng(0xf22d);
+  for (int iter = 0; iter < 3000; ++iter) {
+    Bytes junk(rng.below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    expect_no_crash([](BytesView d) { (void)smr::Block::decode(d); }, junk);
+    expect_no_crash([](BytesView d) { (void)smr::Msg::decode(d); }, junk);
+    expect_no_crash([](BytesView d) { (void)smr::QuorumCert::decode(d); },
+                    junk);
+  }
+}
+
+TEST(FuzzDecode, MutatedValidBlock) {
+  smr::Block b;
+  b.parent = smr::genesis_hash();
+  b.height = 1;
+  b.view = 1;
+  b.round = 3;
+  b.cmds = {smr::Command{Bytes(20, 0x33)}};
+  const Bytes valid = b.encode();
+
+  sim::Rng rng(0xdead);
+  for (int iter = 0; iter < 3000; ++iter) {
+    Bytes mutated = valid;
+    // Flip 1-4 random bytes and/or truncate.
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    if (rng.chance(0.3)) mutated.resize(rng.below(mutated.size() + 1));
+    expect_no_crash([](BytesView d) { (void)smr::Block::decode(d); },
+                    mutated);
+  }
+}
+
+TEST(FuzzDecode, MutatedValidQuorumCert) {
+  auto ring = crypto::Keyring::simulated(crypto::SchemeId::kRsa1024, 4, 1);
+  std::vector<smr::Msg> msgs;
+  for (NodeId i = 0; i < 3; ++i) {
+    smr::Msg m;
+    m.type = smr::MsgType::kBlame;
+    m.view = 2;
+    m.author = i;
+    m.sig = ring->signer(i).sign(m.preimage());
+    msgs.push_back(m);
+  }
+  const Bytes valid = smr::QuorumCert::combine(msgs).encode();
+
+  sim::Rng rng(0xbeef);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes mutated = valid;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    if (rng.chance(0.3)) mutated.resize(rng.below(mutated.size() + 1));
+    // Decode may throw; if it succeeds, verification must not crash and
+    // a mutated certificate must never verify as a forged quorum for a
+    // different preimage... (same data -> may still verify: flipping
+    // padding bytes inside a signature field of a *simulated* scheme can
+    // be caught only by verify).
+    try {
+      const smr::QuorumCert qc = smr::QuorumCert::decode(mutated);
+      (void)qc.verify(*ring, 3);
+    } catch (const SerdeError&) {
+    }
+  }
+}
+
+TEST(FuzzDecode, LengthPrefixBombsRejected) {
+  // A 4 GiB length prefix must not allocate 4 GiB.
+  Writer w;
+  w.u32(0xffffffffu);
+  expect_no_crash([](BytesView d) { (void)smr::Block::decode(d); },
+                  w.buffer());
+  Reader r(w.buffer());
+  EXPECT_THROW((void)r.bytes(), SerdeError);
+}
+
+}  // namespace
+}  // namespace eesmr

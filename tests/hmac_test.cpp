@@ -1,0 +1,54 @@
+#include "src/crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.hpp"
+
+namespace eesmr::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = to_bytes(std::string("Hi There"));
+  EXPECT_EQ(hex_encode(hmac(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes(std::string("Jefe"));
+  const Bytes data = to_bytes(std::string("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(hmac(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Bytes data = to_bytes(
+      std::string("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(hmac(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  const Bytes msg = to_bytes(std::string("message"));
+  EXPECT_NE(hmac(to_bytes(std::string("k1")), msg),
+            hmac(to_bytes(std::string("k2")), msg));
+}
+
+TEST(Hmac, MacEqualRejectsLengthMismatch) {
+  EXPECT_FALSE(mac_equal(Bytes{1, 2, 3}, Bytes{1, 2}));
+  EXPECT_TRUE(mac_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(mac_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace eesmr::crypto

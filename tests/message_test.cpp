@@ -1,0 +1,142 @@
+#include "src/smr/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eesmr::smr {
+namespace {
+
+std::shared_ptr<crypto::Keyring> ring() {
+  static auto r =
+      crypto::Keyring::simulated(crypto::SchemeId::kRsa1024, 5, 77);
+  return r;
+}
+
+Msg signed_msg(NodeId author, MsgType type, std::uint64_t view, Bytes data) {
+  Msg m;
+  m.type = type;
+  m.view = view;
+  m.round = 0;
+  m.author = author;
+  m.data = std::move(data);
+  m.sig = ring()->signer(author).sign(m.preimage());
+  return m;
+}
+
+TEST(Msg, EncodeDecodeRoundTrip) {
+  const Msg m = signed_msg(2, MsgType::kPropose, 7, Bytes{9, 9, 9});
+  const Msg d = Msg::decode(m.encode());
+  EXPECT_EQ(d.type, m.type);
+  EXPECT_EQ(d.view, m.view);
+  EXPECT_EQ(d.author, m.author);
+  EXPECT_EQ(d.data, m.data);
+  EXPECT_EQ(d.sig, m.sig);
+}
+
+TEST(Msg, PreimageExcludesSignatureAndAuthor) {
+  Msg m = signed_msg(1, MsgType::kBlame, 3, {});
+  const Bytes p1 = m.preimage();
+  m.sig = Bytes{1, 2, 3};
+  m.author = 4;
+  EXPECT_EQ(m.preimage(), p1);
+}
+
+TEST(Msg, PreimageBindsTypeViewRoundData) {
+  Msg m = signed_msg(1, MsgType::kBlame, 3, Bytes{1});
+  Msg m2 = m;
+  m2.type = MsgType::kCertify;
+  Msg m3 = m;
+  m3.view = 4;
+  Msg m4 = m;
+  m4.round = 9;
+  Msg m5 = m;
+  m5.data = Bytes{2};
+  for (const Msg& other : {m2, m3, m4, m5}) {
+    EXPECT_NE(other.preimage(), m.preimage());
+  }
+}
+
+TEST(Msg, MatchingMsgPredicate) {
+  const Msg m = signed_msg(0, MsgType::kBlame, 5, {});
+  EXPECT_TRUE(matching_msg(m, MsgType::kBlame, 5));
+  EXPECT_FALSE(matching_msg(m, MsgType::kBlame, 6));
+  EXPECT_FALSE(matching_msg(m, MsgType::kCertify, 5));
+}
+
+TEST(QuorumCert, CombineAndVerify) {
+  std::vector<Msg> blames;
+  for (NodeId i = 0; i < 3; ++i) {
+    blames.push_back(signed_msg(i, MsgType::kBlame, 2, {}));
+  }
+  const QuorumCert qc = QuorumCert::combine(blames);
+  EXPECT_EQ(qc.sigs.size(), 3u);
+  EXPECT_TRUE(qc.verify(*ring(), 3));
+  EXPECT_TRUE(qc.verify(*ring(), 2));
+  EXPECT_FALSE(qc.verify(*ring(), 4));  // not enough signatures
+  EXPECT_TRUE(matching_qc(qc, MsgType::kBlame, 2));
+}
+
+TEST(QuorumCert, EncodeDecodeRoundTrip) {
+  std::vector<Msg> msgs;
+  for (NodeId i = 0; i < 2; ++i) {
+    msgs.push_back(signed_msg(i, MsgType::kCertify, 4, Bytes{7, 7}));
+  }
+  const QuorumCert qc = QuorumCert::combine(msgs);
+  const QuorumCert d = QuorumCert::decode(qc.encode());
+  EXPECT_EQ(d.type, qc.type);
+  EXPECT_EQ(d.view, qc.view);
+  EXPECT_EQ(d.data, qc.data);
+  ASSERT_EQ(d.sigs.size(), qc.sigs.size());
+  EXPECT_TRUE(d.verify(*ring(), 2));
+}
+
+TEST(QuorumCert, CombineRejectsMismatchedMessages) {
+  std::vector<Msg> msgs = {signed_msg(0, MsgType::kBlame, 2, {}),
+                           signed_msg(1, MsgType::kBlame, 3, {})};
+  EXPECT_THROW(QuorumCert::combine(msgs), std::invalid_argument);
+  EXPECT_THROW(QuorumCert::combine({}), std::invalid_argument);
+}
+
+TEST(QuorumCert, CombineDeduplicatesAuthors) {
+  std::vector<Msg> msgs = {signed_msg(0, MsgType::kBlame, 2, {}),
+                           signed_msg(0, MsgType::kBlame, 2, {}),
+                           signed_msg(1, MsgType::kBlame, 2, {})};
+  const QuorumCert qc = QuorumCert::combine(msgs);
+  EXPECT_EQ(qc.sigs.size(), 2u);
+}
+
+TEST(QuorumCert, VerifyRejectsDuplicateAuthors) {
+  const Msg m = signed_msg(0, MsgType::kBlame, 2, {});
+  QuorumCert qc;
+  qc.type = MsgType::kBlame;
+  qc.view = 2;
+  qc.round = 0;
+  qc.sigs = {{0, m.sig}, {0, m.sig}};
+  EXPECT_FALSE(qc.verify(*ring(), 2));
+}
+
+TEST(QuorumCert, VerifyRejectsForgedSignature) {
+  std::vector<Msg> msgs = {signed_msg(0, MsgType::kBlame, 2, {}),
+                           signed_msg(1, MsgType::kBlame, 2, {})};
+  QuorumCert qc = QuorumCert::combine(msgs);
+  qc.sigs[1].second[0] ^= 0x01;
+  EXPECT_FALSE(qc.verify(*ring(), 2));
+}
+
+TEST(QuorumCert, VerifyRejectsWrongAttribution) {
+  // A signature by node 0 presented as node 2's.
+  std::vector<Msg> msgs = {signed_msg(0, MsgType::kBlame, 2, {}),
+                           signed_msg(1, MsgType::kBlame, 2, {})};
+  QuorumCert qc = QuorumCert::combine(msgs);
+  qc.sigs[0].first = 2;
+  EXPECT_FALSE(qc.verify(*ring(), 2));
+}
+
+TEST(MsgTypeNames, AllNamed) {
+  EXPECT_STREQ(msg_type_name(MsgType::kPropose), "Propose");
+  EXPECT_STREQ(msg_type_name(MsgType::kBlame), "Blame");
+  EXPECT_STREQ(msg_type_name(MsgType::kEquivProof), "EquivProof");
+  EXPECT_STREQ(msg_type_name(MsgType::kOrdered), "Ordered");
+}
+
+}  // namespace
+}  // namespace eesmr::smr

@@ -1,0 +1,130 @@
+#include "src/crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.hpp"
+
+namespace eesmr::crypto {
+namespace {
+
+using sim::Rng;
+
+// Key generation is comparatively slow; share one key per size.
+const RsaKeyPair& key1024() {
+  static const RsaKeyPair kp = [] {
+    Rng rng(101);
+    return rsa_generate(1024, rng);
+  }();
+  return kp;
+}
+
+TEST(Rsa, PrimalitySmallNumbers) {
+  Rng rng(1);
+  EXPECT_TRUE(is_probable_prime(BigInt(2), rng));
+  EXPECT_TRUE(is_probable_prime(BigInt(3), rng));
+  EXPECT_TRUE(is_probable_prime(BigInt(65537), rng));
+  EXPECT_TRUE(is_probable_prime(BigInt(104729), rng));  // 10000th prime
+  EXPECT_FALSE(is_probable_prime(BigInt(1), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(4), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(104729ull * 104729ull), rng));
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(is_probable_prime(BigInt(561), rng));
+  // 2^61 - 1 is a Mersenne prime.
+  EXPECT_TRUE(is_probable_prime(BigInt((1ull << 61) - 1), rng));
+}
+
+TEST(Rsa, GeneratedPrimeHasRequestedLength) {
+  Rng rng(2);
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = generate_prime(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Rsa, KeyGenerationInvariants) {
+  const auto& kp = key1024();
+  EXPECT_EQ(kp.priv.n.bit_length(), 1024u);
+  EXPECT_EQ(kp.priv.modulus_bytes, 128u);
+  EXPECT_EQ(kp.priv.p * kp.priv.q, kp.priv.n);
+  // e*d = 1 mod phi.
+  const BigInt phi = (kp.priv.p - BigInt(1)) * (kp.priv.q - BigInt(1));
+  EXPECT_TRUE(BigInt::mod_mul(kp.priv.e, kp.priv.d, phi).is_one());
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  const auto& kp = key1024();
+  const Bytes msg = to_bytes(std::string("propose block 42"));
+  const Bytes sig = rsa_sign(kp.priv, msg);
+  EXPECT_EQ(sig.size(), 128u);
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, TamperedMessageRejected) {
+  const auto& kp = key1024();
+  const Bytes sig = rsa_sign(kp.priv, to_bytes(std::string("message A")));
+  EXPECT_FALSE(rsa_verify(kp.pub, to_bytes(std::string("message B")), sig));
+}
+
+TEST(Rsa, TamperedSignatureRejected) {
+  const auto& kp = key1024();
+  const Bytes msg = to_bytes(std::string("message"));
+  Bytes sig = rsa_sign(kp.priv, msg);
+  sig[10] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, WrongLengthSignatureRejected) {
+  const auto& kp = key1024();
+  const Bytes msg = to_bytes(std::string("message"));
+  Bytes sig = rsa_sign(kp.priv, msg);
+  sig.push_back(0);
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, sig));
+  sig.resize(64);
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, CrossKeyRejected) {
+  const auto& kp = key1024();
+  Rng rng(505);
+  const RsaKeyPair other = rsa_generate(1024, rng);
+  const Bytes msg = to_bytes(std::string("message"));
+  const Bytes sig = rsa_sign(kp.priv, msg);
+  EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST(Rsa, DeterministicSignature) {
+  const auto& kp = key1024();
+  const Bytes msg = to_bytes(std::string("deterministic"));
+  EXPECT_EQ(rsa_sign(kp.priv, msg), rsa_sign(kp.priv, msg));
+}
+
+TEST(Rsa, EmptyAndLargeMessages) {
+  const auto& kp = key1024();
+  const Bytes empty;
+  const Bytes sig_e = rsa_sign(kp.priv, empty);
+  EXPECT_TRUE(rsa_verify(kp.pub, empty, sig_e));
+  const Bytes large(10000, 0x5a);
+  const Bytes sig_l = rsa_sign(kp.priv, large);
+  EXPECT_TRUE(rsa_verify(kp.pub, large, sig_l));
+}
+
+// The paper's odd 1260-bit modulus must work too (smaller primes keep the
+// test quick: 1260 = 2 * 630).
+TEST(Rsa, Modulus1260) {
+  Rng rng(77);
+  const RsaKeyPair kp = rsa_generate(1260, rng);
+  EXPECT_EQ(kp.priv.modulus_bytes, 158u);
+  const Bytes msg = to_bytes(std::string("1260-bit"));
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, rsa_sign(kp.priv, msg)));
+}
+
+TEST(Rsa, RejectsBadKeySizes) {
+  Rng rng(1);
+  EXPECT_THROW(rsa_generate(100, rng), std::invalid_argument);
+  EXPECT_THROW(rsa_generate(1025, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eesmr::crypto

@@ -1,0 +1,77 @@
+#include "src/crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.hpp"
+
+namespace eesmr::crypto {
+namespace {
+
+std::string hash_hex(const std::string& msg) {
+  return hex_encode(sha256(to_bytes(msg)));
+}
+
+// FIPS 180-4 / NIST example vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  const auto digest = ctx.finish();
+  EXPECT_EQ(hex_encode(BytesView(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes(std::string(517, 'x'));
+  // Split at awkward offsets relative to the 64-byte block size.
+  for (std::size_t split : {1u, 63u, 64u, 65u, 128u, 500u}) {
+    Sha256 ctx;
+    ctx.update(BytesView(msg).subspan(0, split));
+    ctx.update(BytesView(msg).subspan(split));
+    EXPECT_EQ(ctx.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryPadding) {
+  // 55, 56 and 64 byte messages exercise all padding branches.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const Bytes msg(len, 'q');
+    Sha256 a;
+    a.update(msg);
+    EXPECT_EQ(a.finish(), Sha256::hash(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 ctx;
+  ctx.update(to_bytes(std::string("garbage")));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(to_bytes(std::string("abc")));
+  const auto digest = ctx.finish();
+  EXPECT_EQ(hex_encode(BytesView(digest.data(), digest.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256(to_bytes(std::string("a"))),
+            sha256(to_bytes(std::string("b"))));
+}
+
+}  // namespace
+}  // namespace eesmr::crypto

@@ -1,0 +1,81 @@
+#include "src/crypto/signer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eesmr::crypto {
+namespace {
+
+TEST(SchemeInfo, SignatureSizesMatchSchemes) {
+  EXPECT_EQ(scheme_info(SchemeId::kHmacSha256).signature_bytes, 32u);
+  EXPECT_EQ(scheme_info(SchemeId::kEcdsaBp160r1).signature_bytes, 40u);
+  EXPECT_EQ(scheme_info(SchemeId::kEcdsaSecp256r1).signature_bytes, 64u);
+  EXPECT_EQ(scheme_info(SchemeId::kRsa1024).signature_bytes, 128u);
+  EXPECT_EQ(scheme_info(SchemeId::kRsa1260).signature_bytes, 158u);
+  EXPECT_EQ(scheme_info(SchemeId::kRsa2048).signature_bytes, 256u);
+  EXPECT_TRUE(scheme_info(SchemeId::kHmacSha256).symmetric);
+  EXPECT_FALSE(scheme_info(SchemeId::kRsa1024).symmetric);
+}
+
+TEST(SchemeInfo, AllSchemesEnumerated) {
+  EXPECT_EQ(all_schemes().size(), 11u);
+}
+
+TEST(Keyring, SimulatedSignVerify) {
+  auto ring = Keyring::simulated(SchemeId::kRsa1024, 4, 1);
+  const Bytes msg = to_bytes(std::string("hello"));
+  const Bytes sig = ring->signer(0).sign(msg);
+  EXPECT_EQ(sig.size(), 128u);  // emulates RSA-1024 wire size
+  EXPECT_TRUE(ring->verify(0, msg, sig));
+  EXPECT_TRUE(ring->is_simulated());
+}
+
+TEST(Keyring, SimulatedRejectsWrongSigner) {
+  auto ring = Keyring::simulated(SchemeId::kEcdsaSecp256r1, 4, 1);
+  const Bytes msg = to_bytes(std::string("hello"));
+  const Bytes sig = ring->signer(0).sign(msg);
+  EXPECT_FALSE(ring->verify(1, msg, sig));
+  EXPECT_FALSE(ring->verify(99, msg, sig));  // unknown node
+}
+
+TEST(Keyring, SimulatedRejectsTamperedMessage) {
+  auto ring = Keyring::simulated(SchemeId::kRsa1024, 2, 9);
+  const Bytes sig = ring->signer(1).sign(to_bytes(std::string("a")));
+  EXPECT_FALSE(ring->verify(1, to_bytes(std::string("b")), sig));
+}
+
+TEST(Keyring, SimulatedDeterministicAcrossInstances) {
+  auto r1 = Keyring::simulated(SchemeId::kRsa1024, 3, 42);
+  auto r2 = Keyring::simulated(SchemeId::kRsa1024, 3, 42);
+  const Bytes msg = to_bytes(std::string("x"));
+  EXPECT_EQ(r1->signer(2).sign(msg), r2->signer(2).sign(msg));
+  // Different seed -> different keys.
+  auto r3 = Keyring::simulated(SchemeId::kRsa1024, 3, 43);
+  EXPECT_NE(r1->signer(2).sign(msg), r3->signer(2).sign(msg));
+}
+
+TEST(Keyring, RealHmacRing) {
+  auto ring = Keyring::generate(SchemeId::kHmacSha256, 3, 5);
+  const Bytes msg = to_bytes(std::string("mac me"));
+  const Bytes sig = ring->signer(2).sign(msg);
+  EXPECT_EQ(sig.size(), 32u);
+  EXPECT_TRUE(ring->verify(2, msg, sig));
+  EXPECT_FALSE(ring->verify(0, msg, sig));
+  EXPECT_FALSE(ring->is_simulated());
+}
+
+TEST(Keyring, RealEcdsaRing) {
+  auto ring = Keyring::generate(SchemeId::kEcdsaSecp192r1, 2, 5);
+  const Bytes msg = to_bytes(std::string("sign me"));
+  const Bytes sig = ring->signer(0).sign(msg);
+  EXPECT_EQ(sig.size(), 48u);
+  EXPECT_TRUE(ring->verify(0, msg, sig));
+  EXPECT_FALSE(ring->verify(1, msg, sig));
+}
+
+TEST(Keyring, SignerOutOfRangeThrows) {
+  auto ring = Keyring::simulated(SchemeId::kRsa1024, 2, 1);
+  EXPECT_THROW((void)ring->signer(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace eesmr::crypto

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/rng.hpp"
+#include "src/sim/scheduler.hpp"
+
+namespace eesmr::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(30, [&] { order.push_back(3); });
+  sched.at(10, [&] { order.push_back(1); });
+  sched.at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+}
+
+TEST(Scheduler, SameTimeIsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.at(10, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, AfterSchedulesRelative) {
+  Scheduler sched;
+  sched.at(100, [] {});
+  sched.run();
+  SimTime fired = -1;
+  sched.after(50, [&] { fired = sched.now(); });
+  sched.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.at(10, [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sched.cancel(id));  // second cancel is a no-op
+}
+
+TEST(Scheduler, PastSchedulingThrows) {
+  Scheduler sched;
+  sched.at(100, [] {});
+  sched.run();
+  EXPECT_THROW(sched.at(50, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, RunUntilAdvancesClock) {
+  Scheduler sched;
+  int fired = 0;
+  sched.at(10, [&] { ++fired; });
+  sched.at(1000, [&] { ++fired; });
+  sched.run_until(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 500);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunAreProcessed) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sched.after(10, recurse);
+  };
+  sched.after(10, recurse);
+  sched.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sched.now(), 50);
+}
+
+TEST(Scheduler, RunLimitStopsEarly) {
+  Scheduler sched;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sched.at(i + 1, [&] { ++fired; });
+  EXPECT_EQ(sched.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Timer, StartCancelRestart) {
+  Scheduler sched;
+  Timer t(sched);
+  int fired = 0;
+  t.start(10, [&] { ++fired; });
+  EXPECT_TRUE(t.armed());
+  t.cancel();
+  sched.run();
+  EXPECT_EQ(fired, 0);
+
+  t.start(10, [&] { ++fired; });
+  t.start(20, [&] { fired += 10; });  // restart replaces the pending timer
+  sched.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, DeadlineReflectsArming) {
+  Scheduler sched;
+  sched.at(100, [] {});
+  sched.run();
+  Timer t(sched);
+  t.start(40, [] {});
+  EXPECT_EQ(t.deadline(), 140);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream should not simply replay the parent stream.
+  Rng parent2(5);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next(), child2.next());
+}
+
+}  // namespace
+}  // namespace eesmr::sim
