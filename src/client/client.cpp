@@ -1,0 +1,150 @@
+#include "src/client/client.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/serde.hpp"
+#include "src/energy/cost_model.hpp"
+#include "src/smr/message.hpp"
+
+namespace eesmr::client {
+
+Client::Client(net::Network& net, ClientConfig cfg, energy::Meter* meter)
+    : router_(net, cfg.id, this),
+      cfg_(std::move(cfg)),
+      meter_(meter),
+      sched_(net.scheduler()),
+      rng_(cfg_.seed ^ (0xC11E00ull + cfg_.id)) {
+  if (!cfg_.keyring) throw std::invalid_argument("Client: keyring required");
+  if (cfg_.id < cfg_.n) {
+    throw std::invalid_argument("Client: id must be outside the replica range");
+  }
+  if (cfg_.keyring->size() <= cfg_.id) {
+    throw std::invalid_argument("Client: keyring does not cover client id");
+  }
+  // Clients are leaves: they consume replies but never relay protocol
+  // traffic (the network side is the `relay` vector passed to the
+  // Network constructor).
+  router_.set_forwarding(false);
+  gen_ = make_generator(cfg_.workload.gen, rng_.next());
+}
+
+void Client::start() {
+  if (started_) return;
+  started_ = true;
+  if (cfg_.workload.mode == WorkloadSpec::Mode::kClosedLoop) {
+    fill_window();
+  } else {
+    schedule_next_arrival();
+  }
+}
+
+void Client::fill_window() {
+  while (budget_left() && pending_.size() < cfg_.workload.outstanding) {
+    submit_one();
+  }
+}
+
+void Client::schedule_next_arrival() {
+  if (!budget_left()) return;
+  // Poisson process: exponential inter-arrival at rate_per_sec.
+  const double rate = std::max(cfg_.workload.rate_per_sec, 1e-9);
+  const double gap_s = -std::log(1.0 - rng_.uniform()) / rate;
+  const auto gap = std::max<sim::Duration>(
+      1, static_cast<sim::Duration>(gap_s * 1e6));
+  sched_.after(gap, [this] {
+    if (!budget_left()) return;
+    submit_one();
+    schedule_next_arrival();
+  });
+}
+
+void Client::submit_one() {
+  const std::uint64_t req_id = next_req_id_++;
+  auto [it, inserted] = pending_.emplace(
+      req_id, Pending(sched_.now(), build_request(req_id, gen_->next()),
+                      cfg_.f));
+  (void)inserted;
+  ++submitted_;
+  router_.broadcast(it->second.wire);
+  arm_retry(req_id);
+}
+
+Bytes Client::build_request(std::uint64_t req_id, Bytes op) {
+  smr::ClientRequest req;
+  req.client = cfg_.id;
+  req.req_id = req_id;
+  req.op = std::move(op);
+  // The signature lives inside the request so replicas can re-verify it
+  // at commit time; the transport Msg needs no second signature.
+  req.sig = cfg_.keyring->signer(cfg_.id).sign(req.preimage());
+  if (meter_ != nullptr) {
+    meter_->charge(energy::Category::kSign,
+                   energy::sign_energy_mj(cfg_.keyring->scheme()));
+  }
+
+  smr::Msg m;
+  m.type = smr::MsgType::kRequest;
+  m.view = 0;
+  m.round = req_id;
+  m.author = cfg_.id;
+  m.data = req.encode();
+  return m.encode();
+}
+
+void Client::arm_retry(std::uint64_t req_id) {
+  if (cfg_.retry_after <= 0) return;
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  it->second.retry_event = sched_.after(cfg_.retry_after, [this, req_id] {
+    const auto p = pending_.find(req_id);
+    if (p == pending_.end()) return;  // accepted meanwhile
+    ++retransmits_;
+    router_.broadcast(p->second.wire);
+    arm_retry(req_id);
+  });
+}
+
+void Client::on_deliver(NodeId, BytesView payload) {
+  smr::Msg m;
+  try {
+    m = smr::Msg::decode(payload);
+  } catch (const SerdeError&) {
+    return;
+  }
+  if (m.type != smr::MsgType::kReply) return;  // flooded protocol traffic
+  if (m.author >= cfg_.n) return;              // only replicas may reply
+  const auto rep = smr::ClientReply::decode(m.data);
+  if (!rep.has_value()) return;
+  // The signed reply names its client: an acknowledgment for another
+  // client's colliding req_id cannot be replayed to us.
+  if (rep->client != cfg_.id) return;
+  const auto it = pending_.find(rep->req_id);
+  if (it == pending_.end()) return;  // unknown or already accepted
+  // Only now pay for the signature check: late replies past acceptance
+  // and other clients' acknowledgments cost nothing.
+  if (meter_ != nullptr) {
+    meter_->charge(energy::Category::kVerify,
+                   energy::verify_energy_mj(cfg_.keyring->scheme()));
+  }
+  if (!cfg_.keyring->verify(m.author, m.preimage(), m.sig)) return;
+
+  Pending& p = it->second;
+  const auto result = p.acks.add(m.author, rep->result);
+  if (!result.has_value()) return;
+
+  // First time this request reaches f+1 identical results: accept.
+  latency_.add(sched_.now() - p.submitted_at);
+  const std::size_t replies = p.acks.replies();
+  min_replies_at_accept_ = accepted_ == 0
+                               ? replies
+                               : std::min(min_replies_at_accept_, replies);
+  ++accepted_;
+  if (results_.size() < kMaxStoredResults) results_[rep->req_id] = *result;
+  sched_.cancel(p.retry_event);
+  pending_.erase(it);
+
+  if (cfg_.workload.mode == WorkloadSpec::Mode::kClosedLoop) fill_window();
+}
+
+}  // namespace eesmr::client

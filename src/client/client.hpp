@@ -1,0 +1,114 @@
+// Simulated client node: the external request/reply side of the §3 SMR
+// definition. A Client attaches to the net::Network as a non-forwarding
+// leaf, floods signed kRequest messages to the replicas, collects signed
+// kReply acknowledgments, and accepts a result once f+1 replicas
+// reported the same one (smr::AckCollector). Per-request submit→accept
+// latency feeds the latency histogram the harness aggregates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/client/stats.hpp"
+#include "src/client/workload.hpp"
+#include "src/crypto/signer.hpp"
+#include "src/energy/meter.hpp"
+#include "src/net/flood.hpp"
+#include "src/sim/rng.hpp"
+#include "src/smr/app.hpp"
+#include "src/smr/request.hpp"
+
+namespace eesmr::client {
+
+struct ClientConfig {
+  /// Node id in the hypergraph; must be >= the replica count (replies
+  /// from replica ids below `n` are the only ones trusted).
+  NodeId id = 0;
+  /// Number of protocol nodes that may author replies.
+  std::size_t n = 4;
+  std::size_t f = 1;
+  /// Key directory covering replicas AND this client's id.
+  std::shared_ptr<crypto::Keyring> keyring;
+  WorkloadSpec workload;
+  std::uint64_t seed = 1;
+  /// Retransmit a still-unaccepted request after this long (0 = never).
+  /// Safe under at-most-once execution: replicas pool a request at most
+  /// once and replay the stored result on duplicates.
+  sim::Duration retry_after = 0;
+};
+
+class Client final : public net::FloodClient {
+ public:
+  /// `meter` may be nullptr (no client-side energy accounting).
+  Client(net::Network& net, ClientConfig cfg, energy::Meter* meter = nullptr);
+
+  /// Begin submitting according to the workload spec.
+  void start();
+
+  // net::FloodClient:
+  void on_deliver(NodeId origin, BytesView payload) override;
+
+  // -- observability -----------------------------------------------------------
+  [[nodiscard]] NodeId id() const { return cfg_.id; }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmits_; }
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+  [[nodiscard]] const LatencyHistogram& latencies() const { return latency_; }
+  /// Accepted results by req_id (the f+1-matched execution results).
+  /// Capped at kMaxStoredResults so unbounded benchmark runs do not
+  /// accumulate memory; latency/throughput accounting is unaffected.
+  [[nodiscard]] const std::map<std::uint64_t, Bytes>& results() const {
+    return results_;
+  }
+  static constexpr std::size_t kMaxStoredResults = 4096;
+  /// Fewest distinct replica replies any accepted request had seen at
+  /// acceptance time; >= f+1 by the acceptance rule. 0 before any accept.
+  [[nodiscard]] std::size_t min_replies_at_accept() const {
+    return accepted_ == 0 ? 0 : min_replies_at_accept_;
+  }
+
+ private:
+  struct Pending {
+    sim::SimTime submitted_at = 0;
+    /// Encoded kRequest Msg, signed once at submission; retransmits
+    /// rebroadcast these exact bytes so mempool dedup never depends on
+    /// signature determinism.
+    Bytes wire;
+    smr::AckCollector acks;
+    sim::EventId retry_event = sim::kInvalidEvent;
+
+    Pending(sim::SimTime at, Bytes w, std::size_t f)
+        : submitted_at(at), wire(std::move(w)), acks(f) {}
+  };
+
+  void fill_window();
+  void submit_one();
+  [[nodiscard]] Bytes build_request(std::uint64_t req_id, Bytes op);
+  void arm_retry(std::uint64_t req_id);
+  void schedule_next_arrival();
+  [[nodiscard]] bool budget_left() const {
+    return cfg_.workload.max_requests == 0 ||
+           submitted_ < cfg_.workload.max_requests;
+  }
+
+  net::FloodRouter router_;
+  ClientConfig cfg_;
+  energy::Meter* meter_;
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  std::unique_ptr<CommandGen> gen_;
+
+  bool started_ = false;
+  std::uint64_t next_req_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::size_t min_replies_at_accept_ = 0;
+  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint64_t, Bytes> results_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace eesmr::client

@@ -1,0 +1,72 @@
+// Client-side measurement vocabulary: per-request latency samples with
+// on-demand quantiles (the p50/p90/p99 columns of the latency figures).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace eesmr::client {
+
+class LatencyHistogram {
+ public:
+  void add(sim::Duration sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank quantile (index ceil(q*n) - 1), q in [0, 1]; 0 when
+  /// no samples.
+  [[nodiscard]] sim::Duration quantile(double q) const {
+    if (samples_.empty()) return 0;
+    sort_once();
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const double n = static_cast<double>(samples_.size());
+    std::size_t rank =
+        clamped <= 0.0
+            ? 0
+            : static_cast<std::size_t>(std::ceil(clamped * n)) - 1;
+    if (rank >= samples_.size()) rank = samples_.size() - 1;
+    return samples_[rank];
+  }
+
+  [[nodiscard]] sim::Duration p50() const { return quantile(0.50); }
+  [[nodiscard]] sim::Duration p90() const { return quantile(0.90); }
+  [[nodiscard]] sim::Duration p99() const { return quantile(0.99); }
+  [[nodiscard]] sim::Duration max() const {
+    if (samples_.empty()) return 0;
+    sort_once();
+    return samples_.back();
+  }
+
+  [[nodiscard]] double mean_ms() const {
+    if (samples_.empty()) return 0.0;
+    double total = 0;
+    for (sim::Duration s : samples_) total += sim::to_milliseconds(s);
+    return total / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void sort_once() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<sim::Duration> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace eesmr::client

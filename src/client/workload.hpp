@@ -1,0 +1,73 @@
+// Workload layer: what clients send and when they send it.
+//
+// Command generators produce the application payload of successive
+// requests (synthetic opaque bytes, or KV set/get/inc with uniform or
+// Zipf-skewed key choice and a configurable read/write mix). Arrival
+// shapes are chosen per client: closed-loop (a fixed window of
+// outstanding requests, the NxBFT-style benchmark client) or open-loop
+// (Poisson arrivals at a target rate, independent of acceptance).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/sim/rng.hpp"
+
+namespace eesmr::client {
+
+/// Generates the application payload of successive requests.
+class CommandGen {
+ public:
+  virtual ~CommandGen() = default;
+  virtual Bytes next() = 0;
+};
+
+/// Zipf(theta) sampler over {0 .. n-1} via a precomputed CDF; theta = 0
+/// degenerates to uniform. Rank 0 is the hottest key.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Value-type description of a command generator (plumbable through
+/// cluster configs without owning pointers).
+struct GenSpec {
+  enum class Kind {
+    kSynthetic,  ///< opaque payloads of `synthetic_bytes`
+    kKv,         ///< KvStore text ops over `kv_keys` keys
+  };
+  Kind kind = Kind::kSynthetic;
+  std::size_t synthetic_bytes = 16;
+  std::size_t kv_keys = 128;
+  /// Fraction of ops that are reads ("get"); writes split between
+  /// "set" and "inc".
+  double kv_read_fraction = 0.5;
+  /// Zipf exponent for key choice; 0 = uniform.
+  double kv_zipf = 0.0;
+  std::size_t kv_value_bytes = 8;
+};
+
+std::unique_ptr<CommandGen> make_generator(const GenSpec& spec,
+                                           std::uint64_t seed);
+
+/// Traffic shape of one client.
+struct WorkloadSpec {
+  enum class Mode {
+    kClosedLoop,  ///< keep `outstanding` requests in flight
+    kOpenLoop,    ///< Poisson arrivals at `rate_per_sec`
+  };
+  Mode mode = Mode::kClosedLoop;
+  std::size_t outstanding = 1;
+  double rate_per_sec = 20.0;
+  /// Stop submitting after this many requests (0 = unbounded).
+  std::uint64_t max_requests = 0;
+  GenSpec gen;
+};
+
+}  // namespace eesmr::client

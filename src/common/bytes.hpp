@@ -27,4 +27,13 @@ inline std::string to_string(BytesView v) {
   return std::string(v.begin(), v.end());
 }
 
+/// Stamp `v` little-endian into the first min(8, size) bytes of `buf`.
+/// Shared by the synthetic workload generators to keep fixed-size
+/// payloads distinct.
+inline void stamp_counter_le(Bytes& buf, std::uint64_t v) {
+  for (std::size_t b = 0; b < 8 && b < buf.size(); ++b) {
+    buf[b] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+}
+
 }  // namespace eesmr

@@ -54,6 +54,12 @@ std::size_t RunResult::max_committed() const {
   return best;
 }
 
+double RunResult::accepted_per_sec() const {
+  const double secs = sim::to_seconds(end_time);
+  return secs <= 0 ? 0.0
+                   : static_cast<double>(requests_accepted) / secs;
+}
+
 double RunResult::total_energy_mj() const {
   double total = 0;
   for (std::size_t i = 0; i < meters.size(); ++i) {
@@ -84,8 +90,10 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   if (cfg_.n < 2) throw std::invalid_argument("Cluster: n >= 2 required");
   const bool baseline = cfg_.protocol == Protocol::kTrustedBaseline;
   const std::size_t total = baseline ? cfg_.n + 1 : cfg_.n;
+  // Clients are appended after the protocol nodes.
+  const std::size_t world = total + cfg_.clients;
 
-  // Topology.
+  // Protocol-node topology.
   net::Hypergraph graph(total);
   if (baseline) {
     // Star: every CPS node <-> the control node (id n).
@@ -99,15 +107,39 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   } else {
     graph = net::Hypergraph::kcast_ring(total, cfg_.k);
   }
+  // Δ derives from the protocol-node diameter: clients are non-relay
+  // leaves and can never shorten replica-to-replica paths.
   const std::size_t diameter = std::max<std::size_t>(1, graph.diameter());
   delta_ = cfg_.hop_delay * static_cast<sim::Duration>(diameter + 1);
 
-  meters_.resize(total);
+  if (cfg_.clients > 0) {
+    graph = net::Hypergraph::expanded(graph, world);
+    const std::size_t attach =
+        cfg_.client_attach == 0 ? cfg_.n
+                                : std::min(cfg_.client_attach, cfg_.n);
+    for (std::size_t ci = 0; ci < cfg_.clients; ++ci) {
+      const NodeId cid = static_cast<NodeId>(total + ci);
+      for (std::size_t j = 0; j < attach; ++j) {
+        // Spread partial attachments round-robin across replicas.
+        const NodeId r = static_cast<NodeId>((ci + j) % cfg_.n);
+        graph.add_edge({cid, {r}});
+        graph.add_edge({r, {cid}});
+      }
+    }
+  }
+
+  meters_.resize(world);
   net::TransportConfig tc;
   tc.medium = cfg_.medium;
   tc.hop_bound = cfg_.hop_delay;
+  // Clients are non-relay leaves from the start (one hop computation).
+  std::vector<bool> relay;
+  if (cfg_.clients > 0) {
+    relay.assign(world, true);
+    for (std::size_t ci = 0; ci < cfg_.clients; ++ci) relay[total + ci] = false;
+  }
   net_ = std::make_unique<net::Network>(sched_, std::move(graph), tc,
-                                        &meters_);
+                                        &meters_, std::move(relay));
   if (cfg_.adversarial_delays) {
     net_->set_delay_policy(std::make_unique<net::MaxDelay>(cfg_.hop_delay));
   } else {
@@ -116,13 +148,18 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
         cfg_.hop_delay));
   }
 
-  // Keys.
+  // Keys (the directory also covers client ids).
   keyring_ = cfg_.simulated_keys
-                 ? crypto::Keyring::simulated(cfg_.scheme, total, cfg_.seed)
-                 : crypto::Keyring::generate(cfg_.scheme, total, cfg_.seed);
+                 ? crypto::Keyring::simulated(cfg_.scheme, world, cfg_.seed)
+                 : crypto::Keyring::generate(cfg_.scheme, world, cfg_.seed);
 
-  correct_.assign(total, true);
-  counted_.assign(total, true);
+  correct_.assign(world, true);
+  counted_.assign(world, true);
+  // Clients are mains-powered workload generators: correct but never
+  // part of the replica energy/commit accounting.
+  for (std::size_t ci = 0; ci < cfg_.clients; ++ci) {
+    counted_[total + ci] = false;
+  }
   for (const FaultSpec& fs : cfg_.faults) {
     if (fs.mode != protocol::ByzantineMode::kHonest) {
       correct_.at(fs.node) = false;
@@ -134,7 +171,10 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   base.f = cfg_.f;
   base.delta = delta_;
   base.batch_size = cfg_.batch_size;
-  base.cmd_bytes = cfg_.cmd_bytes;
+  // With real clients attached, blocks carry client requests only — the
+  // "clients always have pending requests" synthetic filler would bury
+  // the measured workload.
+  base.cmd_bytes = cfg_.clients > 0 ? 0 : cfg_.cmd_bytes;
   base.keyring = keyring_;
 
   auto fault_for = [&](NodeId id) {
@@ -194,6 +234,26 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       }
     }
   }
+
+  // Execution apps + client nodes.
+  if (cfg_.clients > 0) {
+    for (auto& r : replicas_) {
+      apps_.push_back(std::make_unique<smr::KvStore>());
+      r->attach_app(apps_.back().get());
+    }
+    for (std::size_t ci = 0; ci < cfg_.clients; ++ci) {
+      client::ClientConfig cc;
+      cc.id = static_cast<NodeId>(total + ci);
+      cc.n = total;
+      cc.f = cfg_.f;
+      cc.keyring = keyring_;
+      cc.workload = cfg_.workload;
+      cc.seed = cfg_.seed + 7919 * (ci + 1);
+      cc.retry_after = cfg_.client_retry;
+      clients_.push_back(
+          std::make_unique<client::Client>(*net_, cc, &meters_[cc.id]));
+    }
+  }
 }
 
 protocol::EesmrReplica& Cluster::eesmr(NodeId id) {
@@ -206,6 +266,7 @@ void Cluster::start() {
   if (started_) return;
   started_ = true;
   for (auto& r : replicas_) r->start();
+  for (auto& c : clients_) c->start();
 }
 
 std::size_t Cluster::min_committed_correct() const {
@@ -224,6 +285,23 @@ RunResult Cluster::run_until_commits(std::size_t target_blocks,
   const sim::SimTime deadline = sched_.now() + max_time;
   while (sched_.now() < deadline &&
          min_committed_correct() < target_blocks && !sched_.empty()) {
+    sched_.run_until(std::min<sim::SimTime>(
+        deadline, sched_.now() + cfg_.hop_delay * 4));
+  }
+  return snapshot();
+}
+
+RunResult Cluster::run_until_accepted(std::uint64_t target_requests,
+                                      sim::Duration max_time) {
+  start();
+  const sim::SimTime deadline = sched_.now() + max_time;
+  const auto accepted_total = [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : clients_) total += c->accepted();
+    return total;
+  };
+  while (sched_.now() < deadline && accepted_total() < target_requests &&
+         !sched_.empty()) {
     sched_.run_until(std::min<sim::SimTime>(
         deadline, sched_.now() + cfg_.hop_delay * 4));
   }
@@ -252,6 +330,12 @@ RunResult Cluster::snapshot() const {
   out.transmissions = net_->transmissions();
   out.bytes_transmitted = net_->bytes_transmitted();
   out.end_time = sched_.now();
+  for (const auto& c : clients_) {
+    out.latency.merge(c->latencies());
+    out.requests_submitted += c->submitted();
+    out.requests_accepted += c->accepted();
+    out.request_retransmissions += c->retransmissions();
+  }
   return out;
 }
 

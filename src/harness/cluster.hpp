@@ -8,6 +8,7 @@
 
 #include "src/baselines/sync_hotstuff.hpp"
 #include "src/baselines/trusted_baseline.hpp"
+#include "src/client/client.hpp"
 #include "src/eesmr/eesmr.hpp"
 #include "src/harness/metrics.hpp"
 
@@ -49,6 +50,20 @@ struct ClusterConfig {
   std::uint64_t seed = 1;
   /// Deliver every message at exactly the hop bound (worst adversary).
   bool adversarial_delays = false;
+
+  // -- client / workload layer -------------------------------------------------
+  /// Simulated client nodes appended after the protocol nodes. When > 0,
+  /// every replica gets a KvStore execution app, the mempool's synthetic
+  /// filler is disabled (blocks carry real requests only), and RunResult
+  /// reports request latency and goodput.
+  std::size_t clients = 0;
+  /// Replicas each client wires access edges to (0 = all). Clients are
+  /// non-relay leaves, so partial attachment never shortcuts the replica
+  /// topology.
+  std::size_t client_attach = 0;
+  client::WorkloadSpec workload;
+  /// Client retransmission timeout (0 = never retransmit).
+  sim::Duration client_retry = 0;
 };
 
 class Cluster {
@@ -61,6 +76,10 @@ class Cluster {
   /// `target_blocks`, or until simulated `max_time` elapses.
   RunResult run_until_commits(std::size_t target_blocks,
                               sim::Duration max_time);
+  /// Run until clients accepted `target_requests` in total, or until
+  /// simulated `max_time` elapses.
+  RunResult run_until_accepted(std::uint64_t target_requests,
+                               sim::Duration max_time);
   /// Run for a fixed amount of simulated time.
   RunResult run_for(sim::Duration time);
 
@@ -73,6 +92,10 @@ class Cluster {
     return *replicas_.at(id);
   }
   [[nodiscard]] protocol::EesmrReplica& eesmr(NodeId id);
+  [[nodiscard]] client::Client& client(std::size_t i) {
+    return *clients_.at(i);
+  }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
   /// End-to-end Δ derived from the topology (hop bound × diameter + 1).
   [[nodiscard]] sim::Duration delta() const { return delta_; }
@@ -87,6 +110,8 @@ class Cluster {
   std::unique_ptr<net::Network> net_;
   std::shared_ptr<crypto::Keyring> keyring_;
   std::vector<std::unique_ptr<smr::ReplicaBase>> replicas_;
+  std::vector<std::unique_ptr<smr::KvStore>> apps_;
+  std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<bool> correct_;
   std::vector<bool> counted_;
   bool started_ = false;

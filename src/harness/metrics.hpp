@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/client/stats.hpp"
 #include "src/energy/meter.hpp"
 #include "src/sim/time.hpp"
 #include "src/smr/block.hpp"
@@ -20,6 +21,12 @@ struct RunResult {
   std::uint64_t bytes_transmitted = 0;
   sim::SimTime end_time = 0;
 
+  // Client/workload measurements (empty when no clients configured).
+  client::LatencyHistogram latency;  ///< submit→accept, all clients
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t request_retransmissions = 0;
+
   /// Safety (Definition 2.1): for every height, all correct nodes that
   /// committed a block at that height committed the same block.
   [[nodiscard]] bool safety_ok() const;
@@ -27,6 +34,9 @@ struct RunResult {
   /// Minimum committed-log length over correct nodes.
   [[nodiscard]] std::size_t min_committed() const;
   [[nodiscard]] std::size_t max_committed() const;
+
+  /// Accepted client requests per simulated second (goodput).
+  [[nodiscard]] double accepted_per_sec() const;
 
   /// Total energy over counted correct nodes (mJ).
   [[nodiscard]] double total_energy_mj() const;

@@ -51,6 +51,15 @@ Hypergraph Hypergraph::kcast_ring(std::size_t n, std::size_t k) {
   return g;
 }
 
+Hypergraph Hypergraph::expanded(const Hypergraph& base, std::size_t n) {
+  if (n < base.n()) {
+    throw std::invalid_argument("expanded: n smaller than base graph");
+  }
+  Hypergraph g(n);
+  for (const HyperEdge& e : base.edges()) g.add_edge(e);
+  return g;
+}
+
 void Hypergraph::add_edge(HyperEdge edge) {
   if (edge.sender >= n_) {
     throw std::invalid_argument("add_edge: sender out of range");

@@ -32,6 +32,11 @@ class Hypergraph {
   /// p_{i+1 mod n} ... p_{i+k mod n}; hence D_out = 1 and D_in = k.
   static Hypergraph kcast_ring(std::size_t n, std::size_t k);
 
+  /// Copy of `base` with capacity for `n` >= base.n() nodes; the extra
+  /// nodes start with no edges. Used to append client nodes to a replica
+  /// topology before wiring their access edges.
+  static Hypergraph expanded(const Hypergraph& base, std::size_t n);
+
   /// Throws std::invalid_argument on self-loops or out-of-range nodes.
   void add_edge(HyperEdge edge);
 

@@ -8,7 +8,8 @@
 namespace eesmr::net {
 
 Network::Network(sim::Scheduler& sched, Hypergraph graph,
-                 TransportConfig config, std::vector<energy::Meter>* meters)
+                 TransportConfig config, std::vector<energy::Meter>* meters,
+                 std::vector<bool> relay)
     : sched_(sched),
       graph_(std::move(graph)),
       config_(config),
@@ -17,11 +18,20 @@ Network::Network(sim::Scheduler& sched, Hypergraph graph,
   if (meters_ != nullptr && meters_->size() != graph_.n()) {
     throw std::invalid_argument("Network: meters size mismatch");
   }
+  if (!relay.empty() && relay.size() != graph_.n()) {
+    throw std::invalid_argument("Network: relay size mismatch");
+  }
   policy_ = std::make_unique<UniformDelay>(
       sim::Rng(0xbeef), std::max<sim::Duration>(1, config_.hop_bound / 5),
       config_.hop_bound);
+  relay_ = relay.empty() ? std::vector<bool>(graph_.n(), true)
+                         : std::move(relay);
+  recompute_hops();
+}
 
-  // All-pairs BFS hop distances for directed-frame routing.
+void Network::recompute_hops() {
+  // All-pairs BFS hop distances for directed-frame routing. Non-relay
+  // nodes may start or end a path but never extend one.
   const std::size_t n = graph_.n();
   constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
   hop_matrix_.assign(n, std::vector<std::size_t>(n, kInf));
@@ -32,6 +42,7 @@ Network::Network(sim::Scheduler& sched, Hypergraph graph,
     while (!frontier.empty()) {
       const NodeId u = frontier.front();
       frontier.pop();
+      if (u != s && !relay_[u]) continue;
       for (std::size_t idx : graph_.out_edges(u)) {
         for (NodeId v : graph_.edges()[idx].receivers) {
           if (hop_matrix_[s][v] != kInf) continue;
@@ -100,7 +111,20 @@ void Network::transmit_edge(const HyperEdge& edge, BytesView frame) {
 
 void Network::transmit(NodeId from, BytesView frame) {
   for (std::size_t idx : graph_.out_edges(from)) {
-    transmit_edge(graph_.edges()[idx], frame);
+    const HyperEdge& edge = graph_.edges()[idx];
+    // Skip edges whose receivers are all non-relay leaves: broadcasts
+    // are the protocol's flood fabric, and leaves (clients) neither
+    // need nor forward them. Leaf-only edges still carry directed
+    // frames via transmit_towards. Without this, every flood would be
+    // copied onto each access edge and charged to the sender's meter.
+    bool any_relay = false;
+    for (NodeId r : edge.receivers) {
+      if (relay_[r]) {
+        any_relay = true;
+        break;
+      }
+    }
+    if (any_relay) transmit_edge(edge, frame);
   }
 }
 
@@ -119,7 +143,9 @@ void Network::transmit_towards(NodeId from, NodeId dest, BytesView frame) {
     const HyperEdge& edge = graph_.edges()[idx];
     bool useful = false;
     for (NodeId r : edge.receivers) {
-      if (hops(r, dest) < mine) {
+      // Only relay receivers (or the destination itself) count as
+      // progress: a non-relay leaf would not forward the frame.
+      if ((r == dest || relay_[r]) && hops(r, dest) < mine) {
         useful = true;
         break;
       }

@@ -76,14 +76,21 @@ struct TransportConfig {
 class Network {
  public:
   /// `meters` may be nullptr (no energy accounting); otherwise must hold
-  /// one meter per node and outlive the network.
+  /// one meter per node and outlive the network. `relay` marks which
+  /// nodes forward routed frames (empty = all). A non-relay node is a
+  /// leaf (e.g. a client): routed paths never traverse it as an
+  /// intermediate hop, so attaching well-connected leaves cannot
+  /// shortcut the core topology.
   Network(sim::Scheduler& sched, Hypergraph graph, TransportConfig config,
-          std::vector<energy::Meter>* meters);
+          std::vector<energy::Meter>* meters,
+          std::vector<bool> relay = {});
 
   void attach(NodeId node, PacketSink* sink);
   void set_delay_policy(std::unique_ptr<DelayPolicy> policy);
 
-  /// Transmit `frame` on every outgoing hyper-edge of `from`.
+  /// Transmit `frame` on every outgoing hyper-edge of `from` that has
+  /// at least one relay receiver (broadcast = flood fabric; edges to
+  /// non-relay leaves only carry directed frames).
   void transmit(NodeId from, BytesView frame);
   /// Transmit only on the given subset of `from`'s out-edges (Byzantine
   /// selective sending). Indices are positions into out_edges(from).
@@ -112,6 +119,7 @@ class Network {
  private:
   void transmit_edge(const HyperEdge& edge, BytesView frame);
   void charge_energy(const HyperEdge& edge, std::size_t bytes);
+  void recompute_hops();
 
   sim::Scheduler& sched_;
   Hypergraph graph_;
@@ -119,6 +127,7 @@ class Network {
   std::vector<energy::Meter>* meters_;
   std::vector<PacketSink*> sinks_;
   std::unique_ptr<DelayPolicy> policy_;
+  std::vector<bool> relay_;
   std::vector<std::vector<std::size_t>> hop_matrix_;
 
   std::uint64_t transmissions_ = 0;

@@ -1,5 +1,6 @@
 #include "src/smr/app.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "src/crypto/sha256.hpp"
@@ -36,8 +37,20 @@ Bytes KvStore::apply(const Command& cmd) {
   if (op == "inc" && tokens.size() >= 2) {
     long long v = 0;
     const auto it = table_.find(tokens[1]);
-    if (it != table_.end()) v = std::stoll(it->second);
-    table_[tokens[1]] = std::to_string(v + 1);
+    if (it != table_.end()) {
+      // Non-numeric values restart the counter at 0 (a thrown exception
+      // here would escape the commit path; any deterministic rule works,
+      // it just has to be the same on every correct replica).
+      try {
+        v = std::stoll(it->second);
+      } catch (const std::exception&) {
+        v = 0;
+      }
+    }
+    // Saturate instead of v + 1: signed overflow would be UB, i.e. not
+    // guaranteed deterministic across replicas.
+    if (v < std::numeric_limits<long long>::max()) ++v;
+    table_[tokens[1]] = std::to_string(v);
     return to_bytes(table_[tokens[1]]);
   }
   return to_bytes(std::string("err"));

@@ -65,6 +65,8 @@ class AckCollector {
   [[nodiscard]] const std::optional<Bytes>& result() const {
     return accepted_;
   }
+  /// Distinct replicas whose reply has been recorded.
+  [[nodiscard]] std::size_t replies() const { return seen_.size(); }
 
  private:
   std::size_t f_;

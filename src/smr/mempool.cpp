@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "src/smr/request.hpp"
+
 namespace eesmr::smr {
 
-void Mempool::submit(Command cmd) { queue_.push_back(std::move(cmd)); }
+bool Mempool::submit(Command cmd) {
+  std::string key = to_string(cmd.data);
+  if (committed_keys_.count(key) > 0) return false;
+  if (!pending_keys_.insert(std::move(key)).second) return false;
+  queue_.push_back(std::move(cmd));
+  return true;
+}
 
 std::vector<Command> Mempool::next_batch(std::size_t max_cmds) {
   std::vector<Command> batch;
@@ -16,20 +24,39 @@ std::vector<Command> Mempool::next_batch(std::size_t max_cmds) {
     // Deterministic filler: counter stamped into a fixed-size payload.
     Command c;
     c.data.assign(synthetic_bytes_, 0x5a);
-    std::uint64_t v = synth_counter_++;
-    for (std::size_t b = 0; b < 8 && b < c.data.size(); ++b) {
-      c.data[b] = static_cast<std::uint8_t>(v >> (8 * b));
-    }
+    stamp_counter_le(c.data, synth_counter_++);
     batch.push_back(std::move(c));
   }
   return batch;
 }
 
 void Mempool::remove_committed(const Block& block) {
+  // One pass over the queue against a set of the block's commands,
+  // instead of one queue scan per command. committed_keys_ holds only
+  // tagged client requests: their (client, req_id) makes each one a
+  // distinct operation whose retransmit must not be ordered twice. An
+  // untagged command resubmitted after commit is a NEW operation with
+  // identical bytes (e.g. a second "inc a") and stays orderable; this
+  // also keeps synthetic filler from growing the set forever.
+  // Classification uses the same full decode as the replica commit path
+  // (a prefix sniff would disagree on bytes that merely start with the
+  // tag, e.g. filler whose stamped counter hits 0xC11E).
+  std::set<std::string> block_keys;
   for (const Command& c : block.cmds) {
-    const auto it = std::find(queue_.begin(), queue_.end(), c);
-    if (it != queue_.end()) queue_.erase(it);
+    auto [it, fresh] = block_keys.insert(to_string(c.data));
+    if (fresh && ClientRequest::decode(c.data).has_value()) {
+      committed_keys_.insert(*it);
+    }
   }
+  if (block_keys.empty()) return;
+  const auto is_committed = [&](const Command& c) {
+    const std::string key = to_string(c.data);
+    if (block_keys.count(key) == 0) return false;
+    pending_keys_.erase(key);
+    return true;
+  };
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(), is_committed),
+               queue_.end());
 }
 
 }  // namespace eesmr::smr

@@ -5,6 +5,12 @@
 //  * synthetic workload: under the standard throughput assumption
 //    ("clients always have pending requests"), next_batch() fabricates
 //    deterministic commands of a configured size when the queue is empty.
+//
+// Duplicate suppression: a re-submit of a command still in the queue is
+// dropped, and a tagged client request that already committed is
+// dropped forever — its (client, req_id) names one operation, so a
+// retransmit must not be ordered twice. Identical untagged bytes
+// re-submitted after commit are a new operation and stay orderable.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +30,10 @@ class Mempool {
   explicit Mempool(std::size_t synthetic_cmd_bytes = 0)
       : synthetic_bytes_(synthetic_cmd_bytes) {}
 
-  void submit(Command cmd);
+  /// Queue a command. Returns false (and drops it) when the identical
+  /// command is already pending, or is a tagged client request that
+  /// already committed.
+  bool submit(Command cmd);
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   /// Up to `max_cmds` commands for the next proposal. Commands are not
@@ -41,6 +50,10 @@ class Mempool {
  private:
   std::size_t synthetic_bytes_;
   std::deque<Command> queue_;
+  /// Commands currently in queue_ (dedup on submit).
+  std::set<std::string> pending_keys_;
+  /// Committed tagged client requests (rejects late retransmits).
+  std::set<std::string> committed_keys_;
   std::uint64_t synth_counter_ = 0;
 };
 

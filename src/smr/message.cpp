@@ -39,6 +39,10 @@ const char* msg_type_name(MsgType t) {
       return "Ordered";
     case MsgType::kEquivProof:
       return "EquivProof";
+    case MsgType::kRequest:
+      return "Request";
+    case MsgType::kReply:
+      return "Reply";
   }
   return "?";
 }

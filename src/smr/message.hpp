@@ -43,6 +43,9 @@ enum class MsgType : std::uint8_t {
   /// proposals for the same (view, round). Carried separately from kBlame
   /// so that blame messages stay aggregatable into one QC.
   kEquivProof = 15,
+  // Client request/reply path (§3's client-centric SMR interface).
+  kRequest = 16,
+  kReply = 17,
 };
 
 const char* msg_type_name(MsgType t);

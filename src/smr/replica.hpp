@@ -3,9 +3,11 @@
 // block store with chain synchronization, and the committed log.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/energy/cost_model.hpp"
@@ -16,6 +18,7 @@
 #include "src/smr/chain.hpp"
 #include "src/smr/mempool.hpp"
 #include "src/smr/message.hpp"
+#include "src/smr/request.hpp"
 
 namespace eesmr::smr {
 
@@ -111,6 +114,15 @@ class ReplicaBase : public net::FloodClient {
   void commit_chain(const BlockHash& h);
   virtual void on_commit(const Block& block);
 
+  // -- client request/reply path ----------------------------------------------------
+  /// Verify and pool a client-submitted kRequest (authors live above the
+  /// replica id range, so the normal verify_msg path does not apply).
+  void handle_request(const Msg& msg);
+  /// Send the signed execution acknowledgment for one committed request
+  /// back to its client. Called once per tagged command on commit;
+  /// override point for Byzantine reply behaviours in tests.
+  virtual void reply_to_client(const ClientRequest& req, const Bytes& result);
+
   // -- dispatch ---------------------------------------------------------------------
   void on_deliver(NodeId origin, BytesView payload) final;
   /// Protocol logic; called only for messages that passed (or were
@@ -146,6 +158,10 @@ class ReplicaBase : public net::FloodClient {
   std::set<std::string> sync_requested_;
   StateMachine* app_ = nullptr;
   std::vector<Bytes> results_;
+  /// First execution result per (client, req_id): a request re-proposed
+  /// across a view change can land in two committed blocks; replaying the
+  /// stored result keeps execution exactly-once and replies consistent.
+  std::map<std::pair<NodeId, std::uint64_t>, Bytes> executed_;
 };
 
 }  // namespace eesmr::smr

@@ -1,0 +1,66 @@
+#include "src/smr/request.hpp"
+
+#include "src/common/serde.hpp"
+
+namespace eesmr::smr {
+
+Bytes ClientRequest::preimage() const {
+  Writer w;
+  w.u16(kRequestTag);
+  w.u32(client);
+  w.u64(req_id);
+  w.bytes(op);
+  return w.take();
+}
+
+bool ClientRequest::verify(const crypto::Keyring& keyring) const {
+  if (client >= keyring.size()) return false;
+  return keyring.verify(client, preimage(), sig);
+}
+
+Bytes ClientRequest::encode() const {
+  Writer w;
+  w.raw(preimage());
+  w.bytes(sig);
+  return w.take();
+}
+
+std::optional<ClientRequest> ClientRequest::decode(BytesView data) {
+  try {
+    Reader r(data);
+    if (r.u16() != kRequestTag) return std::nullopt;
+    ClientRequest req;
+    req.client = r.u32();
+    req.req_id = r.u64();
+    req.op = r.bytes();
+    req.sig = r.bytes();
+    r.expect_done();
+    return req;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes ClientReply::encode() const {
+  Writer w;
+  w.u32(client);
+  w.u64(req_id);
+  w.bytes(result);
+  return w.take();
+}
+
+std::optional<ClientReply> ClientReply::decode(BytesView data) {
+  try {
+    Reader r(data);
+    ClientReply rep;
+    rep.client = r.u32();
+    rep.req_id = r.u64();
+    rep.result = r.bytes();
+    r.expect_done();
+    return rep;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace eesmr::smr

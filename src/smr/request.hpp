@@ -1,0 +1,57 @@
+// Client request/reply wire format — the client-facing half of the §3
+// SMR definition ("clients submit commands ... wait to receive f+1
+// identical acknowledgments with execution results").
+//
+// A client request travels inside an ordinary Command payload: a 2-byte
+// tag marks it, (client, req_id) names it globally, `op` is the
+// application command, and `sig` is the client's signature over the
+// request itself. The signature rides INSIDE the command so replicas can
+// re-verify at commit time: a Byzantine leader can put arbitrary bytes
+// in a block, but it cannot forge a request a client never signed.
+// Untagged commands (synthetic workload, tests) are unaffected. Replies
+// ride Msg::data of a kReply message authored and signed by the replica;
+// the answered client's id sits under that signature so acknowledgments
+// cannot be replayed to a different client with a colliding req_id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bytes.hpp"
+#include "src/common/ids.hpp"
+#include "src/crypto/signer.hpp"
+
+namespace eesmr::smr {
+
+/// Leading u16 of a Command payload that marks a tagged client request.
+constexpr std::uint16_t kRequestTag = 0xC11E;
+
+struct ClientRequest {
+  NodeId client = kNoNode;   ///< hypergraph node id of the submitter
+  std::uint64_t req_id = 0;  ///< client-local sequence number
+  Bytes op;                  ///< application payload (KvStore text, ...)
+  Bytes sig;                 ///< client signature over preimage()
+
+  /// Bytes the client signature covers (tag + ids + op).
+  [[nodiscard]] Bytes preimage() const;
+  /// True when `sig` is `client`'s signature over preimage().
+  [[nodiscard]] bool verify(const crypto::Keyring& keyring) const;
+
+  /// Encode as a Command payload (preimage fields + sig).
+  [[nodiscard]] Bytes encode() const;
+  /// Decode a Command payload; nullopt when it is not a tagged request.
+  static std::optional<ClientRequest> decode(BytesView data);
+};
+
+/// One replica's execution acknowledgment; the author and signature live
+/// on the enclosing kReply Msg, whose signed data includes `client`.
+struct ClientReply {
+  NodeId client = kNoNode;  ///< the client this acknowledgment answers
+  std::uint64_t req_id = 0;
+  Bytes result;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ClientReply> decode(BytesView data);
+};
+
+}  // namespace eesmr::smr

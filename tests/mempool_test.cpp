@@ -1,0 +1,111 @@
+// Mempool: dedup of re-submitted commands, committed-command removal,
+// synthetic workload determinism.
+#include <gtest/gtest.h>
+
+#include "src/smr/mempool.hpp"
+#include "src/smr/request.hpp"
+
+namespace eesmr::smr {
+namespace {
+
+Command cmd(const std::string& s) { return Command{to_bytes(s)}; }
+
+Block block_with(std::initializer_list<std::string> cmds) {
+  Block b;
+  b.parent = genesis_hash();
+  b.height = 1;
+  for (const auto& s : cmds) b.cmds.push_back(cmd(s));
+  return b;
+}
+
+TEST(Mempool, ResubmitIsDeduplicated) {
+  Mempool pool;
+  EXPECT_TRUE(pool.submit(cmd("a")));
+  EXPECT_FALSE(pool.submit(cmd("a")));  // client retransmit
+  EXPECT_TRUE(pool.submit(cmd("b")));
+  EXPECT_EQ(pool.pending(), 2u);
+
+  const auto batch = pool.next_batch(4);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], cmd("a"));
+  EXPECT_EQ(batch[1], cmd("b"));
+}
+
+TEST(Mempool, CommittedCommandsRemoved) {
+  Mempool pool;
+  pool.submit(cmd("a"));
+  pool.submit(cmd("b"));
+  pool.submit(cmd("c"));
+  pool.remove_committed(block_with({"a", "c"}));
+  EXPECT_EQ(pool.pending(), 1u);
+  EXPECT_EQ(pool.next_batch(4).front(), cmd("b"));
+
+  // Identical untagged bytes after commit are a NEW operation (think a
+  // second "inc a") and stay orderable.
+  EXPECT_TRUE(pool.submit(cmd("a")));
+  EXPECT_EQ(pool.pending(), 2u);
+}
+
+Command tagged_cmd(NodeId client, std::uint64_t req_id) {
+  ClientRequest req;
+  req.client = client;
+  req.req_id = req_id;
+  req.op = to_bytes(std::string("inc a"));
+  req.sig = to_bytes(std::string("sig"));
+  return Command{req.encode()};
+}
+
+TEST(Mempool, CommittedClientRequestNeverReaccepted) {
+  // A tagged request names one operation via (client, req_id): a late
+  // retransmit after commit must not be ordered a second time.
+  Mempool pool;
+  const Command req = tagged_cmd(5, 1);
+  EXPECT_TRUE(pool.submit(req));
+  Block b;
+  b.parent = genesis_hash();
+  b.height = 1;
+  b.cmds = {req};
+  pool.remove_committed(b);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_FALSE(pool.submit(req));
+
+  // A different req_id from the same client is a different operation.
+  EXPECT_TRUE(pool.submit(tagged_cmd(5, 2)));
+}
+
+TEST(Mempool, RemoveCommittedHandlesLargeQueueAndBlock) {
+  // Regression for the O(queue x block) scan: 4k pending commands and a
+  // 1k-command block should complete instantly in one pass.
+  Mempool pool;
+  for (int i = 0; i < 4096; ++i) pool.submit(cmd("cmd" + std::to_string(i)));
+  Block b;
+  b.parent = genesis_hash();
+  b.height = 1;
+  for (int i = 0; i < 1024; ++i) b.cmds.push_back(cmd("cmd" + std::to_string(i * 4)));
+  pool.remove_committed(b);
+  EXPECT_EQ(pool.pending(), 4096u - 1024u);
+}
+
+TEST(Mempool, SyntheticFillerIsDeterministicAndCounted) {
+  Mempool pool(16);
+  const auto a = pool.next_batch(3);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(pool.synthesized(), 3u);
+  for (const auto& c : a) EXPECT_EQ(c.data.size(), 16u);
+  EXPECT_NE(a[0], a[1]);
+
+  Mempool pool2(16);
+  EXPECT_EQ(pool2.next_batch(3), a);  // same counter sequence
+}
+
+TEST(Mempool, ExplicitCommandsPrecedeSyntheticFiller) {
+  Mempool pool(8);
+  pool.submit(cmd("real"));
+  const auto batch = pool.next_batch(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], cmd("real"));
+  EXPECT_EQ(batch[1].data.size(), 8u);
+}
+
+}  // namespace
+}  // namespace eesmr::smr

@@ -1,0 +1,103 @@
+// Workload layer: Zipf key skew, read/write mix, generator determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/client/workload.hpp"
+
+namespace eesmr::client {
+namespace {
+
+std::string first_token(const Bytes& op) {
+  const std::string s = to_string(op);
+  return s.substr(0, s.find(' '));
+}
+
+std::string key_of(const Bytes& op) {
+  const std::string s = to_string(op);
+  const auto a = s.find(' ');
+  const auto b = s.find(' ', a + 1);
+  return s.substr(a + 1, b == std::string::npos ? b : b - a - 1);
+}
+
+TEST(ZipfSampler, UniformWhenThetaZero) {
+  ZipfSampler zipf(4, 0.0);
+  sim::Rng rng(1);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 40000; ++i) counts[zipf.sample(rng)]++;
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(counts[k], 9000) << "key " << k;
+    EXPECT_LT(counts[k], 11000) << "key " << k;
+  }
+}
+
+TEST(ZipfSampler, SkewConcentratesOnHotKeys) {
+  ZipfSampler zipf(100, 1.2);
+  sim::Rng rng(2);
+  std::map<std::size_t, int> counts;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.sample(rng)]++;
+  // Rank 0 is the hottest key and far above the uniform share (1%).
+  EXPECT_GT(counts[0], kDraws / 10);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(KvGen, ReadFractionExtremes) {
+  GenSpec spec;
+  spec.kind = GenSpec::Kind::kKv;
+  spec.kv_keys = 16;
+
+  spec.kv_read_fraction = 1.0;
+  auto reads = make_generator(spec, 3);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(first_token(reads->next()), "get");
+
+  spec.kv_read_fraction = 0.0;
+  auto writes = make_generator(spec, 3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string op = first_token(writes->next());
+    EXPECT_TRUE(op == "set" || op == "inc") << op;
+  }
+}
+
+TEST(KvGen, MixedWorkloadApproximatesFraction) {
+  GenSpec spec;
+  spec.kind = GenSpec::Kind::kKv;
+  spec.kv_read_fraction = 0.7;
+  auto gen = make_generator(spec, 4);
+  int reads = 0;
+  const int kOps = 5000;
+  for (int i = 0; i < kOps; ++i) {
+    if (first_token(gen->next()) == "get") ++reads;
+  }
+  EXPECT_GT(reads, kOps * 0.6);
+  EXPECT_LT(reads, kOps * 0.8);
+}
+
+TEST(KvGen, ZipfKeysAreSkewed) {
+  GenSpec spec;
+  spec.kind = GenSpec::Kind::kKv;
+  spec.kv_keys = 64;
+  spec.kv_zipf = 1.1;
+  spec.kv_read_fraction = 1.0;
+  auto gen = make_generator(spec, 5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 5000; ++i) counts[key_of(gen->next())]++;
+  // Hottest key well above the uniform share.
+  EXPECT_GT(counts["k0"], 5000 / 64 * 4);
+}
+
+TEST(SyntheticGen, FixedSizeDistinctDeterministic) {
+  GenSpec spec;
+  spec.synthetic_bytes = 32;
+  auto a = make_generator(spec, 9);
+  auto b = make_generator(spec, 9);
+  const Bytes a1 = a->next(), a2 = a->next();
+  EXPECT_EQ(a1.size(), 32u);
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(b->next(), a1);  // same seed, same stream
+}
+
+}  // namespace
+}  // namespace eesmr::client
