@@ -1,0 +1,73 @@
+// Walk-through of the checkpointing & state-transfer subsystem:
+//
+//   1. four EESMR replicas serve two KV clients; every 32 committed
+//      commands each replica snapshots its KvStore, signs the
+//      (height, block, state-digest) triple and floods a kCheckpoint;
+//   2. f+1 matching signatures make the checkpoint *stable* — the
+//      low-water mark advances and everything below it (blocks, reply
+//      caches, mempool keys) is garbage-collected;
+//   3. replica 3 is offline for the first 8 seconds. When it joins, it
+//      observes a stable checkpoint far beyond its height, fetches the
+//      certified snapshot (kStateRequest/kStateResponse), verifies
+//      certificate + digest, restores, and rejoins the steady state —
+//      without replaying the chain.
+#include <cstdio>
+
+#include "src/harness/cluster.hpp"
+
+using namespace eesmr;
+
+int main() {
+  harness::ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.batch_size = 4;
+  cfg.clients = 2;
+  cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+  cfg.workload.outstanding = 4;
+  cfg.workload.max_requests = 300;
+  cfg.workload.gen.kind = client::GenSpec::Kind::kKv;
+  cfg.workload.gen.kv_keys = 16;
+  cfg.checkpoint_interval = 32;
+  cfg.client_retry = sim::milliseconds(500);
+  cfg.late_starts.push_back({3, sim::seconds(8)});
+  cfg.seed = 7;
+
+  harness::Cluster cluster(cfg);
+  const harness::RunResult r = cluster.run_for(sim::seconds(45));
+
+  std::printf("checkpoint & recovery example (EESMR, n=4, f=1)\n");
+  std::printf("  requests accepted ....... %llu\n",
+              static_cast<unsigned long long>(r.requests_accepted));
+  std::printf("  safety .................. %s\n",
+              r.safety_ok() ? "ok" : "VIOLATED");
+  std::printf("\nper-replica footprint (memory bounded by the low-water "
+              "mark):\n");
+  std::printf("  %-6s %10s %10s %9s %10s %10s %9s\n", "node", "committed",
+              "retained", "store", "stable_h", "ckpts", "transfers");
+  for (NodeId i = 0; i < 4; ++i) {
+    const harness::ReplicaFootprint& fp = r.footprints[i];
+    std::printf("  %-6u %10llu %10zu %9zu %10llu %10llu %9llu\n", i,
+                static_cast<unsigned long long>(fp.committed_blocks),
+                fp.retained_log, fp.store_blocks,
+                static_cast<unsigned long long>(fp.stable_height),
+                static_cast<unsigned long long>(fp.checkpoints_taken),
+                static_cast<unsigned long long>(fp.state_transfers));
+  }
+  std::printf("\nreplica 3 joined at t=8s and recovered in %.1f ms "
+              "(%llu snapshot transfer%s)\n",
+              sim::to_milliseconds(r.max_recovery_latency),
+              static_cast<unsigned long long>(r.state_transfers),
+              r.state_transfers == 1 ? "" : "s");
+
+  // The acid test: identical application state everywhere.
+  const Bytes digest = cluster.replica(0).app()->state_digest();
+  bool all_equal = true;
+  for (NodeId i = 1; i < 4; ++i) {
+    all_equal =
+        all_equal && cluster.replica(i).app()->state_digest() == digest;
+  }
+  std::printf("state digests identical on all replicas: %s\n",
+              all_equal ? "yes" : "NO");
+  return all_equal ? 0 : 1;
+}

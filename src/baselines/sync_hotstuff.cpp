@@ -364,6 +364,50 @@ void SyncHsReplica::on_chain_connected(const Block&) {
   for (const Msg& m : retry) handle(m.author, m);
 }
 
+void SyncHsReplica::on_low_water(const Block& root) {
+  // Per-block side state for heights at or below the stable checkpoint
+  // is final on f+1 replicas: reclaim the equivocation records and the
+  // vote tallies of the about-to-be-truncated blocks. Buckets whose
+  // block is NOT in the store are kept — votes routinely arrive before
+  // their proposal, and peers never retransmit them, so wiping an
+  // in-flight bucket could cost the block its quorum.
+  seen_.erase(seen_.begin(), seen_.upper_bound(root.height));
+  for (auto it = votes_.begin(); it != votes_.end();) {
+    const BlockHash h(it->first.begin(), it->first.end());
+    const Block* b = store_.get(h);
+    if (b != nullptr && b->height <= root.height) {
+      voted_.erase(it->first);
+      it = votes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SyncHsReplica::on_state_transfer(const Block& root) {
+  certified_tip_ = root.hash();
+  certified_height_ = root.height;
+  // Placeholder certificate: the checkpoint certificate attests the tip,
+  // but it is not a vote QC, so peers reject proposals carrying this
+  // stand-in. Harmless — a freshly-recovered replica re-certifies the
+  // next block from live votes before it could ever need to propose, and
+  // a stalled recovered leader is demoted by the normal blame path.
+  QuorumCert q;
+  q.type = MsgType::kVote;
+  q.view = root.view;
+  q.data = certified_tip_;
+  tip_cert_ = q;
+  if (root.view > v_cur_) v_cur_ = root.view;
+  phase_ = Phase::kSteady;
+  commits_disabled_ = false;
+  cancel_commit_timers();
+  seen_.clear();
+  votes_.clear();
+  voted_.clear();
+  reset_blame_timer(8 * cfg_.delta);
+  drain_buffered();
+}
+
 void SyncHsReplica::handle(NodeId from, const Msg& msg) {
   if (crashed_) return;
   switch (msg.type) {

@@ -69,6 +69,8 @@ class SyncHsReplica final : public smr::ReplicaBase {
  protected:
   void handle(NodeId from, const smr::Msg& msg) override;
   void on_chain_connected(const smr::Block& block) override;
+  void on_low_water(const smr::Block& root) override;
+  void on_state_transfer(const smr::Block& root) override;
 
  private:
   enum class Phase { kSteady, kQuitDelay, kNewView };

@@ -671,6 +671,34 @@ void EesmrReplica::on_chain_connected(const Block&) {
   for (const Msg& m : retry) handle(m.author, m);
 }
 
+void EesmrReplica::on_low_water(const Block& root) {
+  // Rounds at or below the checkpointed block are final on f+1 replicas:
+  // an equivocation proof for them can no longer matter, so the per-round
+  // proposal records can be reclaimed (seen_ is per-view and would
+  // otherwise grow for the lifetime of a long stable view).
+  seen_.erase(seen_.begin(), seen_.upper_bound(root.round));
+}
+
+void EesmrReplica::on_state_transfer(const Block& root) {
+  // Re-anchor the protocol on the checkpoint block: it carries the
+  // (view, round) it was proposed in, so the recovered replica rejoins
+  // the steady state right behind the cluster's frontier.
+  b_lck_ = root.hash();
+  b_lck_height_ = root.height;
+  if (root.view > v_cur_) v_cur_ = root.view;
+  phase_ = Phase::kSteady;
+  accepted_round_ = std::max(accepted_round_, root.round);
+  r_cur_ = accepted_round_ + 1;
+  // The old commit certificate references a truncated block; the next
+  // view change rebuilds one from CommitUpdate/Certify exchanges.
+  commit_qc_height_ = 0;
+  seen_.clear();
+  cancel_commit_timers();
+  commits_disabled_ = false;
+  reset_blame_timer(8 * cfg_.delta);
+  drain_buffered();
+}
+
 bool EesmrReplica::requires_signature_check(const Msg& msg) const {
   if (opts_.checkpoint_interval == 0) return true;
   if (msg.type != MsgType::kPropose || msg.round < 3) return true;

@@ -83,6 +83,8 @@ class EesmrReplica final : public smr::ReplicaBase {
  protected:
   void handle(NodeId from, const smr::Msg& msg) override;
   void on_chain_connected(const smr::Block& block) override;
+  void on_low_water(const smr::Block& root) override;
+  void on_state_transfer(const smr::Block& root) override;
   [[nodiscard]] bool requires_signature_check(
       const smr::Msg& msg) const override;
 

@@ -1,6 +1,7 @@
 #include "src/harness/cluster.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace eesmr::harness {
@@ -24,24 +25,32 @@ const char* protocol_name(Protocol p) {
 // ---------------------------------------------------------------------------
 
 bool RunResult::safety_ok() const {
-  // Compare committed blocks per height across correct nodes.
+  // Compare committed blocks per *height* across correct nodes: with
+  // checkpoint truncation the retained logs are suffixes starting at
+  // different offsets, so positional comparison would misalign.
+  std::map<std::uint64_t, const smr::Block*> canon;
   for (std::size_t a = 0; a < logs.size(); ++a) {
     if (!correct[a]) continue;
-    for (std::size_t b = a + 1; b < logs.size(); ++b) {
-      if (!correct[b]) continue;
-      const std::size_t common = std::min(logs[a].size(), logs[b].size());
-      for (std::size_t i = 0; i < common; ++i) {
-        if (!(logs[a][i] == logs[b][i])) return false;
-      }
+    for (const smr::Block& b : logs[a]) {
+      const auto [it, fresh] = canon.try_emplace(b.height, &b);
+      if (!fresh && !(*it->second == b)) return false;
     }
   }
   return true;
 }
 
+std::uint64_t RunResult::committed_at(NodeId id) const {
+  if (id < committed_blocks.size()) return committed_blocks[id];
+  return logs.at(id).size();
+}
+
 std::size_t RunResult::min_committed() const {
   std::size_t best = SIZE_MAX;
   for (std::size_t i = 0; i < logs.size(); ++i) {
-    if (correct[i] && counted[i]) best = std::min(best, logs[i].size());
+    if (correct[i] && counted[i]) {
+      best = std::min<std::size_t>(
+          best, committed_at(static_cast<NodeId>(i)));
+    }
   }
   return best == SIZE_MAX ? 0 : best;
 }
@@ -49,7 +58,30 @@ std::size_t RunResult::min_committed() const {
 std::size_t RunResult::max_committed() const {
   std::size_t best = 0;
   for (std::size_t i = 0; i < logs.size(); ++i) {
-    if (correct[i] && counted[i]) best = std::max(best, logs[i].size());
+    if (correct[i] && counted[i]) {
+      best = std::max<std::size_t>(
+          best, committed_at(static_cast<NodeId>(i)));
+    }
+  }
+  return best;
+}
+
+std::size_t RunResult::max_retained_log() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < footprints.size(); ++i) {
+    if (correct[i] && counted[i]) {
+      best = std::max(best, footprints[i].retained_log);
+    }
+  }
+  return best;
+}
+
+std::size_t RunResult::max_dedup_entries() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < footprints.size(); ++i) {
+    if (correct[i] && counted[i]) {
+      best = std::max(best, footprints[i].dedup_entries());
+    }
   }
   return best;
 }
@@ -78,7 +110,7 @@ double RunResult::node_energy_mj(NodeId id) const {
 }
 
 double RunResult::node_energy_per_block_mj(NodeId id) const {
-  const std::size_t blocks = logs.at(id).size();
+  const std::uint64_t blocks = committed_at(id);
   return blocks == 0 ? 0.0 : node_energy_mj(id) / static_cast<double>(blocks);
 }
 
@@ -176,6 +208,9 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   // the measured workload.
   base.cmd_bytes = cfg_.clients > 0 ? 0 : cfg_.cmd_bytes;
   base.keyring = keyring_;
+  base.checkpoint_interval = cfg_.checkpoint_interval;
+  base.mempool_capacity = cfg_.mempool_capacity;
+  base.client_pending_cap = cfg_.client_pending_cap;
 
   auto fault_for = [&](NodeId id) {
     protocol::ByzantineConfig byz;
@@ -235,12 +270,15 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
     }
   }
 
-  // Execution apps + client nodes.
-  if (cfg_.clients > 0) {
+  // Execution apps + client nodes. Checkpointing snapshots the app, so
+  // replicas get one whenever checkpoints are on, clients or not.
+  if (cfg_.clients > 0 || cfg_.checkpoint_interval > 0) {
     for (auto& r : replicas_) {
       apps_.push_back(std::make_unique<smr::KvStore>());
       r->attach_app(apps_.back().get());
     }
+  }
+  if (cfg_.clients > 0) {
     for (std::size_t ci = 0; ci < cfg_.clients; ++ci) {
       client::ClientConfig cc;
       cc.id = static_cast<NodeId>(total + ci);
@@ -254,6 +292,18 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
           std::make_unique<client::Client>(*net_, cc, &meters_[cc.id]));
     }
   }
+
+  // Late joiners: off the air (no reception, relay or energy) until
+  // their delay elapses; started then (see start()).
+  late_.assign(world, false);
+  for (const ClusterConfig::LateStart& ls : cfg_.late_starts) {
+    if (ls.node >= total) {
+      throw std::invalid_argument("Cluster: late_starts names a non-replica");
+    }
+    late_.at(ls.node) = true;
+    net_->set_node_online(ls.node, false);
+    replicas_.at(ls.node)->set_online(false);
+  }
 }
 
 protocol::EesmrReplica& Cluster::eesmr(NodeId id) {
@@ -265,7 +315,16 @@ protocol::EesmrReplica& Cluster::eesmr(NodeId id) {
 void Cluster::start() {
   if (started_) return;
   started_ = true;
-  for (auto& r : replicas_) r->start();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!late_[i]) replicas_[i]->start();
+  }
+  for (const ClusterConfig::LateStart& ls : cfg_.late_starts) {
+    sched_.after(ls.delay, [this, node = ls.node] {
+      net_->set_node_online(node, true);
+      replicas_[node]->set_online(true);
+      replicas_[node]->start();
+    });
+  }
   for (auto& c : clients_) c->start();
 }
 
@@ -273,7 +332,7 @@ std::size_t Cluster::min_committed_correct() const {
   std::size_t best = SIZE_MAX;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (correct_[i] && counted_[i]) {
-      best = std::min(best, replicas_[i]->log().size());
+      best = std::min<std::size_t>(best, replicas_[i]->committed_blocks());
     }
   }
   return best == SIZE_MAX ? 0 : best;
@@ -319,13 +378,36 @@ RunResult Cluster::snapshot() const {
   out.meters = meters_;
   out.correct = correct_;
   out.counted = counted_;
-  for (const auto& r : replicas_) out.logs.push_back(r->log());
+  for (const auto& r : replicas_) {
+    out.logs.push_back(r->log());
+    out.committed_blocks.push_back(r->committed_blocks());
+  }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (correct_[i] && counted_[i]) {
       out.view_changes =
           std::max<std::uint64_t>(out.view_changes,
                                   replicas_[i]->current_view() - 1);
     }
+  }
+  for (auto& rp : replicas_) {
+    smr::ReplicaBase& r = *rp;
+    ReplicaFootprint fp;
+    fp.retained_log = r.log().size();
+    fp.store_blocks = r.store().size();
+    fp.executed_entries = r.executed_entries();
+    fp.mempool_pending = r.mempool().pending();
+    fp.mempool_committed_keys = r.mempool().committed_keys();
+    fp.committed_blocks = r.committed_blocks();
+    fp.low_water_mark = r.low_water_mark();
+    fp.checkpoints_taken = r.checkpoints().taken();
+    fp.stable_height = r.checkpoints().stable_height();
+    fp.state_transfers = r.state_transfers();
+    out.footprints.push_back(fp);
+    out.requests_dropped += r.mempool().dropped();
+    out.requests_rate_limited += r.requests_rejected();
+    out.state_transfers += r.state_transfers();
+    out.max_recovery_latency =
+        std::max(out.max_recovery_latency, r.last_recovery_time());
   }
   out.transmissions = net_->transmissions();
   out.bytes_transmitted = net_->bytes_transmitted();

@@ -64,6 +64,25 @@ struct ClusterConfig {
   client::WorkloadSpec workload;
   /// Client retransmission timeout (0 = never retransmit).
   sim::Duration client_retry = 0;
+
+  // -- checkpointing / admission control (src/checkpoint/) ---------------------
+  /// Committed commands per stable checkpoint (0 = off). Enables log
+  /// truncation, dedup-set GC and snapshot state transfer; every replica
+  /// gets a KvStore app so snapshots carry real state.
+  std::uint64_t checkpoint_interval = 0;
+  /// Mempool pending-queue bound per replica (0 = unbounded).
+  std::size_t mempool_capacity = 0;
+  /// Per-client pooled-request cap per replica (0 = unbounded).
+  std::size_t client_pending_cap = 0;
+  /// Replicas that join late (crash-recovery / late-spawn scenario): the
+  /// node is offline — no reception, transmission or energy — until
+  /// `delay`, then starts fresh and catches up by chain sync or state
+  /// transfer.
+  struct LateStart {
+    NodeId node = 0;
+    sim::Duration delay = 0;
+  };
+  std::vector<LateStart> late_starts;
 };
 
 class Cluster {
@@ -114,6 +133,7 @@ class Cluster {
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<bool> correct_;
   std::vector<bool> counted_;
+  std::vector<bool> late_;
   bool started_ = false;
 };
 

@@ -11,9 +11,34 @@
 
 namespace eesmr::harness {
 
+/// Per-replica memory/checkpoint footprint (the quantities the bounded-
+/// memory acceptance criterion compares: with checkpointing at interval
+/// k, retained_log and the dedup sets stay O(k); without, they grow with
+/// the run).
+struct ReplicaFootprint {
+  std::size_t retained_log = 0;           ///< log() blocks kept
+  std::size_t store_blocks = 0;           ///< BlockStore entries
+  std::size_t executed_entries = 0;       ///< exactly-once reply cache
+  std::size_t mempool_pending = 0;
+  std::size_t mempool_committed_keys = 0;
+  std::uint64_t committed_blocks = 0;     ///< total ever committed
+  std::uint64_t low_water_mark = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t stable_height = 0;
+  std::uint64_t state_transfers = 0;
+
+  [[nodiscard]] std::size_t dedup_entries() const {
+    return executed_entries + mempool_committed_keys;
+  }
+};
+
 struct RunResult {
   std::vector<energy::Meter> meters;            ///< per node
-  std::vector<std::vector<smr::Block>> logs;    ///< committed, per node
+  std::vector<std::vector<smr::Block>> logs;    ///< retained, per node
+  /// Total blocks ever committed per node (>= logs[i].size(); the
+  /// difference is what checkpoint GC truncated). Empty when a RunResult
+  /// is assembled by hand — accessors then fall back to logs sizes.
+  std::vector<std::uint64_t> committed_blocks;
   std::vector<bool> correct;                    ///< honest && counted
   std::vector<bool> counted;                    ///< counted in energy sums
   std::uint64_t view_changes = 0;               ///< max over correct nodes
@@ -26,14 +51,35 @@ struct RunResult {
   std::uint64_t requests_submitted = 0;
   std::uint64_t requests_accepted = 0;
   std::uint64_t request_retransmissions = 0;
+  /// Admission-control sheds: mempool-capacity drops and per-client
+  /// pending-cap rejections, summed over replicas.
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t requests_rate_limited = 0;
+
+  // Checkpoint / state-transfer measurements.
+  std::vector<ReplicaFootprint> footprints;  ///< per protocol node
+  std::uint64_t state_transfers = 0;         ///< completed catch-ups
+  /// Slowest request→restore duration among completed state transfers.
+  sim::Duration max_recovery_latency = 0;
 
   /// Safety (Definition 2.1): for every height, all correct nodes that
-  /// committed a block at that height committed the same block.
+  /// committed (and still retain) a block at that height committed the
+  /// same block. Height-keyed, so logs truncated at different stable
+  /// checkpoints compare correctly.
   [[nodiscard]] bool safety_ok() const;
 
-  /// Minimum committed-log length over correct nodes.
+  /// Blocks ever committed by node `id` (committed_blocks when recorded,
+  /// otherwise the retained log length).
+  [[nodiscard]] std::uint64_t committed_at(NodeId id) const;
+
+  /// Minimum committed-block count over correct nodes.
   [[nodiscard]] std::size_t min_committed() const;
   [[nodiscard]] std::size_t max_committed() const;
+
+  /// Largest retained log / dedup-set size over correct protocol nodes
+  /// (the memory-bound headline numbers).
+  [[nodiscard]] std::size_t max_retained_log() const;
+  [[nodiscard]] std::size_t max_dedup_entries() const;
 
   /// Accepted client requests per simulated second (goodput).
   [[nodiscard]] double accepted_per_sec() const;

@@ -26,7 +26,12 @@ Network::Network(sim::Scheduler& sched, Hypergraph graph,
       config_.hop_bound);
   relay_ = relay.empty() ? std::vector<bool>(graph_.n(), true)
                          : std::move(relay);
+  online_.assign(graph_.n(), true);
   recompute_hops();
+}
+
+void Network::set_node_online(NodeId node, bool online) {
+  online_.at(node) = online;
 }
 
 void Network::recompute_hops() {
@@ -68,6 +73,7 @@ void Network::set_delay_policy(std::unique_ptr<DelayPolicy> policy) {
 
 void Network::charge_energy(const HyperEdge& edge, std::size_t bytes) {
   if (meters_ == nullptr) return;
+  // Offline receivers are not listening: no reception energy.
   const std::size_t k = edge.receivers.size();
   double send_mj, recv_mj;
   if (config_.medium == energy::Medium::kBle) {
@@ -89,22 +95,26 @@ void Network::charge_energy(const HyperEdge& edge, std::size_t bytes) {
   }
   (*meters_)[edge.sender].charge_send(send_mj, bytes);
   for (NodeId r : edge.receivers) {
-    (*meters_)[r].charge_recv(recv_mj, bytes);
+    if (online_[r]) (*meters_)[r].charge_recv(recv_mj, bytes);
   }
 }
 
 void Network::transmit_edge(const HyperEdge& edge, BytesView frame) {
+  if (!online_[edge.sender]) return;  // a crashed radio sends nothing
   ++transmissions_;
   bytes_tx_ += frame.size();
   charge_energy(edge, frame.size());
   for (NodeId to : edge.receivers) {
     PacketSink* sink = sinks_[to];
-    if (sink == nullptr) continue;
+    if (sink == nullptr || !online_[to]) continue;
     sim::Duration d = policy_->delay(edge.sender, to, frame.size());
     d = std::clamp<sim::Duration>(d, 1, config_.hop_bound);
     ++deliveries_;
-    sched_.after(d, [sink, from = edge.sender, data = to_bytes(frame)] {
-      sink->on_packet(from, data);
+    // Re-check at delivery time: the receiver may have gone offline
+    // while the frame was in flight.
+    sched_.after(d, [this, sink, to, from = edge.sender,
+                     data = to_bytes(frame)] {
+      if (online_[to]) sink->on_packet(from, data);
     });
   }
 }

@@ -88,6 +88,17 @@ class Network {
   void attach(NodeId node, PacketSink* sink);
   void set_delay_policy(std::unique_ptr<DelayPolicy> policy);
 
+  /// Take a node off the air (crashed / not yet spawned) or bring it
+  /// back. While offline the node neither transmits, receives, relays,
+  /// nor pays radio energy; frames already in flight to it are dropped
+  /// at delivery time. Routing distances are unchanged — an offline
+  /// relay simply loses the frames it would have forwarded, exactly like
+  /// a crashed node under the flood assumption.
+  void set_node_online(NodeId node, bool online);
+  [[nodiscard]] bool node_online(NodeId node) const {
+    return online_.at(node);
+  }
+
   /// Transmit `frame` on every outgoing hyper-edge of `from` that has
   /// at least one relay receiver (broadcast = flood fabric; edges to
   /// non-relay leaves only carry directed frames).
@@ -128,6 +139,7 @@ class Network {
   std::vector<PacketSink*> sinks_;
   std::unique_ptr<DelayPolicy> policy_;
   std::vector<bool> relay_;
+  std::vector<bool> online_;
   std::vector<std::vector<std::size_t>> hop_matrix_;
 
   std::uint64_t transmissions_ = 0;

@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/common/serde.hpp"
 #include "src/crypto/sha256.hpp"
 
 namespace eesmr::smr {
@@ -66,6 +67,44 @@ Bytes KvStore::state_digest() const {
   }
   const auto digest = h.finish();
   return Bytes(digest.begin(), digest.end());
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  const auto it = table_.find(key);
+  return it == table_.end() ? std::nullopt
+                            : std::optional<std::string>(it->second);
+}
+
+Bytes KvStore::snapshot() const {
+  // std::map iteration is key-ordered, so the encoding is deterministic:
+  // every replica with the same state produces byte-identical snapshots
+  // (checkpoint certificates sign the snapshot hash). The applied_
+  // counter rides along so a restored replica's op count — and any
+  // future behaviour derived from it — matches the snapshot source.
+  Writer w;
+  w.u64(applied_);
+  w.u32(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [k, v] : table_) {
+    w.str(k);
+    w.str(v);
+  }
+  return w.take();
+}
+
+void KvStore::restore(BytesView snap) {
+  Reader r(snap);
+  const std::uint64_t applied = r.u64();
+  const std::uint32_t n = r.u32();
+  std::map<std::string, std::string> table;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    table.emplace(std::move(k), r.str());
+  }
+  r.expect_done();
+  // Commit only after the whole snapshot decoded (strong exception
+  // safety: a SerdeError above leaves the store untouched).
+  applied_ = applied;
+  table_ = std::move(table);
 }
 
 std::optional<Bytes> AckCollector::add(NodeId replica, const Bytes& result) {

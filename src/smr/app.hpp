@@ -27,6 +27,16 @@ class StateMachine {
   virtual Bytes apply(const Command& cmd) = 0;
   /// Digest of the current state (for cross-replica comparison).
   [[nodiscard]] virtual Bytes state_digest() const = 0;
+
+  // -- checkpointing (src/checkpoint/) ---------------------------------------
+  /// Serialize the full state. restore() of a snapshot on a fresh
+  /// instance must reproduce behaviour AND state_digest() exactly; the
+  /// encoding must be deterministic (checkpoint certificates sign its
+  /// hash). Defaults model a stateless machine (empty snapshot).
+  [[nodiscard]] virtual Bytes snapshot() const { return {}; }
+  /// Replace the current state with a previously-snapshotted one.
+  /// Throws SerdeError on malformed input.
+  virtual void restore(BytesView snap) { (void)snap; }
 };
 
 /// A small key-value store with a text command language:
@@ -41,6 +51,8 @@ class KvStore final : public StateMachine {
  public:
   Bytes apply(const Command& cmd) override;
   [[nodiscard]] Bytes state_digest() const override;
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(BytesView snap) override;
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
   [[nodiscard]] std::size_t size() const { return table_.size(); }

@@ -26,6 +26,40 @@ void BlockStore::add_orphan(const Block& block) {
   orphans_.emplace(key(block.hash()), block);
 }
 
+void BlockStore::adopt_root(const Block& block) {
+  blocks_.insert_or_assign(key(block.hash()), block);
+}
+
+void BlockStore::truncate_below(const BlockHash& root) {
+  const Block* r = get(root);
+  if (r == nullptr) {
+    throw std::invalid_argument("BlockStore::truncate_below: unknown root");
+  }
+  const std::uint64_t floor = r->height;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.height < floor) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if (it->second.height <= floor) {
+      it = orphans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<Block> BlockStore::deepest_orphan() const {
+  const Block* best = nullptr;
+  for (const auto& [k, b] : orphans_) {
+    if (best == nullptr || b.height < best->height) best = &b;
+  }
+  return best == nullptr ? std::nullopt : std::optional<Block>(*best);
+}
+
 std::vector<Block> BlockStore::adopt_orphans() {
   std::vector<Block> adopted;
   bool progress = true;

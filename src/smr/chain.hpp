@@ -28,6 +28,21 @@ class BlockStore {
   /// Buffer a block whose ancestry is not yet connected.
   void add_orphan(const Block& block);
 
+  /// Insert `block` unconditionally, with no parent check — the anchor a
+  /// state transfer re-roots the chain on (the block's ancestry is
+  /// attested by the checkpoint certificate, not by local parents).
+  void adopt_root(const Block& block);
+
+  /// Advance the low-water mark: drop every block strictly below `root`'s
+  /// height (including genesis) and every orphan at or below it. `root`
+  /// must be present; it becomes the new deepest block, so ancestry
+  /// queries terminate there. Throws std::invalid_argument if `root` is
+  /// unknown.
+  void truncate_below(const BlockHash& root);
+
+  /// The lowest-height buffered orphan (for backward chain sync), if any.
+  [[nodiscard]] std::optional<Block> deepest_orphan() const;
+
   /// Try to connect orphans after new blocks arrived. Returns the blocks
   /// adopted (in ancestry order).
   std::vector<Block> adopt_orphans();

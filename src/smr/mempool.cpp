@@ -9,7 +9,14 @@ namespace eesmr::smr {
 bool Mempool::submit(Command cmd) {
   std::string key = to_string(cmd.data);
   if (committed_keys_.count(key) > 0) return false;
-  if (!pending_keys_.insert(std::move(key)).second) return false;
+  if (pending_keys_.count(key) > 0) return false;  // duplicate, not a drop
+  if (capacity_ > 0 && queue_.size() >= capacity_) {
+    ++dropped_;  // admission control: shed fresh load when full
+    return false;
+  }
+  const auto req = ClientRequest::decode(cmd.data);
+  if (req.has_value()) ++client_pending_[req->client];
+  pending_keys_.insert(std::move(key));
   queue_.push_back(std::move(cmd));
   return true;
 }
@@ -53,6 +60,11 @@ void Mempool::remove_committed(const Block& block) {
     const std::string key = to_string(c.data);
     if (block_keys.count(key) == 0) return false;
     pending_keys_.erase(key);
+    const auto req = ClientRequest::decode(c.data);
+    if (req.has_value()) {
+      const auto it = client_pending_.find(req->client);
+      if (it != client_pending_.end() && it->second > 0) --it->second;
+    }
     return true;
   };
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(), is_committed),

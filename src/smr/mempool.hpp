@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,15 +27,23 @@ namespace eesmr::smr {
 class Mempool {
  public:
   /// `synthetic_cmd_bytes` > 0 enables the synthetic workload; each
-  /// fabricated command has exactly that many bytes.
-  explicit Mempool(std::size_t synthetic_cmd_bytes = 0)
-      : synthetic_bytes_(synthetic_cmd_bytes) {}
+  /// fabricated command has exactly that many bytes. `capacity` bounds
+  /// the pending queue (0 = unbounded): admission control so open-loop
+  /// overload sheds load instead of queueing without limit.
+  explicit Mempool(std::size_t synthetic_cmd_bytes = 0,
+                   std::size_t capacity = 0)
+      : synthetic_bytes_(synthetic_cmd_bytes), capacity_(capacity) {}
 
   /// Queue a command. Returns false (and drops it) when the identical
-  /// command is already pending, or is a tagged client request that
-  /// already committed.
+  /// command is already pending, is a tagged client request that already
+  /// committed, or the queue is at capacity (counted in dropped()).
   bool submit(Command cmd);
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Fresh commands rejected because the queue was full (duplicates are
+  /// not drops — the command is already queued or committed).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   /// Up to `max_cmds` commands for the next proposal. Commands are not
   /// removed until committed (a failed view may need to re-propose them),
@@ -45,10 +54,33 @@ class Mempool {
   /// block, remove the commands in the block from the txpool").
   void remove_committed(const Block& block);
 
+  /// Low-water-mark GC (checkpoint subsystem): forget one committed
+  /// tagged-request key. Requests below the checkpoint stay deduplicated
+  /// via the replica's per-client watermarks, so the key set no longer
+  /// needs to remember them.
+  void forget_committed(const Bytes& cmd_bytes) {
+    committed_keys_.erase(to_string(cmd_bytes));
+  }
+  [[nodiscard]] std::size_t committed_keys() const {
+    return committed_keys_.size();
+  }
+
   [[nodiscard]] std::uint64_t synthesized() const { return synth_counter_; }
+
+  /// Queued-but-uncommitted tagged requests of one client. The replica's
+  /// per-client admission cap checks this BEFORE paying for signature
+  /// verification: it reflects actual pool contents, so commits of
+  /// copies this replica never pooled cannot skew it.
+  [[nodiscard]] std::size_t client_pending(NodeId client) const {
+    const auto it = client_pending_.find(client);
+    return it == client_pending_.end() ? 0 : it->second;
+  }
 
  private:
   std::size_t synthetic_bytes_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::map<NodeId, std::size_t> client_pending_;
   std::deque<Command> queue_;
   /// Commands currently in queue_ (dedup on submit).
   std::set<std::string> pending_keys_;

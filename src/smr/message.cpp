@@ -43,6 +43,12 @@ const char* msg_type_name(MsgType t) {
       return "Request";
     case MsgType::kReply:
       return "Reply";
+    case MsgType::kCheckpoint:
+      return "Checkpoint";
+    case MsgType::kStateRequest:
+      return "StateRequest";
+    case MsgType::kStateResponse:
+      return "StateResponse";
   }
   return "?";
 }

@@ -46,6 +46,13 @@ enum class MsgType : std::uint8_t {
   // Client request/reply path (§3's client-centric SMR interface).
   kRequest = 16,
   kReply = 17,
+  // Checkpointing & state transfer (src/checkpoint/): signed stable
+  // checkpoints form f+1-identical state-digest certificates (the §3
+  // stability rule applied to state, as in NxBFT), which gate log
+  // truncation and let lagging replicas catch up from a snapshot.
+  kCheckpoint = 18,
+  kStateRequest = 19,
+  kStateResponse = 20,
 };
 
 const char* msg_type_name(MsgType t);

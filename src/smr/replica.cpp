@@ -1,5 +1,6 @@
 #include "src/smr/replica.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/common/serde.hpp"
@@ -14,6 +15,10 @@ std::string hkey(const BlockHash& h) {
 /// Cap on blocks per SyncResponse (a Byzantine peer can request often;
 /// the per-response size must stay bounded).
 constexpr std::size_t kMaxSyncBlocks = 64;
+/// Minimum block gap to a stable checkpoint before a replica prefers a
+/// snapshot transfer over block-by-block chain sync. In-flight lag in
+/// the blocking variants is 1-2 blocks, so 8 never triggers spuriously.
+constexpr std::uint64_t kStateTransferGap = 8;
 }  // namespace
 
 ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
@@ -22,8 +27,10 @@ ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
       router_(net, cfg.id, this),
       cfg_(std::move(cfg)),
       meter_(meter),
-      mempool_(cfg_.cmd_bytes),
-      committed_tip_(genesis_hash()) {
+      mempool_(cfg_.cmd_bytes, cfg_.mempool_capacity),
+      committed_tip_(genesis_hash()),
+      ckpt_(cfg_.checkpoint_interval, cfg_.f + 1),
+      st_timer_(sched_) {
   if (!cfg_.keyring) {
     throw std::invalid_argument("ReplicaBase: keyring required");
   }
@@ -65,6 +72,15 @@ bool ReplicaBase::verify_qc(const QuorumCert& qc, std::size_t quorum_size) {
   return qc.verify(*cfg_.keyring, quorum_size);
 }
 
+bool ReplicaBase::verify_checkpoint_cert(
+    const checkpoint::CheckpointCert& cert) {
+  for (std::size_t i = 0; i < cert.sigs.size(); ++i) {
+    charge(energy::Category::kVerify,
+           energy::verify_energy_mj(cfg_.keyring->scheme()));
+  }
+  return cert.verify(*cfg_.keyring, quorum(), cfg_.n);
+}
+
 BlockHash ReplicaBase::hash_block(const Block& b) {
   const Bytes enc = b.encode();
   charge(energy::Category::kHash, energy::hash_energy_mj(enc.size()));
@@ -98,14 +114,20 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
   if (committed_.count(hkey(h)) > 0 || h == genesis_hash()) return;
   const Block* target = store_.get(h);
   if (target == nullptr) {
+    // After checkpoint truncation an unknown hash can name a block at or
+    // below the low-water mark — already final (f+1 replicas attested the
+    // state above it), so a re-commit is a no-op rather than a safety bug.
+    if (lwm_height_ > 0) return;
     throw std::logic_error("commit_chain: unknown block");
   }
+  if (target->height <= lwm_height_) return;  // below the stable checkpoint
   if (!store_.extends(h, committed_tip_)) {
     if (store_.extends(committed_tip_, h)) return;  // already covered
     throw std::logic_error("commit_chain: conflicting commit (safety bug)");
   }
   for (const Block& b : store_.chain_between(h, committed_tip_)) {
     log_.push_back(b);
+    ++committed_blocks_;
     committed_.insert(hkey(b.hash()));
     mempool_.remove_committed(b);
     for (const Command& cmd : b.cmds) {
@@ -121,35 +143,40 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
         const auto key = std::make_pair(req->client, req->req_id);
         const auto it = executed_.find(key);
         if (it != executed_.end()) {
-          // Duplicate copy (re-proposed across a view change, or the
-          // baseline's one-copy-per-CPS-node ordering): replay the
-          // stored result with no further verification and NO reply —
-          // the first execution already acknowledged the client, and a
-          // lost reply is recovered by the retransmit-replay path in
-          // handle_request. Replying per copy would multiply signed
-          // replies and distort the per-request energy comparison.
-          result = it->second;
+          // Duplicate copy: replay the stored result with no further
+          // verification and NO reply — the first execution already
+          // acknowledged the client, and a lost reply is recovered by
+          // the retransmit-replay path in handle_request. Replying per
+          // copy would multiply signed replies and distort the
+          // per-request energy comparison.
+          result = it->second.result;
           if (app_ != nullptr) results_.push_back(result);
           continue;
-        } else {
-          // Re-verify the embedded client signature: a Byzantine
-          // leader can propose arbitrary bytes, but it cannot forge a
-          // request the client never signed. Invalid tagged commands
-          // become deterministic no-ops on every correct replica. The
-          // free id-range check runs before any energy is charged.
-          bool valid =
-              req->client >= cfg_.n && req->client < cfg_.keyring->size();
-          if (valid) {
-            charge(energy::Category::kVerify,
-                   energy::verify_energy_mj(cfg_.keyring->scheme()));
-            valid = req->verify(*cfg_.keyring);
-          }
-          if (!valid) {
-            if (app_ != nullptr) results_.push_back({});
-            continue;
-          }
-          if (app_ != nullptr) result = app_->apply(Command{req->op});
-          executed_.emplace(key, result);
+        }
+        // Re-verify the embedded client signature: a Byzantine leader
+        // can propose arbitrary bytes, but it cannot forge a request
+        // the client never signed. Invalid tagged commands become
+        // deterministic no-ops on every correct replica. The free
+        // id-range check runs before any energy is charged.
+        bool valid =
+            req->client >= cfg_.n && req->client < cfg_.keyring->size();
+        if (valid) {
+          charge(energy::Category::kVerify,
+                 energy::verify_energy_mj(cfg_.keyring->scheme()));
+          valid = req->verify(*cfg_.keyring);
+        }
+        if (!valid) {
+          if (app_ != nullptr) results_.push_back({});
+          continue;
+        }
+        if (app_ != nullptr) result = app_->apply(Command{req->op});
+        executed_.emplace(key, Executed{result, b.height});
+        // Advance the contiguous-executed frontier through any
+        // out-of-order entries this execution just connected.
+        auto& frontier = client_watermark_[req->client];
+        while (executed_.count(
+                   std::make_pair(req->client, frontier + 1)) > 0) {
+          ++frontier;
         }
       } else if (app_ != nullptr) {
         result = app_->apply(cmd);
@@ -157,13 +184,315 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
       if (app_ != nullptr) results_.push_back(result);
       if (req.has_value()) reply_to_client(*req, result);
     }
+    executed_cmds_ += b.cmds.size();
     on_commit(b);
+    maybe_checkpoint(b);
   }
   committed_tip_ = h;
   committed_height_ = target->height;
+  // A checkpoint that stabilized while we were still catching up to its
+  // height becomes actionable once our commits pass it.
+  if (ckpt_.stable_cert().has_value() &&
+      ckpt_.stable_height() > lwm_height_ &&
+      ckpt_.stable_height() <= committed_height_) {
+    advance_low_water(*ckpt_.stable_cert());
+  }
 }
 
 void ReplicaBase::on_commit(const Block&) {}
+void ReplicaBase::on_low_water(const Block&) {}
+void ReplicaBase::on_state_transfer(const Block&) {}
+
+// ---------------------------------------------------------------------------
+// Checkpointing (src/checkpoint/): snapshot, stabilize, truncate
+// ---------------------------------------------------------------------------
+
+void ReplicaBase::maybe_checkpoint(const Block& b) {
+  if (!ckpt_.enabled()) return;
+  // Due every `interval` committed commands — or every `interval`
+  // committed blocks, whichever comes first: a quiesced chain of empty
+  // blocks must keep checkpointing, both to bound its own log and so
+  // that a recovering replica still observes certificates to catch up
+  // from. Both inputs are functions of the committed log, so every
+  // correct replica triggers at the same blocks.
+  const bool block_due = b.height >= prev_ckpt_height_ + ckpt_.interval();
+  if (!ckpt_.due(executed_cmds_) && !block_due) return;
+  ckpt_.advance_schedule(executed_cmds_);
+
+  // Reply-cache GC at a log-deterministic point: entries recorded at or
+  // below the PREVIOUS checkpoint height have survived a full interval;
+  // drop them. Every correct replica runs this at the same log
+  // position, so executed_ contents — and with them every commit-time
+  // dedup decision — never depend on message timing. The pool-side
+  // floor (client_watermark_) is maintained at execution time, not
+  // here: raising it to the max GC'd id would strand any lower id that
+  // was shed by admission control and never executed.
+  for (auto it = executed_.begin(); it != executed_.end();) {
+    if (it->second.height <= prev_ckpt_height_) {
+      it = executed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  prev_ckpt_height_ = b.height;
+
+  checkpoint::SnapshotPayload payload;
+  if (app_ != nullptr) payload.app_snapshot = app_->snapshot();
+  payload.executed_cmds = executed_cmds_;
+  payload.watermarks.assign(client_watermark_.begin(),
+                            client_watermark_.end());
+  payload.executed.reserve(executed_.size());
+  for (const auto& [key, entry] : executed_) {
+    payload.executed.push_back(checkpoint::ExecutedEntry{
+        key.first, key.second, entry.height, entry.result});
+  }
+  Bytes bytes = payload.encode();
+  charge(energy::Category::kHash, energy::hash_energy_mj(bytes.size()));
+
+  checkpoint::CheckpointId id;
+  id.height = b.height;
+  id.block = b.hash();
+  id.digest = crypto::sha256(bytes);
+
+  checkpoint::CheckpointMsg cp;
+  cp.id = id;
+  cp.sig = cfg_.keyring->signer(cfg_.id).sign(id.preimage());
+  charge(energy::Category::kSign,
+         energy::sign_energy_mj(cfg_.keyring->scheme()));
+  ckpt_.record_local(id, std::move(bytes), b);
+
+  // The flooded message carries the dedicated checkpoint signature; the
+  // outer Msg is unsigned (receivers verify the inner signature, which
+  // is the one certificates collect), so one checkpoint costs one sign.
+  Msg m;
+  m.type = MsgType::kCheckpoint;
+  m.view = v_cur_;
+  m.round = r_cur_;
+  m.author = cfg_.id;
+  m.data = cp.encode();
+  broadcast(m);
+
+  if (const auto cert = ckpt_.add_signature(cfg_.id, id, cp.sig)) {
+    on_stable_checkpoint(*cert);
+  }
+}
+
+void ReplicaBase::handle_checkpoint(const Msg& msg) {
+  if (!ckpt_.enabled() || msg.author >= cfg_.n) return;
+  checkpoint::CheckpointMsg cp;
+  try {
+    cp = checkpoint::CheckpointMsg::decode(msg.data);
+  } catch (const SerdeError&) {
+    return;
+  }
+  if (cp.id.height <= ckpt_.stable_height()) return;
+  charge(energy::Category::kVerify,
+         energy::verify_energy_mj(cfg_.keyring->scheme()));
+  if (!cfg_.keyring->verify(msg.author, cp.id.preimage(), cp.sig)) return;
+  if (const auto cert = ckpt_.add_signature(msg.author, cp.id, cp.sig)) {
+    on_stable_checkpoint(*cert);
+  }
+}
+
+void ReplicaBase::on_stable_checkpoint(
+    const checkpoint::CheckpointCert& cert) {
+  // committed_blocks_ equals the height of the last block this replica
+  // committed (one block per height since genesis) and — unlike
+  // committed_height_ — is already advanced when a checkpoint taken
+  // inside the commit loop stabilizes immediately (f = 0).
+  if (cert.id.height <= committed_blocks_) {
+    // We executed past this height: the snapshot (if we took one) can be
+    // served, and everything below the checkpoint can be reclaimed.
+    advance_low_water(cert);
+  } else if (cert.id.height >= committed_blocks_ + kStateTransferGap) {
+    // Deeply behind the cluster (crash recovery / late joiner): fetch
+    // the attested snapshot instead of replaying the whole gap block by
+    // block. Smaller gaps are covered by ordinary chain sync.
+    begin_state_transfer(cert);
+  }
+  // Mildly behind (in-flight commits): the normal commit path reaches the
+  // height shortly; commit_chain then advances the low-water mark.
+}
+
+void ReplicaBase::advance_low_water(const checkpoint::CheckpointCert& cert) {
+  const Block* root = store_.get(cert.id.block);
+  if (root == nullptr || cert.id.height <= lwm_height_) return;
+  lwm_height_ = cert.id.height;
+  st_served_.clear();  // new stable snapshot: serving budget resets
+
+  // Drop the retained-log prefix at or below the mark. Mempool
+  // committed-key GC is pool-side: a forgotten key's late retransmit can
+  // re-enter the pool, where the (log-deterministic) reply cache and the
+  // per-client watermark still keep it from re-executing.
+  std::size_t cut = 0;
+  std::size_t cmds_cut = 0;
+  while (cut < log_.size() && log_[cut].height <= lwm_height_) {
+    const Block& old = log_[cut];
+    committed_.erase(hkey(old.hash()));
+    cmds_cut += old.cmds.size();
+    for (const Command& c : old.cmds) {
+      if (ClientRequest::decode(c.data).has_value()) {
+        mempool_.forget_committed(c.data);
+      }
+    }
+    ++cut;
+  }
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(cut));
+  if (app_ != nullptr && cmds_cut > 0) {
+    // results_ holds one entry per executed command; GC in lockstep.
+    results_.erase(results_.begin(),
+                   results_.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min(cmds_cut, results_.size())));
+  }
+  // Hook BEFORE store truncation: protocols distinguish "per-block side
+  // state for a truncated block" from "side state for a block that has
+  // not arrived yet" by looking the block up while it is still here.
+  on_low_water(*root);
+  store_.truncate_below(cert.id.block);
+  sync_requested_.clear();  // pending ancestry below the mark is moot
+}
+
+// ---------------------------------------------------------------------------
+// State transfer: catch up from a stable checkpoint
+// ---------------------------------------------------------------------------
+
+void ReplicaBase::begin_state_transfer(
+    const checkpoint::CheckpointCert& cert) {
+  if (st_inflight_ && st_height_ >= cert.id.height) return;
+  if (!st_inflight_) st_started_ = sched_.now();
+  st_inflight_ = true;
+  st_height_ = cert.id.height;
+  st_signer_idx_ = 0;
+  send_state_request();
+}
+
+void ReplicaBase::send_state_request() {
+  const auto& cert = ckpt_.stable_cert();
+  if (!st_inflight_ || !cert.has_value()) return;
+  // Ask a checkpoint signer (it committed the height, so it can serve);
+  // rotate through signers on timeout.
+  NodeId target = kNoNode;
+  for (std::size_t i = 0; i < cert->sigs.size(); ++i) {
+    const NodeId candidate =
+        cert->sigs[(st_signer_idx_ + i) % cert->sigs.size()].first;
+    if (candidate != cfg_.id) {
+      target = candidate;
+      st_signer_idx_ = (st_signer_idx_ + i + 1) % cert->sigs.size();
+      break;
+    }
+  }
+  if (target == kNoNode) return;
+  Writer w;
+  w.u64(st_height_);
+  Msg req = make_msg(MsgType::kStateRequest, r_cur_, w.take());
+  send(target, req);
+  st_timer_.start(4 * cfg_.delta, [this] { send_state_request(); });
+}
+
+void ReplicaBase::handle_state_request(NodeId from, const Msg& msg) {
+  if (!verify_msg(msg)) return;
+  std::uint64_t height = 0;
+  try {
+    Reader r(msg.data);
+    height = r.u64();
+    r.expect_done();
+  } catch (const SerdeError&) {
+    return;
+  }
+  const Bytes* payload = ckpt_.payload_for(height);
+  const Block* block = ckpt_.block_for(height);
+  const auto& cert = ckpt_.stable_cert();
+  if (payload == nullptr || block == nullptr || !cert.has_value()) return;
+  // Serve each peer at most once per stable checkpoint: snapshots are
+  // the largest frames in the system, and a Byzantine requester must not
+  // drain our transmit energy.
+  if (!st_served_.insert(from).second) return;
+  Writer w;
+  w.bytes(cert->encode());
+  w.bytes(block->encode());
+  w.bytes(*payload);
+  Msg resp = make_msg(MsgType::kStateResponse, r_cur_, w.take());
+  send(from, resp);
+}
+
+void ReplicaBase::handle_state_response(const Msg& msg) {
+  if (!st_inflight_) return;
+  if (!verify_msg(msg)) return;
+  checkpoint::CheckpointCert cert;
+  Block root;
+  Bytes payload_bytes;
+  checkpoint::SnapshotPayload payload;
+  try {
+    Reader r(msg.data);
+    cert = checkpoint::CheckpointCert::decode(r.bytes());
+    root = Block::decode(r.bytes());
+    payload_bytes = r.bytes();
+    r.expect_done();
+    payload = checkpoint::SnapshotPayload::decode(payload_bytes);
+  } catch (const SerdeError&) {
+    return;
+  }
+  // The certificate is the authority: f+1 replicas signed this exact
+  // (height, block, digest). Verify it, then check the block and the
+  // snapshot bytes against it.
+  if (cert.id.height <= committed_height_) return;
+  if (!verify_checkpoint_cert(cert)) return;
+  if (root.height != cert.id.height) return;
+  if (hash_block(root) != cert.id.block) return;
+  charge(energy::Category::kHash,
+         energy::hash_energy_mj(payload_bytes.size()));
+  if (crypto::sha256(payload_bytes) != cert.id.digest) return;
+  if (app_ != nullptr) {
+    try {
+      app_->restore(payload.app_snapshot);
+    } catch (const SerdeError&) {
+      return;  // digest-matching but app-incompatible snapshot: abort
+    }
+  }
+
+  // Re-root the chain at the checkpoint block and fast-forward.
+  store_.adopt_root(root);
+  store_.truncate_below(cert.id.block);
+  committed_tip_ = cert.id.block;
+  committed_height_ = cert.id.height;
+  committed_blocks_ = cert.id.height;  // one block per height since genesis
+  committed_.clear();
+  committed_.insert(hkey(cert.id.block));
+  log_.clear();
+  results_.clear();
+  executed_.clear();
+  for (const checkpoint::ExecutedEntry& e : payload.executed) {
+    executed_[std::make_pair(e.client, e.req_id)] =
+        Executed{e.result, e.height};
+  }
+  client_watermark_.clear();
+  for (const auto& [client, req_id] : payload.watermarks) {
+    client_watermark_[client] = req_id;
+  }
+  prev_ckpt_height_ = cert.id.height;
+  executed_cmds_ = payload.executed_cmds;
+  ckpt_.advance_schedule(executed_cmds_);
+  lwm_height_ = cert.id.height;
+  ckpt_.install_stable(cert, std::move(payload_bytes), root);
+  sync_requested_.clear();
+  st_served_.clear();
+
+  st_inflight_ = false;
+  st_timer_.cancel();
+  ++state_transfers_;
+  last_recovery_ = sched_.now() - st_started_;
+
+  on_state_transfer(root);
+  // Buffered blocks above the checkpoint may connect now.
+  for (const Block& connected : store_.adopt_orphans()) {
+    on_chain_connected(connected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client request path
+// ---------------------------------------------------------------------------
 
 void ReplicaBase::handle_request(const Msg& m) {
   // Clients sign with directory keys above the replica id range; the
@@ -172,15 +501,33 @@ void ReplicaBase::handle_request(const Msg& m) {
   if (m.author < cfg_.n || m.author >= cfg_.keyring->size()) return;
   const auto req = ClientRequest::decode(m.data);
   if (!req.has_value() || req->client != m.author) return;
+  const auto key = std::make_pair(req->client, req->req_id);
+  const bool executed_known = executed_.count(key) > 0;
+  // Free drops run before the metered signature verification so floods
+  // cost the replica nothing beyond reception.
+  if (!executed_known) {
+    // At or below the contiguous-executed frontier: this exact id
+    // already executed and was acknowledged; its cached reply has been
+    // GC'd since, so drop the retransmit.
+    const auto wm = client_watermark_.find(req->client);
+    if (wm != client_watermark_.end() && req->req_id <= wm->second) return;
+    // Per-client admission cap: a client flooding unique req_ids can
+    // hold at most `client_pending_cap` uncommitted slots in the pool
+    // (counted against actual pool contents, in the mempool).
+    if (cfg_.client_pending_cap > 0 &&
+        mempool_.client_pending(req->client) >= cfg_.client_pending_cap) {
+      ++client_cap_drops_;
+      return;
+    }
+  }
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
   if (!req->verify(*cfg_.keyring)) return;
   // Retransmit of an already-committed request: replay the stored
   // result instead of re-pooling (the original reply may have been
   // lost on a faulty routing path).
-  const auto done = executed_.find(std::make_pair(req->client, req->req_id));
-  if (done != executed_.end()) {
-    reply_to_client(*req, done->second);
+  if (executed_known) {
+    reply_to_client(*req, executed_.find(key)->second.result);
     return;
   }
   mempool_.submit(Command{m.data});
@@ -196,7 +543,12 @@ void ReplicaBase::reply_to_client(const ClientRequest& req,
   send(req.client, m);
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
 void ReplicaBase::on_deliver(NodeId origin, BytesView payload) {
+  if (!online_) return;  // crashed / not yet joined: hears nothing
   Msg m;
   try {
     m = Msg::decode(payload);
@@ -209,6 +561,20 @@ void ReplicaBase::on_deliver(NodeId origin, BytesView payload) {
   }
   if (m.type == MsgType::kRequest) {
     handle_request(m);
+    return;
+  }
+  if (m.type == MsgType::kCheckpoint) {
+    // Authenticated by the dedicated checkpoint signature inside the
+    // payload (the one certificates collect); no outer Msg signature.
+    handle_checkpoint(m);
+    return;
+  }
+  if (m.type == MsgType::kStateRequest) {
+    handle_state_request(origin, m);
+    return;
+  }
+  if (m.type == MsgType::kStateResponse) {
+    handle_state_response(m);
     return;
   }
   if (m.type == MsgType::kReply) return;  // client-bound; not for replicas
@@ -252,6 +618,16 @@ void ReplicaBase::handle_sync(NodeId from, const Msg& msg) {
   }
   for (const Block& connected : store_.adopt_orphans()) {
     on_chain_connected(connected);
+  }
+  // Backward sync: a response can land entirely above our frontier (a
+  // deep gap after a crash). Walk further down the ancestry of the
+  // deepest orphan until the chains meet — or a stable checkpoint makes
+  // state transfer take over.
+  const auto deepest = store_.deepest_orphan();
+  if (deepest.has_value() && !store_.contains(deepest->parent) &&
+      sync_requested_.insert(hkey(deepest->parent)).second) {
+    Msg req = make_msg(MsgType::kSyncRequest, r_cur_, deepest->parent);
+    send(from, req);
   }
 }
 

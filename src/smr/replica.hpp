@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.hpp"
 #include "src/energy/cost_model.hpp"
 #include "src/energy/meter.hpp"
 #include "src/net/flood.hpp"
@@ -35,6 +36,18 @@ struct ReplicaConfig {
   std::shared_ptr<crypto::Keyring> keyring;
   /// Charge sign/verify/hash energy to the meter (on by default).
   bool meter_crypto = true;
+
+  // -- checkpointing & admission control (src/checkpoint/) -------------------
+  /// Committed commands per stable checkpoint (0 = checkpointing off).
+  /// Distinct from EesmrOptions::checkpoint_interval, which is the §3.5
+  /// signature-batching round interval.
+  std::uint64_t checkpoint_interval = 0;
+  /// Mempool pending-queue bound (0 = unbounded): open-loop overload is
+  /// shed instead of queueing without limit.
+  std::size_t mempool_capacity = 0;
+  /// Max pooled-but-uncommitted requests per client (0 = unbounded): a
+  /// Byzantine client flooding unique req_ids cannot exhaust the pool.
+  std::size_t client_pending_cap = 0;
 };
 
 /// Base class for protocol replicas. Subclasses implement start() and
@@ -49,8 +62,13 @@ class ReplicaBase : public net::FloodClient {
   // -- observability -----------------------------------------------------------
   [[nodiscard]] NodeId id() const { return cfg_.id; }
   [[nodiscard]] const ReplicaConfig& config() const { return cfg_; }
-  /// Committed log, in height order (excluding genesis).
+  /// Retained committed log, in height order (excluding genesis).
+  /// Checkpointing truncates the prefix at or below the low-water mark;
+  /// committed_blocks() counts every block ever committed.
   [[nodiscard]] const std::vector<Block>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t committed_blocks() const {
+    return committed_blocks_;
+  }
   [[nodiscard]] std::uint64_t current_view() const { return v_cur_; }
   [[nodiscard]] std::uint64_t current_round() const { return r_cur_; }
   [[nodiscard]] const BlockStore& store() const { return store_; }
@@ -61,6 +79,34 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] std::uint64_t committed_height() const {
     return committed_height_;
   }
+
+  // -- checkpoint / state-transfer observability -------------------------------
+  [[nodiscard]] const checkpoint::CheckpointManager& checkpoints() const {
+    return ckpt_;
+  }
+  /// Stable-checkpoint height below which log/state was truncated.
+  [[nodiscard]] std::uint64_t low_water_mark() const { return lwm_height_; }
+  /// Entries in the exactly-once reply cache (bounded by checkpoint GC).
+  [[nodiscard]] std::size_t executed_entries() const {
+    return executed_.size();
+  }
+  /// Completed snapshot catch-ups and the duration of the latest one.
+  [[nodiscard]] std::uint64_t state_transfers() const {
+    return state_transfers_;
+  }
+  [[nodiscard]] sim::Duration last_recovery_time() const {
+    return last_recovery_;
+  }
+  /// Requests rejected by the per-client pending cap.
+  [[nodiscard]] std::uint64_t requests_rejected() const {
+    return client_cap_drops_;
+  }
+
+  /// Harness hook: while offline every delivery is dropped (a crashed /
+  /// not-yet-spawned replica). Going online again models recovery; the
+  /// replica then catches up by chain sync or state transfer.
+  void set_online(bool online) { online_ = online; }
+  [[nodiscard]] bool online() const { return online_; }
 
   /// Attach an execution-layer state machine: every committed command is
   /// applied in log order; results are the per-request acknowledgments a
@@ -114,6 +160,17 @@ class ReplicaBase : public net::FloodClient {
   void commit_chain(const BlockHash& h);
   virtual void on_commit(const Block& block);
 
+  // -- checkpointing hooks ------------------------------------------------------
+  /// Called as the low-water mark advances to `root` (the checkpoint
+  /// block), just before the blocks below it leave the store. Protocols
+  /// GC their per-block side state (vote tallies, equivocation records)
+  /// here — the doomed blocks are still inspectable, so side state for
+  /// a block that simply has not arrived yet can be told apart and kept.
+  virtual void on_low_water(const Block& root);
+  /// Called after a completed state transfer re-rooted the chain at
+  /// `root`. Protocols re-anchor their locks / certified tips here.
+  virtual void on_state_transfer(const Block& root);
+
   // -- client request/reply path ----------------------------------------------------
   /// Verify and pool a client-submitted kRequest (authors live above the
   /// replica id range, so the normal verify_msg path does not apply).
@@ -151,17 +208,83 @@ class ReplicaBase : public net::FloodClient {
   void handle_sync(NodeId from, const Msg& msg);
   void charge(energy::Category cat, double mj);
 
+  // -- checkpoint & state-transfer internals ------------------------------------
+  /// Snapshot + sign + flood a checkpoint if one is due at block `b`.
+  void maybe_checkpoint(const Block& b);
+  void handle_checkpoint(const Msg& msg);
+  void handle_state_request(NodeId from, const Msg& msg);
+  void handle_state_response(const Msg& msg);
+  /// React to a newly-stable checkpoint: truncate if we hold the state,
+  /// or start a state transfer if we are a full interval behind.
+  void on_stable_checkpoint(const checkpoint::CheckpointCert& cert);
+  /// Truncate log/store/dedup state below the stable checkpoint.
+  void advance_low_water(const checkpoint::CheckpointCert& cert);
+  void begin_state_transfer(const checkpoint::CheckpointCert& cert);
+  void send_state_request();
+  /// Verify a checkpoint certificate, charging one verification per
+  /// contained signature (mirrors verify_qc).
+  [[nodiscard]] bool verify_checkpoint_cert(
+      const checkpoint::CheckpointCert& cert);
+
   std::vector<Block> log_;
-  std::set<std::string> committed_;  // hashes as strings
+  std::uint64_t committed_blocks_ = 0;  ///< total ever (incl. truncated)
+  std::set<std::string> committed_;     // retained block hashes as strings
   BlockHash committed_tip_;
   std::uint64_t committed_height_ = 0;
   std::set<std::string> sync_requested_;
   StateMachine* app_ = nullptr;
   std::vector<Bytes> results_;
   /// First execution result per (client, req_id): a request re-proposed
-  /// across a view change can land in two committed blocks; replaying the
-  /// stored result keeps execution exactly-once and replies consistent.
-  std::map<std::pair<NodeId, std::uint64_t>, Bytes> executed_;
+  /// across a view change can land in two committed blocks; the cache
+  /// keeps execution exactly-once and lets retransmits replay replies.
+  ///
+  /// With checkpointing on, entries are garbage-collected one interval
+  /// after recording — at checkpoint-TAKING points, which are a
+  /// deterministic function of the committed log, so the cache contents
+  /// (and hence every commit-time dedup decision) stay identical across
+  /// replicas; snapshots carry the live entries so restored replicas
+  /// agree too. A duplicate surfacing after its entry's GC re-executes —
+  /// deterministically on every correct replica, so state stays
+  /// consistent. Exactly-once is therefore guaranteed within the
+  /// retention window and, beyond it, for every id at or below the
+  /// contiguous frontier; an executed id ABOVE a frontier gap (a lower
+  /// id shed by admission control) whose retransmits outlive the window
+  /// can re-execute — consistently everywhere. See ROADMAP.
+  struct Executed {
+    Bytes result;
+    std::uint64_t height = 0;  ///< block height the request executed at
+  };
+  std::map<std::pair<NodeId, std::uint64_t>, Executed> executed_;
+  /// Per-client CONTIGUOUS executed frontier: the largest F such that
+  /// req_ids 1..F have all executed. Advanced at execution time (a
+  /// deterministic function of the log) and carried in snapshots.
+  /// handle_request drops requests at or below it once their executed_
+  /// entry is GC'd (the reply was already delivered; the stored result
+  /// is gone). Deliberately NOT the max executed id: an id shed by
+  /// admission control while its successors committed sits in a gap
+  /// below the max, and a max-based floor would drop its retransmits
+  /// forever. Pool-side only — never consulted on the commit path.
+  /// Clients issue ascending ids starting at 1.
+  std::map<NodeId, std::uint64_t> client_watermark_;
+  /// Height of the previous taken checkpoint (the executed_ GC cut).
+  std::uint64_t prev_ckpt_height_ = 0;
+  std::uint64_t client_cap_drops_ = 0;
+
+  checkpoint::CheckpointManager ckpt_;
+  std::uint64_t executed_cmds_ = 0;  ///< cumulative committed commands
+  std::uint64_t lwm_height_ = 0;
+  /// Peers already served the current stable snapshot (rate limit).
+  std::set<NodeId> st_served_;
+  // In-flight state transfer (requester side).
+  bool st_inflight_ = false;
+  std::uint64_t st_height_ = 0;
+  std::size_t st_signer_idx_ = 0;
+  sim::SimTime st_started_ = 0;
+  sim::Timer st_timer_;
+  std::uint64_t state_transfers_ = 0;
+  sim::Duration last_recovery_ = 0;
+
+  bool online_ = true;
 };
 
 }  // namespace eesmr::smr

@@ -86,6 +86,65 @@ TEST(Mempool, RemoveCommittedHandlesLargeQueueAndBlock) {
   EXPECT_EQ(pool.pending(), 4096u - 1024u);
 }
 
+TEST(Mempool, CapacityShedsFreshLoadButNotDuplicates) {
+  Mempool pool(0, /*capacity=*/2);
+  EXPECT_TRUE(pool.submit(cmd("a")));
+  EXPECT_TRUE(pool.submit(cmd("b")));
+  EXPECT_FALSE(pool.submit(cmd("c")));  // full: dropped
+  EXPECT_EQ(pool.dropped(), 1u);
+  EXPECT_FALSE(pool.submit(cmd("a")));  // duplicate, not a drop
+  EXPECT_EQ(pool.dropped(), 1u);
+  EXPECT_EQ(pool.pending(), 2u);
+
+  // Committing frees capacity for new admissions.
+  pool.remove_committed(block_with({"a"}));
+  EXPECT_TRUE(pool.submit(cmd("c")));
+  EXPECT_EQ(pool.pending(), 2u);
+}
+
+TEST(Mempool, PerClientPendingTracksPoolContents) {
+  Mempool pool;
+  EXPECT_EQ(pool.client_pending(5), 0u);
+  pool.submit(tagged_cmd(5, 1));
+  pool.submit(tagged_cmd(5, 2));
+  pool.submit(tagged_cmd(6, 1));
+  pool.submit(cmd("untagged"));  // not client-attributed
+  EXPECT_EQ(pool.client_pending(5), 2u);
+  EXPECT_EQ(pool.client_pending(6), 1u);
+
+  Block b;
+  b.parent = genesis_hash();
+  b.height = 1;
+  b.cmds = {tagged_cmd(5, 1)};
+  pool.remove_committed(b);
+  EXPECT_EQ(pool.client_pending(5), 1u);
+  // Committing a copy we never pooled does not underflow the count.
+  Block other;
+  other.parent = genesis_hash();
+  other.height = 1;
+  other.cmds = {tagged_cmd(5, 99)};
+  pool.remove_committed(other);
+  EXPECT_EQ(pool.client_pending(5), 1u);
+}
+
+TEST(Mempool, ForgetCommittedShrinksDedupSet) {
+  Mempool pool;
+  const Command req = tagged_cmd(7, 1);
+  pool.submit(req);
+  Block b;
+  b.parent = genesis_hash();
+  b.height = 1;
+  b.cmds = {req};
+  pool.remove_committed(b);
+  EXPECT_EQ(pool.committed_keys(), 1u);
+  EXPECT_FALSE(pool.submit(req));
+  // Low-water-mark GC: the key is forgotten; dedup of the retransmit is
+  // now the replica's job (reply cache / per-client watermark).
+  pool.forget_committed(req.data);
+  EXPECT_EQ(pool.committed_keys(), 0u);
+  EXPECT_TRUE(pool.submit(req));
+}
+
 TEST(Mempool, SyntheticFillerIsDeterministicAndCounted) {
   Mempool pool(16);
   const auto a = pool.next_batch(3);
