@@ -26,6 +26,16 @@ SyncHsReplica::SyncHsReplica(net::Network& net, smr::ReplicaConfig cfg,
       opts_(opts),
       byz_(byz),
       blame_timer_(sched_) {
+  // Protocol default for the vote stream: "partially implementing vote
+  // forwarding" (§5.7, in Sync HotStuff's favor) — one transmission to
+  // the direct neighborhood, no re-forwarding. With k >= f the k
+  // in-neighbors plus the node itself already form an f+1 quorum. An
+  // explicit policy in ReplicaConfig::channels overrides this.
+  if (config().channels[energy::Stream::kVote].kind ==
+      net::DisseminationPolicy::Kind::kDefault) {
+    set_channel_policy(energy::Stream::kVote,
+                       net::DisseminationPolicy::local_kcast());
+  }
   certified_tip_ = smr::genesis_hash();
   certified_height_ = 0;
   QuorumCert g;
@@ -142,10 +152,9 @@ void SyncHsReplica::handle_propose(NodeId from, const Msg& msg) {
 
 void SyncHsReplica::vote_for(const Block& /*block*/, const BlockHash& h) {
   Msg vote = make_msg(MsgType::kVote, 0, h);
-  // "Partially implementing vote forwarding" (§5.7, in Sync HotStuff's
-  // favor): one transmission to the direct neighborhood. With k >= f the
-  // k in-neighbors plus the node itself already form an f+1 quorum.
-  broadcast_local(vote);
+  // Disseminated per the vote channel's policy (LocalKcast by default;
+  // a Flood or RoutedUnicast sweep plugs in via ReplicaConfig::channels).
+  broadcast(vote);
   handle_vote(vote);  // count own vote
   reset_blame_timer(4 * cfg_.delta);
   // 2Δ commit wait (Sync HotStuff's synchronous commit rule).

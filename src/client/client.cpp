@@ -27,6 +27,18 @@ Client::Client(net::Network& net, ClientConfig cfg, energy::Meter* meter)
   // Network constructor).
   router_.set_forwarding(false);
   gen_ = make_generator(cfg_.workload.gen, rng_.next());
+
+  // Open the typed request channel. The legacy retry_after knob folds in
+  // as the submission timeout when the policy does not set one.
+  net::DisseminationPolicy policy = cfg_.submit;
+  if (policy.timeout <= 0 && cfg_.retry_after > 0) {
+    policy.timeout = cfg_.retry_after;
+  }
+  std::vector<NodeId> replicas;
+  replicas.reserve(cfg_.n);
+  for (NodeId r = 0; r < cfg_.n; ++r) replicas.push_back(r);
+  channel_ = std::make_unique<net::Channel>(
+      router_, energy::Stream::kRequest, policy, std::move(replicas));
 }
 
 void Client::start() {
@@ -61,13 +73,12 @@ void Client::schedule_next_arrival() {
 
 void Client::submit_one() {
   const std::uint64_t req_id = next_req_id_++;
-  auto [it, inserted] = pending_.emplace(
-      req_id, Pending(sched_.now(), build_request(req_id, gen_->next()),
-                      cfg_.f));
-  (void)inserted;
+  pending_.emplace(req_id, Pending(sched_.now(), cfg_.f));
   ++submitted_;
-  router_.broadcast(it->second.wire);
-  arm_retry(req_id);
+  // The channel disseminates per the submission policy and, when a
+  // timeout is configured, re-sends (rotating the target subset under
+  // TargetedSubset) until complete() on acceptance.
+  channel_->submit(req_id, build_request(req_id, gen_->next()));
 }
 
 Bytes Client::build_request(std::uint64_t req_id, Bytes op) {
@@ -90,19 +101,6 @@ Bytes Client::build_request(std::uint64_t req_id, Bytes op) {
   m.author = cfg_.id;
   m.data = req.encode();
   return m.encode();
-}
-
-void Client::arm_retry(std::uint64_t req_id) {
-  if (cfg_.retry_after <= 0) return;
-  auto it = pending_.find(req_id);
-  if (it == pending_.end()) return;
-  it->second.retry_event = sched_.after(cfg_.retry_after, [this, req_id] {
-    const auto p = pending_.find(req_id);
-    if (p == pending_.end()) return;  // accepted meanwhile
-    ++retransmits_;
-    router_.broadcast(p->second.wire);
-    arm_retry(req_id);
-  });
 }
 
 void Client::on_deliver(NodeId, BytesView payload) {
@@ -141,7 +139,7 @@ void Client::on_deliver(NodeId, BytesView payload) {
                                : std::min(min_replies_at_accept_, replies);
   ++accepted_;
   if (results_.size() < kMaxStoredResults) results_[rep->req_id] = *result;
-  sched_.cancel(p.retry_event);
+  channel_->complete(rep->req_id);
   pending_.erase(it);
 
   if (cfg_.workload.mode == WorkloadSpec::Mode::kClosedLoop) fill_window();

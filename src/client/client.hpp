@@ -1,7 +1,9 @@
 // Simulated client node: the external request/reply side of the §3 SMR
 // definition. A Client attaches to the net::Network as a non-forwarding
-// leaf, floods signed kRequest messages to the replicas, collects signed
-// kReply acknowledgments, and accepts a result once f+1 replicas
+// leaf, submits signed kRequest messages through a typed request channel
+// (flood-all by default; TargetedSubset contacts a rotating replica
+// subset with timeout-driven failover and exponential backoff), collects
+// signed kReply acknowledgments, and accepts a result once f+1 replicas
 // reported the same one (smr::AckCollector). Per-request submit→accept
 // latency feeds the latency histogram the harness aggregates.
 #pragma once
@@ -14,6 +16,7 @@
 #include "src/client/workload.hpp"
 #include "src/crypto/signer.hpp"
 #include "src/energy/meter.hpp"
+#include "src/net/channel.hpp"
 #include "src/net/flood.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/app.hpp"
@@ -34,8 +37,17 @@ struct ClientConfig {
   std::uint64_t seed = 1;
   /// Retransmit a still-unaccepted request after this long (0 = never).
   /// Safe under at-most-once execution: replicas pool a request at most
-  /// once and replay the stored result on duplicates.
+  /// once and replay the stored result on duplicates. Folded into the
+  /// request channel as its submission timeout when `submit` does not
+  /// set one itself.
   sim::Duration retry_after = 0;
+  /// Submission policy for the request channel. kDefault = Flood (every
+  /// request reaches all replicas). TargetedSubset contacts
+  /// `subset_size` replicas, rotating away from unresponsive ones with
+  /// exponential backoff — the failover submission mode; pair it with a
+  /// replica-side unicast request stream so the contacted replica
+  /// forwards to the leader.
+  net::DisseminationPolicy submit;
 };
 
 class Client final : public net::FloodClient {
@@ -53,7 +65,18 @@ class Client final : public net::FloodClient {
   [[nodiscard]] NodeId id() const { return cfg_.id; }
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
-  [[nodiscard]] std::uint64_t retransmissions() const { return retransmits_; }
+  /// Timeout-driven re-submissions (the request channel's resends).
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return channel_->resends();
+  }
+  /// Subset rotations under a TargetedSubset submission policy.
+  [[nodiscard]] std::uint64_t failovers() const {
+    return channel_->failovers();
+  }
+  /// The typed request channel this client submits through.
+  [[nodiscard]] const net::Channel& request_channel() const {
+    return *channel_;
+  }
   [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
   [[nodiscard]] const LatencyHistogram& latencies() const { return latency_; }
   /// Accepted results by req_id (the f+1-matched execution results).
@@ -72,21 +95,14 @@ class Client final : public net::FloodClient {
  private:
   struct Pending {
     sim::SimTime submitted_at = 0;
-    /// Encoded kRequest Msg, signed once at submission; retransmits
-    /// rebroadcast these exact bytes so mempool dedup never depends on
-    /// signature determinism.
-    Bytes wire;
     smr::AckCollector acks;
-    sim::EventId retry_event = sim::kInvalidEvent;
 
-    Pending(sim::SimTime at, Bytes w, std::size_t f)
-        : submitted_at(at), wire(std::move(w)), acks(f) {}
+    Pending(sim::SimTime at, std::size_t f) : submitted_at(at), acks(f) {}
   };
 
   void fill_window();
   void submit_one();
   [[nodiscard]] Bytes build_request(std::uint64_t req_id, Bytes op);
-  void arm_retry(std::uint64_t req_id);
   void schedule_next_arrival();
   [[nodiscard]] bool budget_left() const {
     return cfg_.workload.max_requests == 0 ||
@@ -99,12 +115,15 @@ class Client final : public net::FloodClient {
   sim::Scheduler& sched_;
   sim::Rng rng_;
   std::unique_ptr<CommandGen> gen_;
+  /// Request channel: owns the signed wire bytes of every in-flight
+  /// request (retransmits resend those exact bytes so mempool dedup
+  /// never depends on signature determinism) and the failover timers.
+  std::unique_ptr<net::Channel> channel_;
 
   bool started_ = false;
   std::uint64_t next_req_id_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t accepted_ = 0;
-  std::uint64_t retransmits_ = 0;
   std::size_t min_replies_at_accept_ = 0;
   std::map<std::uint64_t, Pending> pending_;
   std::map<std::uint64_t, Bytes> results_;

@@ -728,7 +728,7 @@ void EesmrReplica::byzantine_equivocate(std::uint64_t round) {
   // Selective: one conflicting proposal leaves on the first out-edge
   // only; the other floods normally. Honest re-broadcast guarantees both
   // reach every correct node, so the conflict always surfaces.
-  router().broadcast_on_edges({0}, ma.encode());
+  router().broadcast_on_edges({0}, ma.encode(), energy::Stream::kProposal);
   broadcast(mb);
 }
 

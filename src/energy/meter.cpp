@@ -23,6 +23,39 @@ const char* category_name(Category c) {
   return "?";
 }
 
+const char* stream_name(Stream s) {
+  switch (s) {
+    case Stream::kProposal:
+      return "proposal";
+    case Stream::kVote:
+      return "vote";
+    case Stream::kControl:
+      return "control";
+    case Stream::kCheckpoint:
+      return "checkpoint";
+    case Stream::kRequest:
+      return "request";
+    case Stream::kReply:
+      return "reply";
+    case Stream::kStateTransfer:
+      return "state";
+    case Stream::kSync:
+      return "sync";
+    case Stream::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+StreamStats& StreamStats::operator+=(const StreamStats& other) {
+  send_mj += other.send_mj;
+  recv_mj += other.recv_mj;
+  transmissions += other.transmissions;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  return *this;
+}
+
 void Meter::charge(Category c, double millijoules) {
   if (millijoules < 0) {
     throw std::invalid_argument("Meter::charge: negative energy");
@@ -31,14 +64,21 @@ void Meter::charge(Category c, double millijoules) {
   ops_[static_cast<std::size_t>(c)] += 1;
 }
 
-void Meter::charge_send(double millijoules, std::size_t bytes) {
+void Meter::charge_send(double millijoules, std::size_t bytes, Stream stream) {
   charge(Category::kSend, millijoules);
   bytes_sent_ += bytes;
+  StreamStats& s = streams_[static_cast<std::size_t>(stream)];
+  s.send_mj += millijoules;
+  s.transmissions += 1;
+  s.bytes_sent += bytes;
 }
 
-void Meter::charge_recv(double millijoules, std::size_t bytes) {
+void Meter::charge_recv(double millijoules, std::size_t bytes, Stream stream) {
   charge(Category::kRecv, millijoules);
   bytes_recv_ += bytes;
+  StreamStats& s = streams_[static_cast<std::size_t>(stream)];
+  s.recv_mj += millijoules;
+  s.bytes_received += bytes;
 }
 
 double Meter::millijoules(Category c) const {
@@ -58,6 +98,7 @@ std::uint64_t Meter::ops(Category c) const {
 void Meter::reset() {
   mj_.fill(0);
   ops_.fill(0);
+  streams_.fill(StreamStats{});
   bytes_sent_ = 0;
   bytes_recv_ = 0;
 }
@@ -66,6 +107,9 @@ Meter& Meter::operator+=(const Meter& other) {
   for (std::size_t i = 0; i < kNumCategories; ++i) {
     mj_[i] += other.mj_[i];
     ops_[i] += other.ops_[i];
+  }
+  for (std::size_t i = 0; i < kNumStreams; ++i) {
+    streams_[i] += other.streams_[i];
   }
   bytes_sent_ += other.bytes_sent_;
   bytes_recv_ += other.bytes_recv_;

@@ -92,6 +92,24 @@ double RunResult::accepted_per_sec() const {
                    : static_cast<double>(requests_accepted) / secs;
 }
 
+energy::StreamStats RunResult::stream_totals(energy::Stream s) const {
+  energy::StreamStats out;
+  for (std::size_t i = 0; i < meters.size(); ++i) {
+    if (i < correct.size() && correct[i] && i < counted.size() && counted[i]) {
+      out += meters[i].stream(s);
+    }
+  }
+  return out;
+}
+
+energy::StreamStats RunResult::stream_totals_all(energy::Stream s) const {
+  energy::StreamStats out;
+  for (std::size_t i = 0; i < meters.size(); ++i) {
+    if (i < correct.size() && correct[i]) out += meters[i].stream(s);
+  }
+  return out;
+}
+
 double RunResult::total_energy_mj() const {
   double total = 0;
   for (std::size_t i = 0; i < meters.size(); ++i) {
@@ -211,6 +229,19 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   base.checkpoint_interval = cfg_.checkpoint_interval;
   base.mempool_capacity = cfg_.mempool_capacity;
   base.client_pending_cap = cfg_.client_pending_cap;
+  base.channels = cfg_.channels;
+  base.verified_cache = cfg_.verified_cache;
+  // Subset submission needs the replica request stream in unicast mode:
+  // only the contacted replicas hear a request, so the first to pool it
+  // forwards to the leader (otherwise a subset missing the leader would
+  // stall until client failover happens to hit it).
+  if (cfg_.client_submit.kind ==
+          net::DisseminationPolicy::Kind::kTargetedSubset &&
+      base.channels[energy::Stream::kRequest].kind ==
+          net::DisseminationPolicy::Kind::kDefault) {
+    base.channels[energy::Stream::kRequest] =
+        net::DisseminationPolicy::routed_unicast();
+  }
 
   auto fault_for = [&](NodeId id) {
     protocol::ByzantineConfig byz;
@@ -288,6 +319,17 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       cc.workload = cfg_.workload;
       cc.seed = cfg_.seed + 7919 * (ci + 1);
       cc.retry_after = cfg_.client_retry;
+      cc.submit = cfg_.client_submit;
+      if (cc.submit.kind ==
+              net::DisseminationPolicy::Kind::kTargetedSubset &&
+          cc.submit.timeout <= 0) {
+        // Submission round trip: request in, wait for the next round's
+        // proposal, the 4Δ equivocation-free commit wait, reply out —
+        // plus the client access hops. 10Δ covers it with slack, so a
+        // failover indicates an unresponsive target rather than
+        // ordinary ordering latency.
+        cc.submit.timeout = 10 * (delta_ + 2 * cfg_.hop_delay);
+      }
       clients_.push_back(
           std::make_unique<client::Client>(*net_, cc, &meters_[cc.id]));
     }
@@ -405,6 +447,7 @@ RunResult Cluster::snapshot() const {
     out.footprints.push_back(fp);
     out.requests_dropped += r.mempool().dropped();
     out.requests_rate_limited += r.requests_rejected();
+    out.requests_forwarded += r.requests_forwarded();
     out.state_transfers += r.state_transfers();
     out.max_recovery_latency =
         std::max(out.max_recovery_latency, r.last_recovery_time());
@@ -417,6 +460,7 @@ RunResult Cluster::snapshot() const {
     out.requests_submitted += c->submitted();
     out.requests_accepted += c->accepted();
     out.request_retransmissions += c->retransmissions();
+    out.request_failovers += c->failovers();
   }
   return out;
 }

@@ -65,6 +65,23 @@ struct ClusterConfig {
   /// Client retransmission timeout (0 = never retransmit).
   sim::Duration client_retry = 0;
 
+  // -- dissemination channels (src/net/channel.hpp) -----------------------------
+  /// Per-stream dissemination policies for the replica channels.
+  /// Entries left at Kind::kDefault resolve to the protocol default
+  /// (Flood everywhere; Sync HotStuff votes LocalKcast). E.g. set
+  /// `channels[energy::Stream::kVote] = net::DisseminationPolicy::
+  /// routed_unicast()` to sweep the vote medium.
+  net::ChannelPolicies channels;
+  /// Client submission policy for the request channel. kDefault = flood
+  /// every request to all replicas (plus client_retry retransmission).
+  /// A TargetedSubset policy without an explicit timeout gets a
+  /// 4Δ-derived default, and the replica request stream is switched to
+  /// RoutedUnicast so contacted replicas forward to the leader.
+  net::DisseminationPolicy client_submit;
+  /// Replica-side verified-bytes cache (skip commit-time request
+  /// signature re-verification for pool-time-verified bytes).
+  bool verified_cache = true;
+
   // -- checkpointing / admission control (src/checkpoint/) ---------------------
   /// Committed commands per stable checkpoint (0 = off). Enables log
   /// truncation, dedup-set GC and snapshot state transfer; every replica

@@ -55,6 +55,10 @@ struct RunResult {
   /// pending-cap rejections, summed over replicas.
   std::uint64_t requests_dropped = 0;
   std::uint64_t requests_rate_limited = 0;
+  /// TargetedSubset submission: client-side subset rotations and
+  /// replica-side request forwards to the leader.
+  std::uint64_t request_failovers = 0;
+  std::uint64_t requests_forwarded = 0;
 
   // Checkpoint / state-transfer measurements.
   std::vector<ReplicaFootprint> footprints;  ///< per protocol node
@@ -83,6 +87,14 @@ struct RunResult {
 
   /// Accepted client requests per simulated second (goodput).
   [[nodiscard]] double accepted_per_sec() const;
+
+  /// Per-stream (channel-class) radio traffic/energy, summed over
+  /// counted correct protocol nodes — where each replica Joule went.
+  [[nodiscard]] energy::StreamStats stream_totals(energy::Stream s) const;
+  /// Same, over every correct node including clients: the full cost of
+  /// a stream (e.g. request submission energy paid at the client radio
+  /// plus replica relaying).
+  [[nodiscard]] energy::StreamStats stream_totals_all(energy::Stream s) const;
 
   /// Total energy over counted correct nodes (mJ).
   [[nodiscard]] double total_energy_mj() const;

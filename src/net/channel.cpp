@@ -1,0 +1,129 @@
+#include "src/net/channel.hpp"
+
+#include <algorithm>
+
+namespace eesmr::net {
+
+const char* policy_kind_name(DisseminationPolicy::Kind k) {
+  switch (k) {
+    case DisseminationPolicy::Kind::kDefault:
+      return "default";
+    case DisseminationPolicy::Kind::kFlood:
+      return "flood";
+    case DisseminationPolicy::Kind::kLocalKcast:
+      return "local-kcast";
+    case DisseminationPolicy::Kind::kRoutedUnicast:
+      return "routed-unicast";
+    case DisseminationPolicy::Kind::kTargetedSubset:
+      return "targeted-subset";
+  }
+  return "?";
+}
+
+namespace {
+/// Resolve kDefault and clamp the parameters into their valid ranges.
+DisseminationPolicy normalized(DisseminationPolicy p) {
+  if (p.kind == DisseminationPolicy::Kind::kDefault) {
+    p.kind = DisseminationPolicy::Kind::kFlood;
+  }
+  if (p.subset_size == 0) p.subset_size = 1;
+  if (p.backoff < 1.0) p.backoff = 1.0;
+  return p;
+}
+}  // namespace
+
+Channel::Channel(FloodRouter& router, energy::Stream stream,
+                 DisseminationPolicy policy, std::vector<NodeId> targets)
+    : router_(router),
+      sched_(router.network().scheduler()),
+      stream_(stream),
+      policy_(normalized(policy)),
+      targets_(std::move(targets)) {}
+
+Channel::~Channel() {
+  for (auto& [id, t] : inflight_) sched_.cancel(t.event);
+}
+
+void Channel::set_policy(DisseminationPolicy policy) {
+  policy_ = normalized(policy);
+}
+
+void Channel::disseminate(BytesView payload) {
+  switch (policy_.kind) {
+    case DisseminationPolicy::Kind::kDefault:
+    case DisseminationPolicy::Kind::kFlood:
+      router_.broadcast(payload, stream_);
+      return;
+    case DisseminationPolicy::Kind::kLocalKcast:
+      router_.broadcast_local(payload, stream_);
+      return;
+    case DisseminationPolicy::Kind::kRoutedUnicast:
+      for (NodeId t : targets_) router_.send_to(t, payload, stream_);
+      return;
+    case DisseminationPolicy::Kind::kTargetedSubset: {
+      if (targets_.empty()) return;
+      const std::size_t k = std::min(policy_.subset_size, targets_.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        router_.send_to(targets_[(cursor_ + i) % targets_.size()], payload,
+                        stream_);
+      }
+      return;
+    }
+  }
+}
+
+void Channel::send_to(NodeId dest, BytesView payload) {
+  router_.send_to(dest, payload, stream_);
+}
+
+void Channel::submit(std::uint64_t id, Bytes payload) {
+  disseminate(payload);
+  if (policy_.timeout <= 0) return;
+  // Re-submission under the same id: cancel the pending timer BEFORE
+  // the Tracked entry (and its event id) is overwritten.
+  const auto prev = inflight_.find(id);
+  if (prev != inflight_.end()) sched_.cancel(prev->second.event);
+  auto [it, inserted] =
+      inflight_.insert_or_assign(id, Tracked{std::move(payload),
+                                             policy_.timeout,
+                                             sim::kInvalidEvent});
+  (void)inserted;
+  arm(id, it->second);
+}
+
+void Channel::arm(std::uint64_t id, Tracked& t) {
+  t.event = sched_.after(t.timeout, [this, id] { on_timeout(id); });
+}
+
+void Channel::on_timeout(std::uint64_t id) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // completed meanwhile
+  Tracked& t = it->second;
+  if (policy_.kind == DisseminationPolicy::Kind::kTargetedSubset &&
+      !targets_.empty()) {
+    // Failover: rotate past the whole unanswered subset. The cursor is
+    // shared across submissions, so later requests start at the targets
+    // that last responded instead of re-probing a dead one.
+    cursor_ = (cursor_ + std::min(policy_.subset_size, targets_.size())) %
+              targets_.size();
+    ++failovers_;
+  }
+  ++resends_;
+  disseminate(t.wire);
+  const double next =
+      static_cast<double>(t.timeout) * std::max(1.0, policy_.backoff);
+  t.timeout = static_cast<sim::Duration>(next);
+  if (policy_.max_timeout > 0) {
+    t.timeout = std::min(t.timeout, policy_.max_timeout);
+  }
+  arm(id, t);
+}
+
+void Channel::complete(std::uint64_t id) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  sched_.cancel(it->second.event);
+  inflight_.erase(it);
+}
+
+}  // namespace eesmr::net

@@ -1,0 +1,162 @@
+// Typed dissemination channels — the pluggable communication API.
+//
+// EESMR's protocol logic is agnostic to the dissemination primitive: the
+// paper evaluates it over unicast, multicast and k-cast media (Table 1,
+// Fig 2a/2b). A Channel makes that axis sweepable per traffic class:
+// protocol and client code opens one channel per stream (proposal, vote,
+// checkpoint, request, reply, state transfer, ...) and disseminates
+// through a per-channel DisseminationPolicy instead of hardwired flood
+// calls. Every transmission — including forwarded hops — is attributed
+// to the channel's energy::Stream, so RunResult can report where each
+// Joule went per policy choice.
+//
+// Policies:
+//  * Flood          — the router's full flood (today's default): one
+//                     origin transmission, re-broadcast once everywhere.
+//  * LocalKcast     — one transmission to the direct neighborhood, no
+//                     re-forwarding (generalizes the old broadcast_local
+//                     "partial vote forwarding" primitive).
+//  * RoutedUnicast  — a shortest-path point-to-point frame per target
+//                     (the unicast medium of Table 1 / Fig 2b).
+//  * TargetedSubset — send to a rotating subset of the targets; tracked
+//                     submissions fail over to the next subset on a
+//                     timeout with exponential backoff. This is the
+//                     client submission policy: instead of flooding
+//                     every request to all replicas, contact a few and
+//                     rotate away from unresponsive ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+#include "src/common/ids.hpp"
+#include "src/energy/meter.hpp"
+#include "src/net/flood.hpp"
+#include "src/sim/scheduler.hpp"
+
+namespace eesmr::net {
+
+/// How a channel's disseminate() reaches its audience.
+struct DisseminationPolicy {
+  enum class Kind : std::uint8_t {
+    /// Resolved by the opener: the protocol's default for that stream
+    /// (Flood everywhere, except Sync HotStuff's LocalKcast votes).
+    kDefault,
+    kFlood,
+    kLocalKcast,
+    kRoutedUnicast,
+    kTargetedSubset,
+  };
+
+  Kind kind = Kind::kDefault;
+  /// TargetedSubset: targets contacted per attempt.
+  std::size_t subset_size = 1;
+  /// Tracked submissions: re-disseminate after this long without
+  /// complete() (0 = never). TargetedSubset also rotates the subset.
+  sim::Duration timeout = 0;
+  /// Timeout multiplier per unanswered attempt (>= 1).
+  double backoff = 1.0;
+  /// Backoff ceiling (0 = uncapped).
+  sim::Duration max_timeout = 0;
+
+  static DisseminationPolicy flood() { return {Kind::kFlood, 1, 0, 1.0, 0}; }
+  static DisseminationPolicy local_kcast() {
+    return {Kind::kLocalKcast, 1, 0, 1.0, 0};
+  }
+  static DisseminationPolicy routed_unicast() {
+    return {Kind::kRoutedUnicast, 1, 0, 1.0, 0};
+  }
+  /// Failover submission: contact `subset` targets, rotate + double the
+  /// timeout on every unanswered attempt.
+  static DisseminationPolicy targeted_subset(std::size_t subset,
+                                             sim::Duration timeout,
+                                             double backoff = 2.0) {
+    return {Kind::kTargetedSubset, subset, timeout, backoff, 0};
+  }
+};
+
+const char* policy_kind_name(DisseminationPolicy::Kind k);
+
+/// Per-stream policy table. Entries default to Kind::kDefault, which the
+/// channel opener resolves to its protocol default.
+struct ChannelPolicies {
+  std::array<DisseminationPolicy, energy::kNumStreams> table{};
+
+  DisseminationPolicy& operator[](energy::Stream s) {
+    return table[static_cast<std::size_t>(s)];
+  }
+  const DisseminationPolicy& operator[](energy::Stream s) const {
+    return table[static_cast<std::size_t>(s)];
+  }
+};
+
+/// A typed send handle over the flood router. Cheap to construct; owns
+/// the failover timers of its tracked submissions.
+class Channel {
+ public:
+  /// `targets` is the candidate audience for the unicast-style policies
+  /// (typically every replica id except the owner's). Kind::kDefault
+  /// resolves to Flood here.
+  Channel(FloodRouter& router, energy::Stream stream,
+          DisseminationPolicy policy, std::vector<NodeId> targets);
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&&) = delete;
+  Channel& operator=(Channel&&) = delete;
+
+  /// One-shot dissemination of `payload` per the policy.
+  void disseminate(BytesView payload);
+
+  /// Point-to-point send regardless of policy (replies, sync and state
+  /// responses — traffic that is addressed by nature).
+  void send_to(NodeId dest, BytesView payload);
+
+  /// Tracked dissemination: like disseminate(), but while `id` has not
+  /// been complete()d and the policy has a timeout, the payload is
+  /// re-disseminated on every timeout with exponential backoff — and,
+  /// for TargetedSubset, the target subset rotates first (failover).
+  void submit(std::uint64_t id, Bytes payload);
+  /// The submission succeeded (e.g. the request was accepted): cancel
+  /// its failover timer and drop the tracked payload.
+  void complete(std::uint64_t id);
+
+  void set_policy(DisseminationPolicy policy);
+  [[nodiscard]] const DisseminationPolicy& policy() const { return policy_; }
+  [[nodiscard]] energy::Stream stream() const { return stream_; }
+  [[nodiscard]] const std::vector<NodeId>& targets() const { return targets_; }
+
+  // -- observability ---------------------------------------------------------
+  /// Re-disseminations triggered by submission timeouts.
+  [[nodiscard]] std::uint64_t resends() const { return resends_; }
+  /// Subset rotations (TargetedSubset timeouts).
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
+  /// Current first target of the rotating subset (tests).
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
+
+ private:
+  struct Tracked {
+    Bytes wire;
+    sim::Duration timeout = 0;
+    sim::EventId event = sim::kInvalidEvent;
+  };
+
+  void on_timeout(std::uint64_t id);
+  void arm(std::uint64_t id, Tracked& t);
+
+  FloodRouter& router_;
+  sim::Scheduler& sched_;
+  energy::Stream stream_;
+  DisseminationPolicy policy_;
+  std::vector<NodeId> targets_;
+  std::size_t cursor_ = 0;
+  std::uint64_t resends_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::map<std::uint64_t, Tracked> inflight_;
+};
+
+}  // namespace eesmr::net

@@ -1,54 +1,86 @@
 #include "src/net/flood.hpp"
 
+#include <algorithm>
+
 #include "src/common/serde.hpp"
 
 namespace eesmr::net {
+
+bool FloodRouter::SeenWindow::insert(std::uint64_t seq) {
+  if (seq <= watermark) return false;
+  if (!tail.insert(seq).second) return false;
+  // Fold the now-contiguous prefix into the watermark.
+  while (!tail.empty() && *tail.begin() == watermark + 1) {
+    tail.erase(tail.begin());
+    ++watermark;
+  }
+  // Persistent gaps (seqs the origin spent on frames never routed through
+  // this node) would pin the tail forever; force the window forward.
+  while (tail.size() > kMaxTail) {
+    watermark = *tail.begin();
+    tail.erase(tail.begin());
+    while (!tail.empty() && *tail.begin() <= watermark + 1) {
+      watermark = std::max(watermark, *tail.begin());
+      tail.erase(tail.begin());
+    }
+  }
+  return true;
+}
 
 FloodRouter::FloodRouter(Network& net, NodeId self, FloodClient* client)
     : net_(net), self_(self), client_(client) {
   net_.attach(self, this);
 }
 
+std::size_t FloodRouter::dedup_tail_entries() const {
+  std::size_t total = 0;
+  for (const auto& [origin, window] : seen_) total += window.tail_size();
+  return total;
+}
+
 Bytes FloodRouter::make_frame(NodeId dest, std::uint8_t flags,
-                              BytesView payload) {
+                              energy::Stream stream, BytesView payload) {
   Writer w;
   w.u32(self_);
   w.u64(next_seq_++);
   w.u32(dest);
   w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(stream));
   w.raw(payload);
   return w.take();
 }
 
-void FloodRouter::broadcast(BytesView payload) {
-  const Bytes frame = make_frame(kNoNode, 0, payload);
+void FloodRouter::broadcast(BytesView payload, energy::Stream stream) {
+  const Bytes frame = make_frame(kNoNode, 0, stream, payload);
   // Mark our own frame as seen so echoes are not re-forwarded.
   seen_[self_].insert(next_seq_ - 1);
-  net_.transmit(self_, frame);
+  net_.transmit(self_, frame, stream);
 }
 
-void FloodRouter::broadcast_local(BytesView payload) {
-  const Bytes frame = make_frame(kNoNode, kNoForward, payload);
+void FloodRouter::broadcast_local(BytesView payload, energy::Stream stream) {
+  const Bytes frame = make_frame(kNoNode, kNoForward, stream, payload);
   seen_[self_].insert(next_seq_ - 1);
-  net_.transmit(self_, frame);
+  net_.transmit(self_, frame, stream);
 }
 
-void FloodRouter::send_to(NodeId dest, BytesView payload) {
+void FloodRouter::send_to(NodeId dest, BytesView payload,
+                          energy::Stream stream) {
   if (dest == self_) {
     // Local delivery shortcut (no radio energy).
     if (client_ != nullptr) client_->on_deliver(self_, payload);
     return;
   }
-  const Bytes frame = make_frame(dest, 0, payload);
+  const Bytes frame = make_frame(dest, 0, stream, payload);
   seen_[self_].insert(next_seq_ - 1);
-  net_.transmit_towards(self_, dest, frame);
+  net_.transmit_towards(self_, dest, frame, stream);
 }
 
 void FloodRouter::broadcast_on_edges(const std::vector<std::size_t>& edge_sel,
-                                     BytesView payload) {
-  const Bytes frame = make_frame(kNoNode, 0, payload);
+                                     BytesView payload,
+                                     energy::Stream stream) {
+  const Bytes frame = make_frame(kNoNode, 0, stream, payload);
   seen_[self_].insert(next_seq_ - 1);
-  net_.transmit_on(self_, edge_sel, frame);
+  net_.transmit_on(self_, edge_sel, frame, stream);
 }
 
 void FloodRouter::on_packet(NodeId link_sender, BytesView frame) {
@@ -56,6 +88,7 @@ void FloodRouter::on_packet(NodeId link_sender, BytesView frame) {
   std::uint64_t seq;
   NodeId dest;
   std::uint8_t flags;
+  std::uint8_t stream_raw;
   Bytes payload;
   try {
     Reader r(frame);
@@ -63,24 +96,30 @@ void FloodRouter::on_packet(NodeId link_sender, BytesView frame) {
     seq = r.u64();
     dest = r.u32();
     flags = r.u8();
+    stream_raw = r.u8();
     payload = r.raw(r.remaining());
   } catch (const SerdeError&) {
     return;  // malformed frame: drop
   }
   if (origin == self_) return;  // our own flood echoing back
-  if (!seen_[origin].insert(seq).second) return;  // duplicate
+  if (!seen_[origin].insert(seq)) return;  // duplicate
+  const auto stream =
+      stream_raw < energy::kNumStreams ? static_cast<energy::Stream>(stream_raw)
+                                       : energy::Stream::kOther;
 
-  // Forward first (Line 213's "broadcast once"), then deliver.
+  // Forward first (Line 213's "broadcast once"), then deliver. The
+  // forwarded copy keeps the originator's stream tag, so relay energy is
+  // attributed to the stream that caused it.
   const bool forward = forwarding_ && (flags & kNoForward) == 0;
   if (forward && dest == kNoNode) {
-    net_.transmit(self_, frame);
+    net_.transmit(self_, frame, stream);
   } else if (forward && dest != self_) {
     // Addressed frame: route along shrinking shortest-path distance.
     constexpr std::size_t kInf = static_cast<std::size_t>(-1);
     const std::size_t mine = net_.hops(self_, dest);
     const std::size_t theirs = net_.hops(link_sender, dest);
     if (mine != kInf && mine < theirs) {
-      net_.transmit_towards(self_, dest, frame);
+      net_.transmit_towards(self_, dest, frame, stream);
     }
   }
   if (client_ != nullptr && (dest == kNoNode || dest == self_)) {

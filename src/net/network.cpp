@@ -71,7 +71,8 @@ void Network::set_delay_policy(std::unique_ptr<DelayPolicy> policy) {
   policy_ = std::move(policy);
 }
 
-void Network::charge_energy(const HyperEdge& edge, std::size_t bytes) {
+void Network::charge_energy(const HyperEdge& edge, std::size_t bytes,
+                            energy::Stream stream) {
   if (meters_ == nullptr) return;
   // Offline receivers are not listening: no reception energy.
   const std::size_t k = edge.receivers.size();
@@ -93,17 +94,18 @@ void Network::charge_energy(const HyperEdge& edge, std::size_t bytes) {
                       : energy::send_energy_mj(config_.medium, bytes);
     recv_mj = energy::recv_energy_mj(config_.medium, bytes);
   }
-  (*meters_)[edge.sender].charge_send(send_mj, bytes);
+  (*meters_)[edge.sender].charge_send(send_mj, bytes, stream);
   for (NodeId r : edge.receivers) {
-    if (online_[r]) (*meters_)[r].charge_recv(recv_mj, bytes);
+    if (online_[r]) (*meters_)[r].charge_recv(recv_mj, bytes, stream);
   }
 }
 
-void Network::transmit_edge(const HyperEdge& edge, BytesView frame) {
+void Network::transmit_edge(const HyperEdge& edge, BytesView frame,
+                            energy::Stream stream) {
   if (!online_[edge.sender]) return;  // a crashed radio sends nothing
   ++transmissions_;
   bytes_tx_ += frame.size();
-  charge_energy(edge, frame.size());
+  charge_energy(edge, frame.size(), stream);
   for (NodeId to : edge.receivers) {
     PacketSink* sink = sinks_[to];
     if (sink == nullptr || !online_[to]) continue;
@@ -119,7 +121,7 @@ void Network::transmit_edge(const HyperEdge& edge, BytesView frame) {
   }
 }
 
-void Network::transmit(NodeId from, BytesView frame) {
+void Network::transmit(NodeId from, BytesView frame, energy::Stream stream) {
   for (std::size_t idx : graph_.out_edges(from)) {
     const HyperEdge& edge = graph_.edges()[idx];
     // Skip edges whose receivers are all non-relay leaves: broadcasts
@@ -134,20 +136,21 @@ void Network::transmit(NodeId from, BytesView frame) {
         break;
       }
     }
-    if (any_relay) transmit_edge(edge, frame);
+    if (any_relay) transmit_edge(edge, frame, stream);
   }
 }
 
 void Network::transmit_on(NodeId from,
                           const std::vector<std::size_t>& edge_sel,
-                          BytesView frame) {
+                          BytesView frame, energy::Stream stream) {
   const auto& out = graph_.out_edges(from);
   for (std::size_t pos : edge_sel) {
-    transmit_edge(graph_.edges()[out.at(pos)], frame);
+    transmit_edge(graph_.edges()[out.at(pos)], frame, stream);
   }
 }
 
-void Network::transmit_towards(NodeId from, NodeId dest, BytesView frame) {
+void Network::transmit_towards(NodeId from, NodeId dest, BytesView frame,
+                               energy::Stream stream) {
   const std::size_t mine = hops(from, dest);
   for (std::size_t idx : graph_.out_edges(from)) {
     const HyperEdge& edge = graph_.edges()[idx];
@@ -160,7 +163,7 @@ void Network::transmit_towards(NodeId from, NodeId dest, BytesView frame) {
         break;
       }
     }
-    if (useful) transmit_edge(edge, frame);
+    if (useful) transmit_edge(edge, frame, stream);
   }
 }
 

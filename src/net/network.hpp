@@ -101,16 +101,20 @@ class Network {
 
   /// Transmit `frame` on every outgoing hyper-edge of `from` that has
   /// at least one relay receiver (broadcast = flood fabric; edges to
-  /// non-relay leaves only carry directed frames).
-  void transmit(NodeId from, BytesView frame);
+  /// non-relay leaves only carry directed frames). `stream` attributes
+  /// the radio energy of this transmission to a channel class.
+  void transmit(NodeId from, BytesView frame,
+                energy::Stream stream = energy::Stream::kOther);
   /// Transmit only on the given subset of `from`'s out-edges (Byzantine
   /// selective sending). Indices are positions into out_edges(from).
   void transmit_on(NodeId from, const std::vector<std::size_t>& edge_sel,
-                   BytesView frame);
+                   BytesView frame,
+                   energy::Stream stream = energy::Stream::kOther);
   /// Transmit only on out-edges that make progress towards `dest`
   /// (at least one receiver strictly closer than `from`). The unicast-
   /// routing hop primitive.
-  void transmit_towards(NodeId from, NodeId dest, BytesView frame);
+  void transmit_towards(NodeId from, NodeId dest, BytesView frame,
+                        energy::Stream stream = energy::Stream::kOther);
 
   [[nodiscard]] const Hypergraph& graph() const { return graph_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
@@ -128,8 +132,10 @@ class Network {
   void reset_stats();
 
  private:
-  void transmit_edge(const HyperEdge& edge, BytesView frame);
-  void charge_energy(const HyperEdge& edge, std::size_t bytes);
+  void transmit_edge(const HyperEdge& edge, BytesView frame,
+                     energy::Stream stream);
+  void charge_energy(const HyperEdge& edge, std::size_t bytes,
+                     energy::Stream stream);
   void recompute_hops();
 
   sim::Scheduler& sched_;

@@ -53,6 +53,40 @@ const char* msg_type_name(MsgType t) {
   return "?";
 }
 
+energy::Stream stream_of(MsgType t) {
+  switch (t) {
+    case MsgType::kPropose:
+    case MsgType::kNewViewProposal:
+    case MsgType::kOrdered:  // the trusted controller's ordering decision
+      return energy::Stream::kProposal;
+    case MsgType::kVote:
+    case MsgType::kVoteMsg:
+    case MsgType::kCertify:
+      return energy::Stream::kVote;
+    case MsgType::kBlame:
+    case MsgType::kBlameQC:
+    case MsgType::kCommitUpdate:
+    case MsgType::kCommitQC:
+    case MsgType::kStatus:
+    case MsgType::kEquivProof:
+      return energy::Stream::kControl;
+    case MsgType::kSyncRequest:
+    case MsgType::kSyncResponse:
+      return energy::Stream::kSync;
+    case MsgType::kSubmit:  // a CPS node submitting a command for ordering
+    case MsgType::kRequest:
+      return energy::Stream::kRequest;
+    case MsgType::kReply:
+      return energy::Stream::kReply;
+    case MsgType::kCheckpoint:
+      return energy::Stream::kCheckpoint;
+    case MsgType::kStateRequest:
+    case MsgType::kStateResponse:
+      return energy::Stream::kStateTransfer;
+  }
+  return energy::Stream::kOther;
+}
+
 Bytes Msg::preimage() const {
   Writer w;
   w.u8(static_cast<std::uint8_t>(type));

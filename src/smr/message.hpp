@@ -16,6 +16,7 @@
 #include "src/common/bytes.hpp"
 #include "src/common/ids.hpp"
 #include "src/crypto/signer.hpp"
+#include "src/energy/meter.hpp"
 
 namespace eesmr::smr {
 
@@ -56,6 +57,11 @@ enum class MsgType : std::uint8_t {
 };
 
 const char* msg_type_name(MsgType t);
+
+/// Channel class (energy attribution stream) a message type travels on.
+/// The replica's typed channels are opened per stream; every message is
+/// routed through the channel of its type's stream.
+energy::Stream stream_of(MsgType t);
 
 struct Msg {
   MsgType type = MsgType::kPropose;

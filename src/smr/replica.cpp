@@ -37,6 +37,18 @@ ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
   if (cfg_.keyring->size() < cfg_.n) {
     throw std::invalid_argument("ReplicaBase: keyring too small");
   }
+  // Open one typed channel per stream. The unicast-style policies
+  // address the other protocol nodes.
+  std::vector<NodeId> peers;
+  peers.reserve(cfg_.n - 1);
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (i != cfg_.id) peers.push_back(i);
+  }
+  for (std::size_t s = 0; s < energy::kNumStreams; ++s) {
+    channels_[s] = std::make_unique<net::Channel>(
+        router_, static_cast<energy::Stream>(s),
+        cfg_.channels.table[s], peers);
+  }
 }
 
 void ReplicaBase::charge(energy::Category cat, double mj) {
@@ -87,14 +99,12 @@ BlockHash ReplicaBase::hash_block(const Block& b) {
   return crypto::sha256(enc);
 }
 
-void ReplicaBase::broadcast(const Msg& m) { router_.broadcast(m.encode()); }
-
-void ReplicaBase::broadcast_local(const Msg& m) {
-  router_.broadcast_local(m.encode());
+void ReplicaBase::broadcast(const Msg& m) {
+  channel(stream_of(m.type)).disseminate(m.encode());
 }
 
 void ReplicaBase::send(NodeId to, const Msg& m) {
-  router_.send_to(to, m.encode());
+  channel(stream_of(m.type)).send_to(to, m.encode());
 }
 
 bool ReplicaBase::integrate_block(const Block& block, NodeId origin) {
@@ -157,13 +167,23 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
         // can propose arbitrary bytes, but it cannot forge a request
         // the client never signed. Invalid tagged commands become
         // deterministic no-ops on every correct replica. The free
-        // id-range check runs before any energy is charged.
+        // id-range check runs before any energy is charged. A
+        // verified-bytes cache hit (these exact bytes passed the
+        // pool-time check in handle_request) replaces the re-check;
+        // entries are single-use, so a duplicate copy in a later block
+        // still pays (and the executed_ lookup above usually spares it).
         bool valid =
             req->client >= cfg_.n && req->client < cfg_.keyring->size();
         if (valid) {
-          charge(energy::Category::kVerify,
-                 energy::verify_energy_mj(cfg_.keyring->scheme()));
-          valid = req->verify(*cfg_.keyring);
+          const auto vit = verified_.find(crypto::Sha256::hash(cmd.data));
+          if (vit != verified_.end()) {
+            verified_.erase(vit);
+            ++verified_hits_;
+          } else {
+            charge(energy::Category::kVerify,
+                   energy::verify_energy_mj(cfg_.keyring->scheme()));
+            valid = req->verify(*cfg_.keyring);
+          }
         }
         if (!valid) {
           if (app_ != nullptr) results_.push_back({});
@@ -317,8 +337,20 @@ void ReplicaBase::on_stable_checkpoint(
 void ReplicaBase::advance_low_water(const checkpoint::CheckpointCert& cert) {
   const Block* root = store_.get(cert.id.block);
   if (root == nullptr || cert.id.height <= lwm_height_) return;
+  const std::uint64_t prev_lwm = lwm_height_;
   lwm_height_ = cert.id.height;
   st_served_.clear();  // new stable snapshot: serving budget resets
+
+  // Verified-bytes cache GC: an entry recorded at or below the previous
+  // low-water mark has sat un-committed for a full checkpoint interval;
+  // drop it (a late commit of those bytes just re-pays the verify).
+  for (auto it = verified_.begin(); it != verified_.end();) {
+    if (it->second <= prev_lwm) {
+      it = verified_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 
   // Drop the retained-log prefix at or below the mark. Mempool
   // committed-key GC is pool-side: a forgotten key's late retransmit can
@@ -462,6 +494,7 @@ void ReplicaBase::handle_state_response(const Msg& msg) {
   log_.clear();
   results_.clear();
   executed_.clear();
+  verified_.clear();  // pool state predating the snapshot is void
   for (const checkpoint::ExecutedEntry& e : payload.executed) {
     executed_[std::make_pair(e.client, e.req_id)] =
         Executed{e.result, e.height};
@@ -530,7 +563,31 @@ void ReplicaBase::handle_request(const Msg& m) {
     reply_to_client(*req, executed_.find(key)->second.result);
     return;
   }
-  mempool_.submit(Command{m.data});
+  if (mempool_.submit(Command{m.data})) {
+    // The signature in these exact bytes just verified; remember the
+    // digest so the commit path can skip the re-check (single-use,
+    // lwm-GC'd).
+    if (cfg_.verified_cache) {
+      verified_.emplace(crypto::Sha256::hash(m.data), committed_height_);
+    }
+    maybe_forward_request(m);
+  }
+}
+
+void ReplicaBase::maybe_forward_request(const Msg& m) {
+  // Flood-style request streams already reach every replica; under the
+  // unicast-style submission policies only the contacted subset hears a
+  // request, so the first replica to pool it hands it to the leader.
+  // Forwarding happens at most once per pooled request (guarded by the
+  // mempool dedup at the caller), and the leader itself never forwards.
+  const auto kind = channel(energy::Stream::kRequest).policy().kind;
+  if (kind != net::DisseminationPolicy::Kind::kRoutedUnicast &&
+      kind != net::DisseminationPolicy::Kind::kTargetedSubset) {
+    return;
+  }
+  if (is_leader()) return;
+  ++requests_forwarded_;
+  send(leader_of(v_cur_), m);
 }
 
 void ReplicaBase::reply_to_client(const ClientRequest& req,

@@ -3,6 +3,7 @@
 // block store with chain synchronization, and the committed log.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <set>
@@ -11,8 +12,10 @@
 #include <vector>
 
 #include "src/checkpoint/checkpoint.hpp"
+#include "src/crypto/sha256.hpp"
 #include "src/energy/cost_model.hpp"
 #include "src/energy/meter.hpp"
+#include "src/net/channel.hpp"
 #include "src/net/flood.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/smr/app.hpp"
@@ -36,6 +39,20 @@ struct ReplicaConfig {
   std::shared_ptr<crypto::Keyring> keyring;
   /// Charge sign/verify/hash energy to the meter (on by default).
   bool meter_crypto = true;
+
+  /// Per-stream dissemination policies for this replica's typed
+  /// channels. Entries left at Kind::kDefault resolve to the protocol's
+  /// default for that stream (Flood everywhere; Sync HotStuff resolves
+  /// its vote stream to LocalKcast). When the request stream runs a
+  /// unicast-style policy (RoutedUnicast / TargetedSubset), replicas
+  /// forward freshly pooled client requests to the current leader so a
+  /// submission that missed the leader still gets ordered.
+  net::ChannelPolicies channels;
+
+  /// Remember request signatures verified at pool time and skip the
+  /// commit-time re-verification (halves the honest-path kVerify cost).
+  /// Entries are single-use and GC'd as the low-water mark advances.
+  bool verified_cache = true;
 
   // -- checkpointing & admission control (src/checkpoint/) -------------------
   /// Committed commands per stable checkpoint (0 = checkpointing off).
@@ -101,6 +118,19 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] std::uint64_t requests_rejected() const {
     return client_cap_drops_;
   }
+  /// Pool-time-verified request entries currently cached / commit-time
+  /// re-verifications skipped thanks to the cache.
+  [[nodiscard]] std::size_t verified_cache_entries() const {
+    return verified_.size();
+  }
+  [[nodiscard]] std::uint64_t verified_cache_hits() const {
+    return verified_hits_;
+  }
+  /// Client requests forwarded to the leader (unicast-style request
+  /// streams only).
+  [[nodiscard]] std::uint64_t requests_forwarded() const {
+    return requests_forwarded_;
+  }
 
   /// Harness hook: while offline every delivery is dropped (a crashed /
   /// not-yet-spawned replica). Going online again models recovery; the
@@ -138,11 +168,22 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] std::size_t quorum() const { return cfg_.f + 1; }
 
   // -- communication ---------------------------------------------------------------
+  // All protocol traffic goes through typed channels: one per
+  // energy::Stream, each with its own dissemination policy
+  // (ReplicaConfig::channels). broadcast() disseminates per the policy
+  // of the message type's stream; send() is point-to-point on that
+  // stream's channel regardless of policy.
   void broadcast(const Msg& m);
-  /// One transmission to the direct neighborhood, no re-forwarding (the
-  /// "partial vote forwarding" primitive).
-  void broadcast_local(const Msg& m);
   void send(NodeId to, const Msg& m);
+  /// The typed channel for one stream (open for the replica's lifetime).
+  [[nodiscard]] net::Channel& channel(energy::Stream s) {
+    return *channels_[static_cast<std::size_t>(s)];
+  }
+  /// Constructor-time override point for protocol-default policies
+  /// (e.g. Sync HotStuff's LocalKcast votes). Call before start().
+  void set_channel_policy(energy::Stream s, net::DisseminationPolicy p) {
+    channel(s).set_policy(p);
+  }
   [[nodiscard]] net::FloodRouter& router() { return router_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
 
@@ -207,6 +248,13 @@ class ReplicaBase : public net::FloodClient {
  private:
   void handle_sync(NodeId from, const Msg& msg);
   void charge(energy::Category cat, double mj);
+  /// Unicast-style request streams only: hand a freshly pooled request
+  /// on to the current leader so it gets proposed.
+  void maybe_forward_request(const Msg& m);
+
+  /// One typed channel per stream, opened in the constructor with the
+  /// configured (or protocol-default) policy.
+  std::array<std::unique_ptr<net::Channel>, energy::kNumStreams> channels_;
 
   // -- checkpoint & state-transfer internals ------------------------------------
   /// Snapshot + sign + flood a checkpoint if one is due at block `b`.
@@ -269,6 +317,22 @@ class ReplicaBase : public net::FloodClient {
   /// Height of the previous taken checkpoint (the executed_ GC cut).
   std::uint64_t prev_ckpt_height_ = 0;
   std::uint64_t client_cap_drops_ = 0;
+  /// Verified-bytes cache: SHA-256 digests of request encodings whose
+  /// embedded client signature was verified at pool time
+  /// (handle_request), mapped to the committed height current when
+  /// recorded. The commit path consumes an entry instead of
+  /// re-verifying — the digest covers the exact command bytes a block
+  /// carries, so a Byzantine leader proposing altered bytes misses the
+  /// cache and still pays (and fails) the re-check. Keyed by digest
+  /// rather than the full encoding so an entry costs 32 bytes, not a
+  /// payload copy; the index hashing is a data-structure detail (a real
+  /// node would index by pointer) and is not charged to the meter.
+  /// Entries are erased on use; never-committed leftovers are GC'd as
+  /// the low-water mark advances (they then cost a re-verify if they
+  /// surface later, which is correct, just not free).
+  std::map<crypto::Sha256Digest, std::uint64_t> verified_;
+  std::uint64_t verified_hits_ = 0;
+  std::uint64_t requests_forwarded_ = 0;
 
   checkpoint::CheckpointManager ckpt_;
   std::uint64_t executed_cmds_ = 0;  ///< cumulative committed commands

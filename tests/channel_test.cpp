@@ -1,0 +1,250 @@
+// Typed-channel tests: dissemination policies, per-stream energy
+// attribution, TargetedSubset failover, and the bounded flood-dedup
+// window.
+#include <gtest/gtest.h>
+
+#include "src/net/channel.hpp"
+#include "src/net/flood.hpp"
+
+namespace eesmr::net {
+namespace {
+
+using energy::Stream;
+using Kind = DisseminationPolicy::Kind;
+
+struct Recorder final : public FloodClient {
+  std::vector<std::pair<NodeId, Bytes>> delivered;
+  void on_deliver(NodeId origin, BytesView payload) override {
+    delivered.emplace_back(origin, to_bytes(payload));
+  }
+};
+
+struct Fixture {
+  sim::Scheduler sched;
+  std::vector<energy::Meter> meters;
+  std::unique_ptr<Network> net;
+  std::vector<Recorder> recorders;
+  std::vector<std::unique_ptr<FloodRouter>> routers;
+
+  explicit Fixture(Hypergraph graph) {
+    const std::size_t n = graph.n();
+    meters.resize(n);
+    net = std::make_unique<Network>(sched, std::move(graph),
+                                    TransportConfig{}, &meters);
+    recorders.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      routers.push_back(std::make_unique<FloodRouter>(*net, i, &recorders[i]));
+    }
+  }
+
+  /// Open a channel at `owner` targeting every other node.
+  std::unique_ptr<Channel> open(NodeId owner, Stream s,
+                                DisseminationPolicy p) {
+    std::vector<NodeId> targets;
+    for (NodeId i = 0; i < net->graph().n(); ++i) {
+      if (i != owner) targets.push_back(i);
+    }
+    return std::make_unique<Channel>(*routers[owner], s, p,
+                                     std::move(targets));
+  }
+};
+
+Bytes payload() { return to_bytes(std::string("payload")); }
+
+// -- policies -----------------------------------------------------------------
+
+TEST(Channel, DefaultResolvesToFloodAndReachesEveryone) {
+  Fixture fx(Hypergraph::kcast_ring(8, 2));
+  auto ch = fx.open(0, Stream::kProposal, DisseminationPolicy{});
+  EXPECT_EQ(ch->policy().kind, Kind::kFlood);
+  ch->disseminate(payload());
+  fx.sched.run();
+  for (NodeId i = 1; i < 8; ++i) {
+    EXPECT_EQ(fx.recorders[i].delivered.size(), 1u) << "node " << i;
+  }
+}
+
+TEST(Channel, LocalKcastStopsAtTheNeighborhood) {
+  Fixture fx(Hypergraph::kcast_ring(8, 2));
+  auto ch =
+      fx.open(0, Stream::kVote, DisseminationPolicy::local_kcast());
+  ch->disseminate(payload());
+  fx.sched.run();
+  EXPECT_EQ(fx.net->transmissions(), 1u);  // no re-forwarding
+  EXPECT_EQ(fx.recorders[1].delivered.size(), 1u);
+  EXPECT_EQ(fx.recorders[2].delivered.size(), 1u);
+  for (NodeId i = 3; i < 8; ++i) {
+    EXPECT_TRUE(fx.recorders[i].delivered.empty()) << "node " << i;
+  }
+}
+
+TEST(Channel, RoutedUnicastDeliversToEveryTargetWithoutFlooding) {
+  Fixture fx(Hypergraph::full_mesh(5));
+  auto ch =
+      fx.open(2, Stream::kVote, DisseminationPolicy::routed_unicast());
+  ch->disseminate(payload());
+  fx.sched.run();
+  for (NodeId i = 0; i < 5; ++i) {
+    if (i == 2) continue;
+    ASSERT_EQ(fx.recorders[i].delivered.size(), 1u) << "node " << i;
+  }
+  // One direct edge per target; a flood would re-broadcast at every
+  // receiver (4 + 4*4 transmissions in this mesh).
+  EXPECT_EQ(fx.net->transmissions(), 4u);
+}
+
+TEST(Channel, TargetedSubsetContactsOnlyTheCurrentSubset) {
+  Fixture fx(Hypergraph::full_mesh(5));
+  auto ch = fx.open(4, Stream::kRequest,
+                    DisseminationPolicy::targeted_subset(2, 0));
+  ch->disseminate(payload());
+  fx.sched.run();
+  // Cursor starts at the first target: nodes 0 and 1.
+  EXPECT_EQ(fx.recorders[0].delivered.size(), 1u);
+  EXPECT_EQ(fx.recorders[1].delivered.size(), 1u);
+  EXPECT_TRUE(fx.recorders[2].delivered.empty());
+  EXPECT_TRUE(fx.recorders[3].delivered.empty());
+}
+
+// -- failover -----------------------------------------------------------------
+
+TEST(Channel, TargetedSubsetFailsOverPastAnOfflineTarget) {
+  Fixture fx(Hypergraph::full_mesh(4));
+  fx.net->set_node_online(0, false);  // first target is dead
+  auto ch = fx.open(3, Stream::kRequest,
+                    DisseminationPolicy::targeted_subset(
+                        1, sim::milliseconds(20)));
+  ch->submit(7, payload());
+  fx.sched.run_until(sim::milliseconds(35));
+  EXPECT_TRUE(fx.recorders[0].delivered.empty());
+  // After one timeout the subset rotated to node 1 and re-sent.
+  ASSERT_EQ(fx.recorders[1].delivered.size(), 1u);
+  EXPECT_GE(ch->failovers(), 1u);
+  EXPECT_GE(ch->resends(), 1u);
+  ch->complete(7);
+  const std::uint64_t resends = ch->resends();
+  fx.sched.run_until(sim::seconds(2));
+  EXPECT_EQ(ch->resends(), resends);  // completion cancels the timer
+  EXPECT_EQ(ch->inflight(), 0u);
+}
+
+TEST(Channel, TargetedSubsetBackoffGrowsTheRetryGap) {
+  Fixture fx(Hypergraph::full_mesh(3));
+  fx.net->set_node_online(0, false);
+  fx.net->set_node_online(1, false);  // every target dead: retry forever
+  auto ch = fx.open(2, Stream::kRequest,
+                    DisseminationPolicy::targeted_subset(
+                        2, sim::milliseconds(10), 2.0));
+  ch->submit(1, payload());
+  // Timeouts at 10, 30, 70, 150, 310 ms (gap doubles each time).
+  fx.sched.run_until(sim::milliseconds(311));
+  EXPECT_EQ(ch->resends(), 5u);
+  fx.sched.run_until(sim::milliseconds(630));
+  EXPECT_EQ(ch->resends(), 6u);  // next gap is 640 ms out
+}
+
+TEST(Channel, FloodSubmissionRetransmitsUntilComplete) {
+  Fixture fx(Hypergraph::full_mesh(3));
+  auto ch = fx.open(0, Stream::kRequest,
+                    DisseminationPolicy{Kind::kFlood, 1,
+                                        sim::milliseconds(10), 1.0, 0});
+  ch->submit(1, payload());
+  fx.sched.run_until(sim::milliseconds(35));
+  EXPECT_EQ(ch->resends(), 3u);  // constant gap: 10, 20, 30 ms
+  EXPECT_EQ(ch->failovers(), 0u);  // flood has no subset to rotate
+  ch->complete(1);
+  fx.sched.run_until(sim::milliseconds(100));
+  EXPECT_EQ(ch->resends(), 3u);
+}
+
+// -- per-stream energy attribution --------------------------------------------
+
+TEST(Channel, StreamAttributionCoversOriginAndForwardedHops) {
+  Fixture fx(Hypergraph::kcast_ring(6, 1));
+  auto ch = fx.open(0, Stream::kVote, DisseminationPolicy::flood());
+  ch->disseminate(payload());
+  fx.sched.run();
+  // Origin pays send energy on the vote stream and nothing elsewhere.
+  EXPECT_GT(fx.meters[0].stream(Stream::kVote).send_mj, 0.0);
+  EXPECT_EQ(fx.meters[0].stream(Stream::kProposal).send_mj, 0.0);
+  EXPECT_EQ(fx.meters[0].stream(Stream::kOther).send_mj, 0.0);
+  // A mid-ring relay's forwarding transmission keeps the origin's tag.
+  EXPECT_GT(fx.meters[3].stream(Stream::kVote).send_mj, 0.0);
+  EXPECT_GT(fx.meters[3].stream(Stream::kVote).recv_mj, 0.0);
+  // Stream accounting ties out with the category totals.
+  EXPECT_DOUBLE_EQ(fx.meters[3].stream(Stream::kVote).send_mj,
+                   fx.meters[3].millijoules(energy::Category::kSend));
+  EXPECT_EQ(fx.meters[3].stream(Stream::kVote).bytes_sent,
+            fx.meters[3].bytes_sent());
+}
+
+TEST(Channel, DistinctStreamsAccumulateSeparately) {
+  Fixture fx(Hypergraph::full_mesh(3));
+  auto votes = fx.open(0, Stream::kVote, DisseminationPolicy::flood());
+  auto props = fx.open(0, Stream::kProposal, DisseminationPolicy::flood());
+  votes->disseminate(payload());
+  props->disseminate(payload());
+  props->disseminate(payload());
+  fx.sched.run();
+  const auto& m = fx.meters[0];
+  EXPECT_EQ(m.stream(Stream::kVote).transmissions, 2u);      // 2 edges
+  EXPECT_EQ(m.stream(Stream::kProposal).transmissions, 4u);  // 2 x 2 edges
+  EXPECT_DOUBLE_EQ(
+      m.stream(Stream::kVote).send_mj + m.stream(Stream::kProposal).send_mj,
+      m.millijoules(energy::Category::kSend));
+}
+
+// -- bounded dedup window ------------------------------------------------------
+
+TEST(SeenWindow, InOrderSequencesCompactToTheWatermark) {
+  FloodRouter::SeenWindow w;
+  for (std::uint64_t seq = 1; seq <= 10000; ++seq) {
+    EXPECT_TRUE(w.insert(seq));
+    EXPECT_FALSE(w.insert(seq));  // duplicate
+  }
+  EXPECT_EQ(w.watermark, 10000u);
+  EXPECT_EQ(w.tail_size(), 0u);
+}
+
+TEST(SeenWindow, OutOfOrderArrivalsFoldInWhenTheGapFills) {
+  FloodRouter::SeenWindow w;
+  EXPECT_TRUE(w.insert(2));
+  EXPECT_TRUE(w.insert(3));
+  EXPECT_EQ(w.watermark, 0u);
+  EXPECT_EQ(w.tail_size(), 2u);
+  EXPECT_TRUE(w.insert(1));  // fills the gap: prefix 1..3 contiguous
+  EXPECT_EQ(w.watermark, 3u);
+  EXPECT_EQ(w.tail_size(), 0u);
+  EXPECT_FALSE(w.insert(2));  // still deduplicated below the watermark
+}
+
+TEST(SeenWindow, PersistentGapsAreForceCompactedAtTheCap) {
+  FloodRouter::SeenWindow w;
+  // Every second seq (the origin "spent" the others on unicasts this
+  // node never saw): gaps never fill, so the tail would grow forever.
+  for (std::uint64_t seq = 2; seq <= 100000; seq += 2) w.insert(seq);
+  EXPECT_LE(w.tail_size(), FloodRouter::SeenWindow::kMaxTail);
+  // Recent seqs are still deduplicated.
+  EXPECT_FALSE(w.insert(100000));
+}
+
+TEST(Routing, DedupStateStaysBoundedUnderLongMixedTraffic) {
+  // Long run of interleaved floods and routed unicasts: the unicast seqs
+  // are gaps in the flood-observers' windows. Per-origin state must stay
+  // within the window cap instead of accumulating every seq forever.
+  Fixture fx(Hypergraph::kcast_ring(6, 2));
+  for (int i = 0; i < 4000; ++i) {
+    fx.routers[0]->send_to(1, payload());  // nodes 3..5 never see these
+    fx.routers[0]->broadcast(payload());
+    if (i % 16 == 0) fx.sched.run();
+  }
+  fx.sched.run();
+  for (NodeId node = 1; node < 6; ++node) {
+    EXPECT_LE(fx.routers[node]->dedup_tail_entries(),
+              FloodRouter::SeenWindow::kMaxTail + 64)
+        << "node " << node;
+  }
+}
+
+}  // namespace
+}  // namespace eesmr::net

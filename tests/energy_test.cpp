@@ -2,6 +2,7 @@
 
 #include "src/energy/cost_model.hpp"
 #include "src/energy/meter.hpp"
+#include "src/harness/cluster.hpp"
 
 namespace eesmr::energy {
 namespace {
@@ -43,6 +44,37 @@ TEST(Meter, SumAndReset) {
   a.reset();
   EXPECT_DOUBLE_EQ(a.total_millijoules(), 0.0);
   EXPECT_EQ(a.ops(Category::kSend), 0u);
+}
+
+TEST(Meter, PerStreamAttribution) {
+  Meter m;
+  m.charge_send(1.5, 100, Stream::kProposal);
+  m.charge_send(2.0, 50, Stream::kProposal);
+  m.charge_recv(0.5, 80, Stream::kVote);
+  m.charge_send(4.0, 10);  // untagged -> kOther
+  EXPECT_DOUBLE_EQ(m.stream(Stream::kProposal).send_mj, 3.5);
+  EXPECT_EQ(m.stream(Stream::kProposal).transmissions, 2u);
+  EXPECT_EQ(m.stream(Stream::kProposal).bytes_sent, 150u);
+  EXPECT_DOUBLE_EQ(m.stream(Stream::kVote).recv_mj, 0.5);
+  EXPECT_EQ(m.stream(Stream::kVote).bytes_received, 80u);
+  EXPECT_DOUBLE_EQ(m.stream(Stream::kOther).send_mj, 4.0);
+  // Category totals are the sum over streams.
+  EXPECT_DOUBLE_EQ(m.millijoules(Category::kSend), 7.5);
+  EXPECT_EQ(m.bytes_sent(), 160u);
+}
+
+TEST(Meter, StreamsSumAndReset) {
+  Meter a, b;
+  a.charge_send(1.0, 10, Stream::kRequest);
+  b.charge_send(2.0, 20, Stream::kRequest);
+  b.charge_recv(3.0, 30, Stream::kReply);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.stream(Stream::kRequest).send_mj, 3.0);
+  EXPECT_EQ(a.stream(Stream::kRequest).bytes_sent, 30u);
+  EXPECT_DOUBLE_EQ(a.stream(Stream::kReply).recv_mj, 3.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.stream(Stream::kRequest).send_mj, 0.0);
+  EXPECT_EQ(a.stream(Stream::kRequest).transmissions, 0u);
 }
 
 // -- Table 1 ------------------------------------------------------------------
@@ -186,6 +218,59 @@ TEST(BleModel, UnicastWinsEventuallyForHugePayloads) {
   const std::size_t big = 4000;
   const std::size_t r = kcast_redundancy_for(big, 7, 0.9999);
   EXPECT_GT(kcast_send_energy_mj(big, r), 7 * gatt_send_energy_mj(big));
+}
+
+// -- verified-bytes cache -------------------------------------------------------
+
+TEST(VerifiedCache, HalvesHonestPathRequestVerifications) {
+  // Honest-path requests used to pay two metered signature checks per
+  // replica: pool time (handle_request) and commit time. The
+  // verified-bytes cache skips the commit-time re-check for bytes the
+  // replica already verified at pool time. The cache changes no message
+  // traffic, so the two runs are event-identical and the kVerify op
+  // delta isolates exactly the skipped re-verifications: one per
+  // request per replica (i.e. the request share of kVerify halves).
+  harness::ClusterConfig base;
+  base.protocol = harness::Protocol::kEesmr;
+  base.n = 4;
+  base.f = 1;
+  base.seed = 17;
+  base.clients = 2;
+  base.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+  base.workload.outstanding = 1;
+  base.workload.max_requests = 10;
+
+  const auto run = [](harness::ClusterConfig cfg) {
+    harness::Cluster cluster(cfg);
+    harness::RunResult r =
+        cluster.run_until_accepted(20, sim::seconds(1000));
+    // Quiesce so every replica finishes committing the tail requests.
+    return cluster.run_for(sim::seconds(2));
+  };
+  harness::ClusterConfig with = base;
+  with.verified_cache = true;
+  harness::ClusterConfig without = base;
+  without.verified_cache = false;
+  const harness::RunResult a = run(with);
+  const harness::RunResult b = run(without);
+  ASSERT_EQ(a.requests_accepted, 20u);
+  ASSERT_EQ(b.requests_accepted, 20u);
+
+  const auto verify_ops = [&](const harness::RunResult& r) {
+    std::uint64_t ops = 0;
+    for (std::size_t i = 0; i < base.n; ++i) {
+      ops += r.meters[i].ops(Category::kVerify);
+    }
+    return ops;
+  };
+  const std::uint64_t cached = verify_ops(a);
+  const std::uint64_t uncached = verify_ops(b);
+  // One skipped re-verification per request per replica.
+  EXPECT_EQ(uncached - cached, 20u * base.n);
+  // And the cache must not change what gets committed.
+  EXPECT_TRUE(a.safety_ok());
+  EXPECT_TRUE(b.safety_ok());
+  EXPECT_EQ(a.min_committed(), b.min_committed());
 }
 
 }  // namespace
