@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_feasible_region.dir/bench/fig1_feasible_region.cpp.o"
+  "CMakeFiles/bench_fig1_feasible_region.dir/bench/fig1_feasible_region.cpp.o.d"
+  "bench_fig1_feasible_region"
+  "bench_fig1_feasible_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_feasible_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_kcast_reliability.dir/bench/fig2a_kcast_reliability.cpp.o"
+  "CMakeFiles/bench_fig2a_kcast_reliability.dir/bench/fig2a_kcast_reliability.cpp.o.d"
+  "bench_fig2a_kcast_reliability"
+  "bench_fig2a_kcast_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_kcast_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_unicast_vs_multicast.dir/bench/fig2b_unicast_vs_multicast.cpp.o"
+  "CMakeFiles/bench_fig2b_unicast_vs_multicast.dir/bench/fig2b_unicast_vs_multicast.cpp.o.d"
+  "bench_fig2b_unicast_vs_multicast"
+  "bench_fig2b_unicast_vs_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_unicast_vs_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

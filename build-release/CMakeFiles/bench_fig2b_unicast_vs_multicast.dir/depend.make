@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2b_unicast_vs_multicast.
+# This may be replaced when dependencies are built.

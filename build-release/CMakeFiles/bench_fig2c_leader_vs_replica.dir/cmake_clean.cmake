@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_leader_vs_replica.dir/bench/fig2c_leader_vs_replica.cpp.o"
+  "CMakeFiles/bench_fig2c_leader_vs_replica.dir/bench/fig2c_leader_vs_replica.cpp.o.d"
+  "bench_fig2c_leader_vs_replica"
+  "bench_fig2c_leader_vs_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_leader_vs_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

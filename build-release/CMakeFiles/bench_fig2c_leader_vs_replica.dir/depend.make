@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2c_leader_vs_replica.
+# This may be replaced when dependencies are built.

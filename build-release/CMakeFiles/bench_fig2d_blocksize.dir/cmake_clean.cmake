@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2d_blocksize.dir/bench/fig2d_blocksize.cpp.o"
+  "CMakeFiles/bench_fig2d_blocksize.dir/bench/fig2d_blocksize.cpp.o.d"
+  "bench_fig2d_blocksize"
+  "bench_fig2d_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2e_viewchange.dir/bench/fig2e_viewchange.cpp.o"
+  "CMakeFiles/bench_fig2e_viewchange.dir/bench/fig2e_viewchange.cpp.o.d"
+  "bench_fig2e_viewchange"
+  "bench_fig2e_viewchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2e_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2f_total_energy.dir/bench/fig2f_total_energy.cpp.o"
+  "CMakeFiles/bench_fig2f_total_energy.dir/bench/fig2f_total_energy.cpp.o.d"
+  "bench_fig2f_total_energy"
+  "bench_fig2f_total_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2f_total_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

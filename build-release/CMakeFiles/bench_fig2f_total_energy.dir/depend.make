@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2f_total_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_eesmr_vs_synchs.dir/bench/fig3_eesmr_vs_synchs.cpp.o"
+  "CMakeFiles/bench_fig3_eesmr_vs_synchs.dir/bench/fig3_eesmr_vs_synchs.cpp.o.d"
+  "bench_fig3_eesmr_vs_synchs"
+  "bench_fig3_eesmr_vs_synchs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_eesmr_vs_synchs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_dissemination.dir/bench/fig_dissemination.cpp.o"
+  "CMakeFiles/bench_fig_dissemination.dir/bench/fig_dissemination.cpp.o.d"
+  "bench_fig_dissemination"
+  "bench_fig_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

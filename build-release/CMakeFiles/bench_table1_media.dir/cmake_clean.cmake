@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_media.dir/bench/table1_media.cpp.o"
+  "CMakeFiles/bench_table1_media.dir/bench/table1_media.cpp.o.d"
+  "bench_table1_media"
+  "bench_table1_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_crypto.dir/bench/table2_crypto.cpp.o"
+  "CMakeFiles/bench_table2_crypto.dir/bench/table2_crypto.cpp.o.d"
+  "bench_table2_crypto"
+  "bench_table2_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_test.dir/tests/bigint_test.cpp.o"
+  "CMakeFiles/bigint_test.dir/tests/bigint_test.cpp.o.d"
+  "bigint_test"
+  "bigint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

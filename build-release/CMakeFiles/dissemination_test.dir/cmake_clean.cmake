@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissemination_test.dir/tests/dissemination_test.cpp.o"
+  "CMakeFiles/dissemination_test.dir/tests/dissemination_test.cpp.o.d"
+  "dissemination_test"
+  "dissemination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissemination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

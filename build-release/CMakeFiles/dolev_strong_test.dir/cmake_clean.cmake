@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolev_strong_test.dir/tests/dolev_strong_test.cpp.o"
+  "CMakeFiles/dolev_strong_test.dir/tests/dolev_strong_test.cpp.o.d"
+  "dolev_strong_test"
+  "dolev_strong_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolev_strong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_test.dir/tests/ec_test.cpp.o"
+  "CMakeFiles/ec_test.dir/tests/ec_test.cpp.o.d"
+  "ec_test"
+  "ec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdsa_test.dir/tests/ecdsa_test.cpp.o"
+  "CMakeFiles/ecdsa_test.dir/tests/ecdsa_test.cpp.o.d"
+  "ecdsa_test"
+  "ecdsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dolev_strong.cpp" "CMakeFiles/eesmr_core.dir/src/baselines/dolev_strong.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/baselines/dolev_strong.cpp.o.d"
+  "/root/repo/src/baselines/sync_hotstuff.cpp" "CMakeFiles/eesmr_core.dir/src/baselines/sync_hotstuff.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/baselines/sync_hotstuff.cpp.o.d"
+  "/root/repo/src/baselines/trusted_baseline.cpp" "CMakeFiles/eesmr_core.dir/src/baselines/trusted_baseline.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/baselines/trusted_baseline.cpp.o.d"
+  "/root/repo/src/checkpoint/checkpoint.cpp" "CMakeFiles/eesmr_core.dir/src/checkpoint/checkpoint.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/checkpoint/checkpoint.cpp.o.d"
+  "/root/repo/src/client/client.cpp" "CMakeFiles/eesmr_core.dir/src/client/client.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/client/client.cpp.o.d"
+  "/root/repo/src/client/workload.cpp" "CMakeFiles/eesmr_core.dir/src/client/workload.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/client/workload.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "CMakeFiles/eesmr_core.dir/src/common/hex.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/common/hex.cpp.o.d"
+  "/root/repo/src/common/serde.cpp" "CMakeFiles/eesmr_core.dir/src/common/serde.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/common/serde.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/bigint.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/bigint.cpp.o.d"
+  "/root/repo/src/crypto/ec.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/ec.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/ec.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/ecdsa.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/rsa.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signer.cpp" "CMakeFiles/eesmr_core.dir/src/crypto/signer.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/crypto/signer.cpp.o.d"
+  "/root/repo/src/eesmr/eesmr.cpp" "CMakeFiles/eesmr_core.dir/src/eesmr/eesmr.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/eesmr/eesmr.cpp.o.d"
+  "/root/repo/src/energy/analysis.cpp" "CMakeFiles/eesmr_core.dir/src/energy/analysis.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/energy/analysis.cpp.o.d"
+  "/root/repo/src/energy/cost_model.cpp" "CMakeFiles/eesmr_core.dir/src/energy/cost_model.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/energy/cost_model.cpp.o.d"
+  "/root/repo/src/energy/meter.cpp" "CMakeFiles/eesmr_core.dir/src/energy/meter.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/energy/meter.cpp.o.d"
+  "/root/repo/src/harness/cluster.cpp" "CMakeFiles/eesmr_core.dir/src/harness/cluster.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/harness/cluster.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "CMakeFiles/eesmr_core.dir/src/net/channel.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/net/channel.cpp.o.d"
+  "/root/repo/src/net/flood.cpp" "CMakeFiles/eesmr_core.dir/src/net/flood.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/net/flood.cpp.o.d"
+  "/root/repo/src/net/hypergraph.cpp" "CMakeFiles/eesmr_core.dir/src/net/hypergraph.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/net/hypergraph.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/eesmr_core.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "CMakeFiles/eesmr_core.dir/src/sim/rng.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "CMakeFiles/eesmr_core.dir/src/sim/scheduler.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/eesmr_core.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/smr/app.cpp" "CMakeFiles/eesmr_core.dir/src/smr/app.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/app.cpp.o.d"
+  "/root/repo/src/smr/block.cpp" "CMakeFiles/eesmr_core.dir/src/smr/block.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/block.cpp.o.d"
+  "/root/repo/src/smr/chain.cpp" "CMakeFiles/eesmr_core.dir/src/smr/chain.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/chain.cpp.o.d"
+  "/root/repo/src/smr/mempool.cpp" "CMakeFiles/eesmr_core.dir/src/smr/mempool.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/mempool.cpp.o.d"
+  "/root/repo/src/smr/message.cpp" "CMakeFiles/eesmr_core.dir/src/smr/message.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/message.cpp.o.d"
+  "/root/repo/src/smr/replica.cpp" "CMakeFiles/eesmr_core.dir/src/smr/replica.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/replica.cpp.o.d"
+  "/root/repo/src/smr/request.cpp" "CMakeFiles/eesmr_core.dir/src/smr/request.cpp.o" "gcc" "CMakeFiles/eesmr_core.dir/src/smr/request.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eesmr_test.dir/tests/eesmr_test.cpp.o"
+  "CMakeFiles/eesmr_test.dir/tests/eesmr_test.cpp.o.d"
+  "eesmr_test"
+  "eesmr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eesmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

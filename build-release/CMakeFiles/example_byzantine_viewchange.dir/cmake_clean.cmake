@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_byzantine_viewchange.dir/examples/byzantine_viewchange.cpp.o"
+  "CMakeFiles/example_byzantine_viewchange.dir/examples/byzantine_viewchange.cpp.o.d"
+  "example_byzantine_viewchange"
+  "example_byzantine_viewchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_byzantine_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

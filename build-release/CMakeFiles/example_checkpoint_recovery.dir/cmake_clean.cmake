@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checkpoint_recovery.dir/examples/checkpoint_recovery.cpp.o"
+  "CMakeFiles/example_checkpoint_recovery.dir/examples/checkpoint_recovery.cpp.o.d"
+  "example_checkpoint_recovery"
+  "example_checkpoint_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checkpoint_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_client_kv.dir/examples/client_kv.cpp.o"
+  "CMakeFiles/example_client_kv.dir/examples/client_kv.cpp.o.d"
+  "example_client_kv"
+  "example_client_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_client_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cps_sensor_network.dir/examples/cps_sensor_network.cpp.o"
+  "CMakeFiles/example_cps_sensor_network.dir/examples/cps_sensor_network.cpp.o.d"
+  "example_cps_sensor_network"
+  "example_cps_sensor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cps_sensor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_planner.dir/examples/energy_planner.cpp.o"
+  "CMakeFiles/example_energy_planner.dir/examples/energy_planner.cpp.o.d"
+  "example_energy_planner"
+  "example_energy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempool_test.dir/tests/mempool_test.cpp.o"
+  "CMakeFiles/mempool_test.dir/tests/mempool_test.cpp.o.d"
+  "mempool_test"
+  "mempool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsa_test.dir/tests/rsa_test.cpp.o"
+  "CMakeFiles/rsa_test.dir/tests/rsa_test.cpp.o.d"
+  "rsa_test"
+  "rsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signer_test.dir/tests/signer_test.cpp.o"
+  "CMakeFiles/signer_test.dir/tests/signer_test.cpp.o.d"
+  "signer_test"
+  "signer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
