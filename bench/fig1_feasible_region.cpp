@@ -3,15 +3,18 @@
 // nodes talk WiFi among themselves, the trusted control node sits on 4G.
 // z = ψ^EESMR − ψ^Baseline per consensus unit; negative cells are where
 // EESMR is the energy-efficient choice.
-#include "bench/bench_util.hpp"
+#include <vector>
+
 #include "src/energy/analysis.hpp"
+#include "src/exp/experiment.hpp"
 
 using namespace eesmr;
 using namespace eesmr::energy;
 
-int main() {
-  bench::header("Figure 1 — EESMR vs trusted baseline feasible region",
-                "Fig. 1 (§5.1, RSA-1024, WiFi nodes / 4G control link)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig1_feasible_region",
+                     "Fig. 1 (§5.1, RSA-1024, WiFi nodes / 4G control link)",
+                     argc, argv);
 
   SystemParams base;
   base.comm = CommMode::kUnicastFullMesh;
@@ -19,34 +22,36 @@ int main() {
   base.control_medium = Medium::k4gLte;
   base.scheme = crypto::SchemeId::kRsa1024;
 
-  const std::vector<std::size_t> ns = {3, 4, 5, 6, 8, 10, 12, 16};
-  const std::vector<std::size_t> ms = {256, 512, 1024, 2048, 4096, 8192};
-
-  std::printf("z = (EESMR - baseline) steady-state mJ per consensus unit\n");
-  std::printf("%6s |", "n \\ m");
-  for (std::size_t m : ms) std::printf(" %8zuB", m);
-  std::printf("\n-------+");
-  for (std::size_t i = 0; i < ms.size(); ++i) std::printf("----------");
-  std::printf("\n");
-
-  const auto grid = feasible_region(ns, ms, base);
-  std::size_t idx = 0;
-  int favorable = 0;
-  for (std::size_t n : ns) {
-    std::printf("%6zu |", n);
-    for (std::size_t j = 0; j < ms.size(); ++j) {
-      const auto& pt = grid[idx++];
-      favorable += pt.diff_mj < 0;
-      std::printf(" %9.0f", pt.diff_mj);
-    }
-    std::printf("\n");
+  std::vector<std::size_t> ns = {3, 4, 5, 6, 8, 10, 12, 16};
+  std::vector<std::size_t> ms = {256, 512, 1024, 2048, 4096, 8192};
+  if (ex.smoke()) {
+    ns = {3, 6, 12};
+    ms = {256, 1024, 8192};
   }
 
-  std::printf("\nfavorable cells (EESMR wins): %d / %zu\n", favorable,
-              grid.size());
-  bench::note("expected shape: EESMR is favorable at small n (the n-1 WiFi "
-              "exchanges stay below one 4G round-trip) and loses as n "
-              "grows; the boundary is the paper's feasibility frontier");
+  exp::Grid grid;
+  grid.axis_of("n", ns);
+  grid.axis_of("m_bytes", ms);
+
+  exp::Report& rep = ex.run("feasible_region", grid,
+                            [&](const exp::RunContext& c) {
+    const std::vector<FeasiblePoint> pt = feasible_region(
+        {ns[c.at("n")]}, {ms[c.at("m_bytes")]}, base);
+    exp::MetricRow row;
+    row.set("eesmr_mj", pt[0].eesmr_mj);
+    row.set("baseline_mj", pt[0].baseline_mj);
+    row.set("diff_mj", pt[0].diff_mj);
+    row.set("eesmr_wins", exp::Json(pt[0].diff_mj < 0));
+    return row;
+  });
+  ex.note("z = diff_mj = (EESMR - baseline) steady-state mJ per consensus "
+          "unit; negative = EESMR is the energy-efficient choice");
+  rep.print_table(0);
+
+  std::size_t favorable = 0;
+  for (const exp::MetricRow& row : rep.rows) {
+    favorable += row.number("diff_mj") < 0 ? 1 : 0;
+  }
 
   // Section-4 decision metrics at one representative operating point.
   SystemParams x = base;
@@ -55,11 +60,20 @@ int main() {
   x.f = 1;
   const PsiBreakdown ee = psi_eesmr(x);
   const double bl = psi_trusted_baseline(x);
-  std::printf("\nSection-4 decision metrics at n=4, m=1kB:\n");
-  std::printf("  psi_B(EESMR) = %.0f mJ, psi_V(EESMR) = %.0f mJ, "
-              "psi(Baseline) = %.0f mJ\n",
-              ee.best, ee.view_change, bl);
-  std::printf("  energy-fault bound f_e (EB) = %.3f\n",
-              energy_fault_bound(bl, ee));
-  return 0;
+  exp::Report decision;
+  decision.name = "decision_metrics_n4_m1k";
+  exp::MetricRow drow;
+  drow.set("favorable_cells", favorable);
+  drow.set("total_cells", rep.rows.size());
+  drow.set("psi_b_eesmr_mj", ee.best);
+  drow.set("psi_v_eesmr_mj", ee.view_change);
+  drow.set("psi_baseline_mj", bl);
+  drow.set("energy_fault_bound", energy_fault_bound(bl, ee));
+  decision.rows.push_back(std::move(drow));
+  ex.add_section(std::move(decision)).print_table(3);
+
+  ex.note("expected shape: EESMR is favorable at small n (the n-1 WiFi "
+          "exchanges stay below one 4G round-trip) and loses as n grows; "
+          "the boundary is the paper's feasibility frontier");
+  return ex.finish();
 }

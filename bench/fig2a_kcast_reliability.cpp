@@ -3,11 +3,13 @@
 //
 // Two columns per point: the closed-form model and a Monte-Carlo run of
 // 10,000 transmitted packets (the paper's batch size) through the
-// simulated lossy advertisement channel.
-#include <cmath>
+// simulated lossy advertisement channel. Each grid point draws from its
+// own derived-seed Rng, so the Monte-Carlo column is reproducible and
+// independent of worker-thread scheduling.
+#include <vector>
 
-#include "bench/bench_util.hpp"
 #include "src/energy/cost_model.hpp"
+#include "src/exp/experiment.hpp"
 #include "src/sim/rng.hpp"
 
 using namespace eesmr;
@@ -15,12 +17,11 @@ using namespace eesmr::energy;
 
 namespace {
 
-/// Monte-Carlo failure fraction for 10,000 single-packet k-casts.
+/// Monte-Carlo failure fraction for `packets` single-packet k-casts.
 double monte_carlo_failure(std::size_t k, std::size_t redundancy,
-                           sim::Rng& rng) {
-  const int kPackets = 10000;
+                           int packets, sim::Rng& rng) {
   int failures = 0;
-  for (int p = 0; p < kPackets; ++p) {
+  for (int p = 0; p < packets; ++p) {
     bool all_received = true;
     for (std::size_t r = 0; r < k; ++r) {
       bool got = false;
@@ -37,40 +38,56 @@ double monte_carlo_failure(std::size_t k, std::size_t redundancy,
     }
     failures += all_received ? 0 : 1;
   }
-  return static_cast<double>(failures) / kPackets;
+  return static_cast<double>(failures) / packets;
 }
 
 }  // namespace
 
-int main() {
-  bench::header("Figure 2a — k-cast failure % vs energy (redundancy sweep)",
-                "Fig. 2a (§5.4, 10,000-packet batches, 25-byte payload)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig2a_kcast_reliability",
+                     "Fig. 2a (§5.4, 10,000-packet batches, 25-byte payload)",
+                     argc, argv, /*default_seed=*/0xf2a);
 
-  sim::Rng rng(0xf2a);
-  std::printf("%2s %4s | %10s %10s | %12s %12s\n", "k", "red",
-              "sendE(mJ)", "recvE(mJ)", "model fail%", "mc fail%");
-  std::printf("--------+-----------------------+---------------------------\n");
-  for (std::size_t k : {1u, 3u, 7u}) {
-    for (std::size_t red = 1; red <= 12; ++red) {
-      const double fail_model =
-          (1.0 - kcast_success_probability(25, k, red)) * 100.0;
-      const double fail_mc = monte_carlo_failure(k, red, rng) * 100.0;
-      std::printf("%2zu %4zu | %10.2f %10.2f | %12.5f %12.5f\n", k, red,
-                  kcast_send_energy_mj(25, red),
-                  kcast_recv_energy_mj(25, red), fail_model, fail_mc);
-    }
-    std::printf("--------+-----------------------+---------------------------\n");
-  }
+  const std::vector<std::size_t> ks = {1, 3, 7};
+  std::vector<std::size_t> reds = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  if (ex.smoke()) reds = {1, 2, 4, 8};
+  const int packets = ex.smoke() ? 1000 : 10000;
 
+  exp::Grid grid;
+  grid.axis_of("k", ks);
+  grid.axis_of("redundancy", reds);
+
+  exp::Report& rep = ex.run("reliability", grid,
+                            [&](const exp::RunContext& c) {
+    const std::size_t k = ks[c.at("k")];
+    const std::size_t red = reds[c.at("redundancy")];
+    sim::Rng rng(c.seed);
+    exp::MetricRow row;
+    row.set("send_mj", kcast_send_energy_mj(25, red));
+    row.set("recv_mj", kcast_recv_energy_mj(25, red));
+    row.set("model_fail_pct",
+            (1.0 - kcast_success_probability(25, k, red)) * 100.0);
+    row.set("mc_fail_pct",
+            monte_carlo_failure(k, red, packets, rng) * 100.0);
+    return row;
+  });
+  rep.print_table(5);
+
+  // The paper's calibration point: 99.99 % reliability at k = 7.
   const std::size_t r9999 = kcast_redundancy_for(25, 7, 0.9999);
-  std::printf("\n99.99%% reliability for k=7 requires redundancy %zu:\n"
-              "  sender %.2f mJ / receiver %.2f mJ per 25-byte message\n",
-              r9999, kcast_send_energy_mj(25, r9999),
-              kcast_recv_energy_mj(25, r9999));
-  bench::note("expected shape: failure decays exponentially with spent "
-              "energy; larger k fails more at equal energy (paper: "
-              "'failure rates exponentially decrease... probability of a "
-              "transmission failure increases with the value of k'). The "
-              "paper's calibration point is 5.3 mJ / 9.98 mJ at k = 7.");
-  return 0;
+  exp::Report calib;
+  calib.name = "calibration_k7_9999";
+  exp::MetricRow crow;
+  crow.set("redundancy", r9999);
+  crow.set("send_mj", kcast_send_energy_mj(25, r9999));
+  crow.set("recv_mj", kcast_recv_energy_mj(25, r9999));
+  calib.rows.push_back(std::move(crow));
+  ex.add_section(std::move(calib)).print_table(2);
+
+  ex.note("expected shape: failure decays exponentially with spent energy; "
+          "larger k fails more at equal energy (paper: 'failure rates "
+          "exponentially decrease... probability of a transmission failure "
+          "increases with the value of k'). The paper's calibration point "
+          "is 5.3 mJ / 9.98 mJ at k = 7.");
+  return ex.finish();
 }

@@ -1,39 +1,41 @@
 // Figure 2b: energy of 99.99%-reliable k-casts vs the equivalent GATT
 // unicast links, across payload sizes. UC = unicast, S = sender,
 // R = receiver.
-#include "bench/bench_util.hpp"
+#include <vector>
+
 #include "src/energy/cost_model.hpp"
+#include "src/exp/experiment.hpp"
 
 using namespace eesmr;
 using namespace eesmr::energy;
 
-int main() {
-  bench::header("Figure 2b — unicast vs multicast energy on BLE",
-                "Fig. 2b (§5.4, 99.99% reliable k-casts, GATT unicasts)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig2b_unicast_vs_multicast",
+                     "Fig. 2b (§5.4, 99.99% reliable k-casts, GATT unicasts)",
+                     argc, argv);
 
-  std::printf("%8s | %9s %9s | %9s %9s | %10s %10s\n", "payload",
-              "UC.S d=1", "UC.R d=1", "UC.S d=7", "UC.R d=7", "kcast.S k7",
-              "kcast.R k7");
-  std::printf("---------+---------------------+---------------------+"
-              "----------------------\n");
-  for (std::size_t payload : {25u, 50u, 100u, 200u, 300u, 400u, 500u}) {
+  std::vector<std::size_t> payloads = {25, 50, 100, 200, 300, 400, 500};
+  if (ex.smoke()) payloads = {25, 100, 500};
+
+  exp::Grid grid;
+  grid.axis_of("payload_bytes", payloads);
+
+  exp::Report& rep = ex.run("energy_per_message", grid,
+                            [&](const exp::RunContext& c) {
+    const std::size_t payload = payloads[c.at("payload_bytes")];
     const std::size_t red = kcast_redundancy_for(payload, 7, 0.9999);
-    std::printf("%6zu B | %9.1f %9.1f | %9.1f %9.1f | %10.1f %10.1f\n",
-                payload, gatt_send_energy_mj(payload),
-                gatt_recv_energy_mj(payload),
-                7 * gatt_send_energy_mj(payload),
-                gatt_recv_energy_mj(payload),  // each receiver pays once
-                kcast_send_energy_mj(payload, red),
-                kcast_recv_energy_mj(payload, red));
-  }
-
-  bench::note("expected shape: one k-cast transmission beats d_out = 7 "
-              "unicasts on the sender side across this payload range; a "
-              "single unicast (d_out = 1) is always cheaper than a k-cast; "
-              "per-byte slopes make unicasts win for very large payloads "
-              "(paper: 'unicast link is more effective for bigger "
-              "payloads, but this advantage is quickly negated as k "
-              "increases')");
+    exp::MetricRow row;
+    row.set("uc_send_d1_mj", gatt_send_energy_mj(payload));
+    row.set("uc_recv_d1_mj", gatt_recv_energy_mj(payload));
+    row.set("uc_send_d7_mj", 7 * gatt_send_energy_mj(payload));
+    // Each receiver pays once regardless of the sender's degree.
+    row.set("uc_recv_d7_mj", gatt_recv_energy_mj(payload));
+    row.set("kcast_send_k7_mj", kcast_send_energy_mj(payload, red));
+    row.set("kcast_recv_k7_mj", kcast_recv_energy_mj(payload, red));
+    row.set("redundancy", red);
+    return row;
+  });
+  rep.print_table(1);
 
   // Locate the sender-side crossover payload for d_out = 7.
   std::size_t crossover = 0;
@@ -45,11 +47,22 @@ int main() {
       break;
     }
   }
+  exp::Report cx;
+  cx.name = "sender_crossover_d7";
+  exp::MetricRow crow;
   if (crossover > 0) {
-    std::printf("sender-side crossover (7 unicasts become cheaper): "
-                "~%zu bytes\n", crossover);
+    crow.set("crossover_bytes", crossover);
   } else {
-    std::printf("no sender-side crossover below 8 kB\n");
+    crow.skip("crossover_bytes");
   }
-  return 0;
+  cx.rows.push_back(std::move(crow));
+  ex.add_section(std::move(cx)).print_table(0);
+
+  ex.note("expected shape: one k-cast transmission beats d_out = 7 "
+          "unicasts on the sender side across this payload range; a "
+          "single unicast (d_out = 1) is always cheaper than a k-cast; "
+          "per-byte slopes make unicasts win for very large payloads "
+          "(paper: 'unicast link is more effective for bigger payloads, "
+          "but this advantage is quickly negated as k increases')");
+  return ex.finish();
 }

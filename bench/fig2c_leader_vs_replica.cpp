@@ -1,21 +1,32 @@
 // Figure 2c: average energy per SMR unit for the EESMR leader vs a
 // replica, as the k-cast degree k varies. n = 15, 16-byte blocks,
 // BLE k-cast ring (D_out = 1, D_in = k).
-#include "bench/bench_util.hpp"
+#include <vector>
+
+#include "src/exp/experiment.hpp"
+#include "src/exp/record.hpp"
+#include "src/exp/run_helpers.hpp"
 
 using namespace eesmr;
-using namespace eesmr::harness;
+using harness::ClusterConfig;
+using harness::RunResult;
 
-int main() {
-  bench::header("Figure 2c — EESMR leader vs replica energy per SMR vs k",
-                "Fig. 2c (§5.6, n = 15, |b| = 16 bytes)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig2c_leader_vs_replica",
+                     "Fig. 2c (§5.6, n = 15, |b| = 16 bytes)", argc, argv,
+                     /*default_seed=*/15);
 
-  std::printf("%2s | %12s | %12s | %8s\n", "k", "leader mJ/blk",
-              "replica mJ/blk", "ratio");
-  std::printf("---+--------------+----------------+---------\n");
+  std::vector<std::size_t> ks = {2, 3, 4, 5, 6, 7};
+  if (ex.smoke()) ks = {2, 5};
+  const std::size_t blocks = ex.smoke() ? 4 : 8;
+  const NodeId leader = 1;  // leader of view 1
 
-  double first_leader = 0, last_leader = 0;
-  for (std::size_t k = 2; k <= 7; ++k) {
+  exp::Grid grid;
+  grid.axis_of("k", ks);
+
+  exp::Report& rep = ex.run("leader_vs_replica", grid,
+                            [&](const exp::RunContext& c) {
+    const std::size_t k = ks[c.at("k")];
     ClusterConfig cfg;
     cfg.n = 15;
     cfg.f = k - 1;  // the evaluation couples k = f + 1
@@ -23,30 +34,40 @@ int main() {
     cfg.medium = energy::Medium::kBle;
     cfg.cmd_bytes = 16;
     cfg.batch_size = 1;
-    cfg.seed = 15;
-    const RunResult r = bench::run_steady(cfg, 8);
-    const NodeId leader = 1;  // leader of view 1
+    cfg.seed = c.seed;
+    const RunResult r = exp::run_steady(cfg, blocks);
     const double leader_mj = r.node_energy_per_block_mj(leader);
     // Average over all non-leader correct replicas.
-    double rep = 0;
+    double rep_mj = 0;
     int count = 0;
     for (NodeId i = 0; i < 15; ++i) {
       if (i == leader) continue;
-      rep += r.node_energy_per_block_mj(i);
+      rep_mj += r.node_energy_per_block_mj(i);
       ++count;
     }
-    rep /= count;
-    if (k == 2) first_leader = leader_mj;
-    last_leader = leader_mj;
-    std::printf("%2zu | %12.1f | %14.1f | %8.3f\n", k, leader_mj, rep,
-                leader_mj / rep);
-  }
+    rep_mj /= count;
+    exp::MetricRow row;
+    row.set("leader_mj_per_block", leader_mj);
+    row.set("replica_mj_per_block", rep_mj);
+    row.set("ratio", leader_mj / rep_mj);
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  rep.print_table(1);
 
-  bench::note("expected shape: both curves grow ~linearly in k (k incoming "
-              "edges dominate via receive/scan energy); leader slightly "
-              "above the replicas (it also builds and signs proposals)");
-  std::printf("leader energy growth k=2 -> k=7: %.2fx (linear-in-k would "
-              "be ~3x given the recv share)\n",
-              last_leader / first_leader);
-  return 0;
+  const double first = rep.rows.front().number("leader_mj_per_block");
+  const double last = rep.rows.back().number("leader_mj_per_block");
+  exp::Report growth;
+  growth.name = "leader_growth";
+  exp::MetricRow grow;
+  grow.set("k_low", ks.front());
+  grow.set("k_high", ks.back());
+  grow.set("leader_growth_x", last / first);
+  growth.rows.push_back(std::move(grow));
+  ex.add_section(std::move(growth)).print_table(2);
+
+  ex.note("expected shape: both curves grow ~linearly in k (k incoming "
+          "edges dominate via receive/scan energy); leader slightly above "
+          "the replicas (it also builds and signs proposals)");
+  return ex.finish();
 }

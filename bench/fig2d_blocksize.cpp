@@ -1,35 +1,53 @@
 // Figure 2d: EESMR leader energy per SMR unit for block payloads of
 // 16 / 128 / 256 bytes, as k varies. n = 15, BLE k-cast ring.
-#include "bench/bench_util.hpp"
+#include <vector>
+
+#include "src/exp/experiment.hpp"
+#include "src/exp/record.hpp"
+#include "src/exp/run_helpers.hpp"
 
 using namespace eesmr;
-using namespace eesmr::harness;
+using harness::ClusterConfig;
+using harness::RunResult;
 
-int main() {
-  bench::header("Figure 2d — EESMR leader energy vs k for block sizes",
-                "Fig. 2d (§5.6, n = 15)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig2d_blocksize", "Fig. 2d (§5.6, n = 15)", argc, argv,
+                     /*default_seed=*/16);
 
-  std::printf("%2s | %12s %12s %12s\n", "k", "16 B", "128 B", "256 B");
-  std::printf("---+---------------------------------------\n");
-  for (std::size_t k = 2; k <= 7; ++k) {
-    std::printf("%2zu |", k);
-    for (std::size_t bytes : {16u, 128u, 256u}) {
-      ClusterConfig cfg;
-      cfg.n = 15;
-      cfg.f = k - 1;
-      cfg.k = k;
-      cfg.medium = energy::Medium::kBle;
-      cfg.cmd_bytes = bytes;
-      cfg.batch_size = 1;
-      cfg.seed = 16;
-      const RunResult r = bench::run_steady(cfg, 8);
-      std::printf(" %12.1f", r.node_energy_per_block_mj(1));
-    }
-    std::printf("\n");
+  std::vector<std::size_t> ks = {2, 3, 4, 5, 6, 7};
+  std::vector<std::size_t> sizes = {16, 128, 256};
+  if (ex.smoke()) {
+    ks = {2, 5};
+    sizes = {16, 256};
   }
-  bench::note("expected shape: linear growth in k for every payload; "
-              "larger blocks shift the curve up roughly proportionally to "
-              "the BLE fragmentation count (paper: 'EESMR scales well "
-              "with increasing message payloads')");
-  return 0;
+  const std::size_t blocks = ex.smoke() ? 4 : 8;
+
+  exp::Grid grid;
+  grid.axis_of("k", ks);
+  grid.axis_of("block_bytes", sizes);
+
+  exp::Report& rep = ex.run("leader_energy", grid,
+                            [&](const exp::RunContext& c) {
+    const std::size_t k = ks[c.at("k")];
+    ClusterConfig cfg;
+    cfg.n = 15;
+    cfg.f = k - 1;
+    cfg.k = k;
+    cfg.medium = energy::Medium::kBle;
+    cfg.cmd_bytes = sizes[c.at("block_bytes")];
+    cfg.batch_size = 1;
+    cfg.seed = c.seed;
+    const RunResult r = exp::run_steady(cfg, blocks);
+    exp::MetricRow row;
+    row.set("leader_mj_per_block", r.node_energy_per_block_mj(1));
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  rep.print_table(1);
+
+  ex.note("expected shape: linear growth in k for every payload; larger "
+          "blocks shift the curve up roughly proportionally to the BLE "
+          "fragmentation count (paper: 'EESMR scales well with increasing "
+          "message payloads')");
+  return ex.finish();
 }

@@ -1,46 +1,62 @@
 // Figure 2f: total energy consumed by the correct nodes per SMR unit,
 // EESMR vs Sync HotStuff, for k = 3 and k = 5, as n grows.
-#include "bench/bench_util.hpp"
+#include <algorithm>
+#include <vector>
+
+#include "src/exp/experiment.hpp"
+#include "src/exp/record.hpp"
+#include "src/exp/run_helpers.hpp"
 
 using namespace eesmr;
-using namespace eesmr::harness;
+using harness::ClusterConfig;
+using harness::Protocol;
+using harness::RunResult;
 
-int main() {
-  bench::header("Figure 2f — total correct-node energy per SMR vs n",
-                "Fig. 2f (§5.6/§5.7, BLE k-cast ring)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig2f_total_energy",
+                     "Fig. 2f (§5.6/§5.7, BLE k-cast ring)", argc, argv,
+                     /*default_seed=*/18);
 
-  std::printf("%2s | %12s %12s | %12s %12s\n", "n", "EESMR k=3",
-              "EESMR k=5", "SyncHS k=3", "SyncHS k=5");
-  std::printf("---+---------------------------+---------------------------\n");
+  std::vector<std::size_t> ns = {4, 5, 6, 7, 8, 9};
+  if (ex.smoke()) ns = {4, 7};
+  const std::vector<std::size_t> ks = {3, 5};
+  const std::vector<Protocol> protocols = {Protocol::kEesmr,
+                                           Protocol::kSyncHotStuff};
+  const std::size_t blocks = ex.smoke() ? 4 : 8;
 
-  for (std::size_t n = 4; n <= 9; ++n) {
-    std::printf("%2zu |", n);
-    for (Protocol p : {Protocol::kEesmr, Protocol::kSyncHotStuff}) {
-      for (std::size_t k : {3u, 5u}) {
-        if (k >= n) {
-          std::printf(" %12s", "-");
-          continue;
-        }
-        ClusterConfig cfg;
-        cfg.protocol = p;
-        cfg.n = n;
-        cfg.f = std::min((n - 1) / 2, k - 1);
-        cfg.k = k;
-        cfg.medium = energy::Medium::kBle;
-        cfg.cmd_bytes = 16;
-        cfg.seed = 18;
-        const RunResult r = bench::run_steady(cfg, 8);
-        std::printf(" %12.0f", r.energy_per_block_mj());
-      }
-      if (p == Protocol::kEesmr) std::printf(" |");
+  exp::Grid grid;
+  grid.axis_of("n", ns);
+  grid.axis("protocol", {"EESMR", "SyncHS"});
+  grid.axis_of("k", ks);
+
+  exp::Report& rep = ex.run("total_energy", grid,
+                            [&](const exp::RunContext& c) {
+    const std::size_t n = ns[c.at("n")];
+    const std::size_t k = ks[c.at("k")];
+    exp::MetricRow row;
+    if (k >= n) {
+      // The §5.6 ring needs k < n; the cell is not applicable.
+      row.skip("mj_per_block");
+      return row;
     }
-    std::printf("\n");
-  }
+    ClusterConfig cfg;
+    cfg.protocol = protocols[c.at("protocol")];
+    cfg.n = n;
+    cfg.f = std::min((n - 1) / 2, k - 1);
+    cfg.k = k;
+    cfg.medium = energy::Medium::kBle;
+    cfg.cmd_bytes = 16;
+    cfg.seed = c.seed;
+    const RunResult r = exp::run_steady(cfg, blocks);
+    row.set("mj_per_block", r.energy_per_block_mj());
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  rep.print_table(0);
 
-  bench::note("expected shape: EESMR's total grows ~linearly in n (each "
-              "correct node adds a constant k-dependent cost; per-node "
-              "energy is independent of n), while Sync HotStuff grows "
-              "faster (vote floods and f+1-signature certificates); "
-              "larger k raises both");
-  return 0;
+  ex.note("expected shape: EESMR's total grows ~linearly in n (each "
+          "correct node adds a constant k-dependent cost; per-node energy "
+          "is independent of n), while Sync HotStuff grows faster (vote "
+          "floods and f+1-signature certificates); larger k raises both");
+  return ex.finish();
 }

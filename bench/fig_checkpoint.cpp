@@ -9,12 +9,11 @@
 // replica catch-up. Shorter intervals bound memory tighter and let a
 // late joiner recover from a fresher snapshot, at the price of more
 // checkpoint crypto and flooding — the axis this figure sweeps.
-#include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.hpp"
-
-namespace {
+#include "src/exp/experiment.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/exp/record.hpp"
 
 using namespace eesmr;
 using harness::Cluster;
@@ -22,15 +21,17 @@ using harness::ClusterConfig;
 using harness::Protocol;
 using harness::RunResult;
 
-constexpr sim::Duration kRunTime = sim::seconds(40);
+namespace {
+
 constexpr sim::Duration kJoinAt = sim::seconds(10);
 
-ClusterConfig base_cfg(Protocol protocol, std::uint64_t interval) {
+ClusterConfig base_cfg(Protocol protocol, std::uint64_t interval,
+                       std::uint64_t seed) {
   ClusterConfig cfg;
   cfg.protocol = protocol;
   cfg.n = 4;
   cfg.f = 1;
-  cfg.seed = 42;
+  cfg.seed = seed;
   cfg.batch_size = 8;
   cfg.clients = 2;
   cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
@@ -39,86 +40,91 @@ ClusterConfig base_cfg(Protocol protocol, std::uint64_t interval) {
   return cfg;
 }
 
-void sweep_memory_energy(Protocol protocol) {
-  std::printf("\n%s: steady state, closed-loop clients, %lds simulated\n",
-              harness::protocol_name(protocol),
-              static_cast<long>(kRunTime / 1'000'000));
-  std::printf("  %-10s %9s %9s %9s %9s %10s %11s\n", "interval", "blocks",
-              "log_max", "store_max", "dedup_max", "acc/s", "mJ/block");
-  double baseline_mj_per_block = 0;
-  for (std::uint64_t interval : {0, 32, 128, 512}) {
-    Cluster cluster(base_cfg(protocol, interval));
-    const RunResult r = cluster.run_for(kRunTime);
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Experiment ex(
+      "fig_checkpoint",
+      "f+1 identical signed state digests — the Section 3 acceptance rule "
+      "applied to state (NxBFT-style stable checkpoints)",
+      argc, argv, /*default_seed=*/42);
+
+  const sim::Duration run_time =
+      ex.smoke() ? sim::seconds(10) : sim::seconds(40);
+  std::vector<std::uint64_t> intervals = {0, 32, 128, 512};
+  if (ex.smoke()) intervals = {0, 32};
+  const std::vector<Protocol> protocols = {Protocol::kEesmr,
+                                           Protocol::kSyncHotStuff};
+
+  // -- steady state: memory bound vs energy overhead -------------------------
+  exp::Grid steady;
+  steady.axis("protocol", {"EESMR", "SyncHS"});
+  steady.axis_of("interval", intervals);
+
+  exp::Report& mem = ex.run("memory_energy", steady,
+                            [&](const exp::RunContext& c) {
+    Cluster cluster(base_cfg(protocols[c.at("protocol")],
+                             intervals[c.at("interval")], c.seed));
+    const RunResult r = cluster.run_for(run_time);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
-    std::size_t store_max = 0;
-    for (std::size_t i = 0; i < r.footprints.size(); ++i) {
-      if (r.correct[i] && r.counted[i]) {
-        store_max = std::max(store_max, r.footprints[i].store_blocks);
+    const harness::RunSummary s = r.summarize();
+    exp::MetricRow row;
+    row.set("blocks", s.min_committed);
+    row.set("log_max", s.max_retained_log);
+    row.set("store_max", s.max_store_blocks);
+    row.set("dedup_max", s.max_dedup_entries);
+    row.set("accepted_per_sec", s.accepted_per_sec);
+    row.set("mj_per_block", s.energy_per_block_mj);
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  // Energy overhead vs the interval=0 baseline of the same protocol —
+  // a formatting pass over the committed rows.
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    const double baseline =
+        mem.rows[p * intervals.size()].number("mj_per_block");
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      exp::MetricRow& row = mem.rows[p * intervals.size() + i];
+      if (i == 0 || baseline <= 0) {
+        row.skip("overhead_pct");
+      } else {
+        row.set("overhead_pct",
+                100.0 * (row.number("mj_per_block") - baseline) / baseline);
       }
     }
-    const double mj = r.energy_per_block_mj();
-    if (interval == 0) baseline_mj_per_block = mj;
-    char label[32];
-    std::snprintf(label, sizeof label, "%u cmds",
-                  static_cast<unsigned>(interval));
-    if (interval == 0) std::snprintf(label, sizeof label, "off");
-    std::printf("  %-10s %9zu %9zu %9zu %9zu %10.1f %9.1f", label,
-                r.min_committed(), r.max_retained_log(), store_max,
-                r.max_dedup_entries(), r.accepted_per_sec(), mj);
-    if (interval != 0 && baseline_mj_per_block > 0) {
-      std::printf("  (+%4.1f%%)",
-                  100.0 * (mj - baseline_mj_per_block) /
-                      baseline_mj_per_block);
-    }
-    std::printf("\n");
   }
-}
+  ex.note("log/store/dedup sizes are per-replica maxima at run end; "
+          "checkpoint crypto and transfer bytes are metered like all "
+          "other traffic");
+  mem.print_table(1);
 
-void sweep_catchup(Protocol protocol) {
-  std::printf(
-      "\n%s: replica 3 joins at t=%lds (crash recovery / late spawn)\n",
-      harness::protocol_name(protocol),
-      static_cast<long>(kJoinAt / 1'000'000));
-  std::printf("  %-10s %10s %12s %12s %12s %12s\n", "interval", "transfers",
-              "recovery_ms", "joiner_blks", "cluster_blks", "joiner_mJ");
-  for (std::uint64_t interval : {0, 32, 128, 512}) {
-    ClusterConfig cfg = base_cfg(protocol, interval);
+  // -- catch-up: replica 3 joins late (crash recovery / late spawn) ----------
+  exp::Grid catchup;
+  catchup.axis("protocol", {"EESMR", "SyncHS"});
+  catchup.axis_of("interval", intervals);
+
+  exp::Report& rec = ex.run("catchup", catchup,
+                            [&](const exp::RunContext& c) {
+    ClusterConfig cfg = base_cfg(protocols[c.at("protocol")],
+                                 intervals[c.at("interval")], c.seed);
     cfg.workload.max_requests = 600;  // traffic persists past the join
     cfg.late_starts.push_back({3, kJoinAt});
     Cluster cluster(cfg);
-    const RunResult r = cluster.run_for(kRunTime);
+    const RunResult r = cluster.run_for(run_time);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
-    char label[32];
-    std::snprintf(label, sizeof label, "%u cmds",
-                  static_cast<unsigned>(interval));
-    if (interval == 0) std::snprintf(label, sizeof label, "off");
-    std::printf("  %-10s %10llu %12.1f %12llu %12zu %12.1f\n", label,
-                static_cast<unsigned long long>(r.state_transfers),
-                sim::to_milliseconds(r.max_recovery_latency),
-                static_cast<unsigned long long>(
-                    r.footprints[3].committed_blocks),
-                r.max_committed(), r.node_energy_mj(3));
-  }
-  std::printf(
-      "  (interval off: no snapshot exists — recovery degrades to\n"
-      "   block-by-block backward chain sync where the protocol's\n"
-      "   acceptance rules permit it, or stalls where they do not)\n");
-}
-
-}  // namespace
-
-int main() {
-  eesmr::bench::header(
-      "Checkpointing: memory bound vs energy overhead vs catch-up",
-      "f+1 identical signed state digests — the Section 3 acceptance "
-      "rule applied to state (NxBFT-style stable checkpoints)");
-  eesmr::bench::note(
-      "log/store/dedup sizes are per-replica maxima at run end; "
-      "checkpoint crypto and transfer bytes are metered like all "
-      "other traffic");
-  sweep_memory_energy(Protocol::kEesmr);
-  sweep_catchup(Protocol::kEesmr);
-  sweep_memory_energy(Protocol::kSyncHotStuff);
-  sweep_catchup(Protocol::kSyncHotStuff);
-  return 0;
+    exp::MetricRow row;
+    row.set("state_transfers", r.state_transfers);
+    row.set("recovery_ms", sim::to_milliseconds(r.max_recovery_latency));
+    row.set("joiner_blocks", r.footprints[3].committed_blocks);
+    row.set("cluster_blocks", r.max_committed());
+    row.set("joiner_mj", r.node_energy_mj(3));
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  rec.print_table(1);
+  ex.note("interval 0 = checkpointing off: no snapshot exists, so "
+          "recovery degrades to block-by-block backward chain sync where "
+          "the protocol's acceptance rules permit it, or stalls where "
+          "they do not (join happens at t=10s)");
+  return ex.finish();
 }

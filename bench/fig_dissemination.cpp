@@ -1,113 +1,106 @@
 // Per-stream (channel-class) energy breakdown under different client
 // submission policies: flood-all (every request reaches every replica)
 // versus TargetedSubset (contact one replica, rotate on timeout; the
-// contacted replica forwards to the leader). Reported per medium —
-// the dissemination axis the paper sweeps in Table 1 / Fig 2a-2b —
-// so the request-dissemination energy cost per medium is quantified.
-#include <array>
+// contacted replica forwards to the leader; reply metadata teaches the
+// client the current leader). Reported per medium — the dissemination
+// axis the paper sweeps in Table 1 / Fig 2a-2b — so the request-
+// dissemination energy cost per medium is quantified.
+#include <vector>
 
-#include "bench/bench_util.hpp"
+#include "src/exp/experiment.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/exp/record.hpp"
 
 using namespace eesmr;
+using energy::Stream;
 using harness::ClusterConfig;
 using harness::Protocol;
 using harness::RunResult;
-using energy::Stream;
 
-namespace {
-
-constexpr std::uint64_t kRequests = 24;
-
-ClusterConfig base_config(energy::Medium medium) {
-  ClusterConfig cfg;
-  cfg.protocol = Protocol::kEesmr;
-  cfg.n = 7;
-  cfg.f = 2;
-  cfg.k = 3;  // the §5.6 k-cast ring
-  cfg.medium = medium;
-  cfg.seed = 42;
-  cfg.clients = 3;
-  cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
-  cfg.workload.outstanding = 1;
-  cfg.workload.max_requests = kRequests / cfg.clients;
-  return cfg;
-}
-
-RunResult run(ClusterConfig cfg) {
-  harness::Cluster cluster(cfg);
-  RunResult r = cluster.run_until_accepted(kRequests, sim::seconds(5000));
-  if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
-  if (r.requests_accepted < kRequests) {
-    std::fprintf(stderr, "LIVENESS: only %llu/%llu accepted\n",
-                 static_cast<unsigned long long>(r.requests_accepted),
-                 static_cast<unsigned long long>(kRequests));
-  }
-  return r;
-}
-
-void print_breakdown(const char* label, const RunResult& r) {
-  std::printf("\n  %s  (accepted=%llu  retransmits=%llu  failovers=%llu  "
-              "forwards=%llu)\n",
-              label, static_cast<unsigned long long>(r.requests_accepted),
-              static_cast<unsigned long long>(r.request_retransmissions),
-              static_cast<unsigned long long>(r.request_failovers),
-              static_cast<unsigned long long>(r.requests_forwarded));
-  std::printf("  %-11s | %10s %10s | %8s %10s\n", "stream", "send(mJ)",
-              "recv(mJ)", "tx", "bytes");
-  std::printf("  ------------+-----------------------+--------------------\n");
-  double total = 0;
-  for (std::size_t s = 0; s < energy::kNumStreams; ++s) {
-    // Replica radios plus client submission energy: the full cost of
-    // the stream, which is what the submission policies trade off.
-    const auto st = r.stream_totals_all(static_cast<Stream>(s));
-    if (st.transmissions == 0 && st.recv_mj == 0) continue;
-    std::printf("  %-11s | %10.2f %10.2f | %8llu %10llu\n",
-                energy::stream_name(static_cast<Stream>(s)), st.send_mj,
-                st.recv_mj, static_cast<unsigned long long>(st.transmissions),
-                static_cast<unsigned long long>(st.bytes_sent));
-    total += st.total_mj();
-  }
-  std::printf("  %-11s | %21.2f mJ radio total\n", "", total);
-}
-
-}  // namespace
-
-int main() {
-  bench::header(
-      "Fig D — per-stream energy: flood-all vs targeted-subset submission",
+int main(int argc, char** argv) {
+  exp::Experiment ex(
+      "fig_dissemination",
       "Table 1 media sweep applied per channel class (§5.4, §5.6); the "
-      "ROADMAP client-failover follow-up");
+      "ROADMAP client-failover follow-up",
+      argc, argv, /*default_seed=*/42);
 
-  for (const energy::Medium medium :
-       {energy::Medium::kBle, energy::Medium::kWifi}) {
-    std::printf("\n== medium: %s ==\n", energy::medium_name(medium));
+  const std::uint64_t requests = ex.smoke() ? 9 : 24;
+  const std::vector<energy::Medium> media = {energy::Medium::kBle,
+                                             energy::Medium::kWifi};
 
-    ClusterConfig flood = base_config(medium);  // default submission
-    const RunResult rf = run(flood);
-    print_breakdown("flood-all submission", rf);
+  exp::Grid grid;
+  grid.axis("medium", {"BLE", "WiFi"});
+  grid.axis("submission", {"flood_all", "targeted_subset"});
 
-    ClusterConfig targeted = base_config(medium);
-    targeted.client_submit = net::DisseminationPolicy::targeted_subset(1, 0);
-    const RunResult rt = run(targeted);
-    print_breakdown("targeted-subset submission", rt);
+  exp::Report& rep = ex.run("per_stream", grid,
+                            [&](const exp::RunContext& c) {
+    ClusterConfig cfg;
+    cfg.protocol = Protocol::kEesmr;
+    cfg.n = 7;
+    cfg.f = 2;
+    cfg.k = 3;  // the §5.6 k-cast ring
+    cfg.medium = media[c.at("medium")];
+    cfg.seed = c.seed;
+    cfg.clients = 3;
+    cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+    cfg.workload.outstanding = 1;
+    cfg.workload.max_requests = requests / cfg.clients;
+    if (c.label("submission") == "targeted_subset") {
+      cfg.client_submit = net::DisseminationPolicy::targeted_subset(1, 0);
+    }
+    harness::Cluster cluster(cfg);
+    const RunResult r =
+        cluster.run_until_accepted(requests, sim::seconds(5000));
+    if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
+    if (r.requests_accepted < requests) {
+      std::fprintf(stderr, "LIVENESS: only %llu/%llu accepted\n",
+                   static_cast<unsigned long long>(r.requests_accepted),
+                   static_cast<unsigned long long>(requests));
+    }
 
-    const auto req_f = rf.stream_totals_all(Stream::kRequest);
-    const auto req_t = rt.stream_totals_all(Stream::kRequest);
-    std::printf("\n  request-stream energy: flood=%.2f mJ  targeted=%.2f mJ"
-                "  (%.1fx less)\n",
-                req_f.total_mj(), req_t.total_mj(),
-                req_t.total_mj() > 0 ? req_f.total_mj() / req_t.total_mj()
-                                     : 0.0);
-    std::printf("  per accepted request: flood=%.2f mJ  targeted=%.2f mJ\n",
-                req_f.total_mj() / static_cast<double>(rf.requests_accepted),
-                req_t.total_mj() / static_cast<double>(rt.requests_accepted));
+    double radio_total = 0;
+    for (std::size_t s = 0; s < energy::kNumStreams; ++s) {
+      radio_total += r.stream_totals_all(static_cast<Stream>(s)).total_mj();
+    }
+    const energy::StreamStats req = r.stream_totals_all(Stream::kRequest);
+    exp::MetricRow row;
+    row.set("accepted", r.requests_accepted);
+    row.set("retransmits", r.request_retransmissions);
+    row.set("failovers", r.request_failovers);
+    row.set("forwards", r.requests_forwarded);
+    row.set("leader_hints", r.request_hints_applied);
+    row.set("request_mj", req.total_mj());
+    row.set("request_mj_per_accept",
+            req.total_mj() / static_cast<double>(r.requests_accepted));
+    row.set("radio_mj", radio_total);
+    row.set("run", exp::run_result_json(r));  // full per-stream breakdown
+    return row;
+  });
+  rep.print_table(2);
+
+  // Formatting pass: flood vs targeted request-stream ratio per medium.
+  exp::Report ratios;
+  ratios.name = "request_stream_ratio";
+  ratios.grid.axis("medium", {"BLE", "WiFi"});
+  for (std::size_t m = 0; m < media.size(); ++m) {
+    const exp::MetricRow& flood = rep.rows[m * 2 + 0];
+    const exp::MetricRow& targeted = rep.rows[m * 2 + 1];
+    exp::MetricRow row;
+    row.set("flood_request_mj", flood.number("request_mj"));
+    row.set("targeted_request_mj", targeted.number("request_mj"));
+    row.set("saving_x", targeted.number("request_mj") > 0
+                            ? flood.number("request_mj") /
+                                  targeted.number("request_mj")
+                            : 0.0);
+    ratios.rows.push_back(std::move(row));
   }
+  ex.add_section(std::move(ratios)).print_table(2);
 
-  bench::note("expected shape: the request stream shrinks by roughly the "
-              "flood fan-out (client reaches 1 replica + a leader forward "
-              "instead of n floods); other streams are unchanged");
-  bench::note("TargetedSubset pairs with a unicast replica request stream: "
-              "contacted replicas forward to the leader, so progress does "
-              "not depend on hitting the leader directly");
-  return 0;
+  ex.note("expected shape: the request stream shrinks by roughly the "
+          "flood fan-out (client reaches 1 replica + a leader forward "
+          "instead of n floods); other streams are unchanged");
+  ex.note("TargetedSubset pairs with a unicast replica request stream: "
+          "contacted replicas forward to the leader, and reply metadata "
+          "(leader hints) steers later submissions straight to it");
+  return ex.finish();
 }

@@ -1,0 +1,100 @@
+// Latency-knee sweep (ROADMAP follow-up to the client subsystem): an
+// open-loop Poisson rate ladder pushed past saturation, locating the
+// offered load where p99 latency departs the service floor — the knee —
+// and how the bounded mempool sheds the overload past it. EESMR vs Sync
+// HotStuff, n = 4, bounded admission (mempool_capacity) so open-loop
+// overload degrades by shedding instead of unbounded queueing.
+#include <vector>
+
+#include "src/exp/experiment.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/exp/record.hpp"
+
+using namespace eesmr;
+using harness::ClusterConfig;
+using harness::Protocol;
+using harness::RunResult;
+
+int main(int argc, char** argv) {
+  exp::Experiment ex("fig_latency_knee",
+                     "open-loop saturation ladder (§3 client interface; "
+                     "admission control of the bounded mempool)",
+                     argc, argv, /*default_seed=*/23);
+
+  std::vector<std::size_t> rates = {5, 10, 20, 40, 80, 160, 320, 640};
+  if (ex.smoke()) rates = {10, 80, 640};
+  const std::vector<Protocol> protocols = {Protocol::kEesmr,
+                                           Protocol::kSyncHotStuff};
+  const sim::Duration run_time =
+      ex.smoke() ? sim::seconds(10) : sim::seconds(30);
+
+  exp::Grid grid;
+  grid.axis("protocol", {"EESMR", "SyncHS"});
+  grid.axis_of("rate_rps", rates);
+
+  exp::Report& rep = ex.run("knee", grid, [&](const exp::RunContext& c) {
+    ClusterConfig cfg;
+    cfg.protocol = protocols[c.at("protocol")];
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.seed = c.seed;
+    cfg.batch_size = 32;
+    cfg.clients = 4;
+    cfg.mempool_capacity = 256;  // shed overload instead of queueing
+    cfg.workload.mode = client::WorkloadSpec::Mode::kOpenLoop;
+    cfg.workload.rate_per_sec = static_cast<double>(rates[c.at("rate_rps")]);
+    harness::Cluster cluster(cfg);
+    const RunResult r = cluster.run_for(run_time);
+    if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
+    const harness::RunSummary s = r.summarize();
+    exp::MetricRow row;
+    row.set("offered_rps", rates[c.at("rate_rps")] * cfg.clients);
+    row.set("goodput_rps", s.accepted_per_sec);
+    row.set("accepted", s.requests_accepted);
+    row.set("dropped", s.requests_dropped);
+    row.set("p50_ms", s.latency_p50_ms);
+    row.set("p99_ms", s.latency_p99_ms);
+    row.set("mj_per_block", s.energy_per_block_mj);
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  rep.print_table(1);
+
+  // Knee per protocol: first rate where p99 exceeds 3x the lowest-rate
+  // p99 — a formatting pass over the committed rows.
+  exp::Report knees;
+  knees.name = "knee_location";
+  knees.grid.axis("protocol", {"EESMR", "SyncHS"});
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    const double floor_p99 = rep.rows[p * rates.size()].number("p99_ms");
+    exp::MetricRow row;
+    row.set("service_floor_p99_ms", floor_p99);
+    bool found = false;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const exp::MetricRow& r = rep.rows[p * rates.size() + i];
+      // A zero floor (no samples at the lowest rate) makes every row
+      // "past the knee"; report no knee instead of a degenerate one.
+      if (floor_p99 > 0 && r.number("p99_ms") > 3.0 * floor_p99) {
+        row.set("knee_offered_rps", r.number("offered_rps"));
+        row.set("knee_p99_ms", r.number("p99_ms"));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      row.skip("knee_offered_rps");
+      row.skip("knee_p99_ms");
+    }
+    knees.rows.push_back(std::move(row));
+  }
+  ex.add_section(std::move(knees)).print_table(1);
+
+  ex.note("expected shape: goodput tracks offered load until the block "
+          "pipeline saturates, then flattens while p99 climbs and the "
+          "bounded mempool starts shedding (dropped > 0); the knee "
+          "tracks the protocol's block period, so EESMR's 4Δ "
+          "equivocation-free commit wait caps goodput before Sync "
+          "HotStuff's 2Δ-pipelined heights do — the flip side of the "
+          "energy advantage, which EESMR keeps at every load");
+  return ex.finish();
+}

@@ -7,99 +7,87 @@
 //   * closed-loop (k outstanding requests per client),
 //   * open-loop Poisson arrivals at a target rate,
 //   * closed-loop KV with a Zipf-skewed read/write mix.
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
-
-namespace {
+#include "src/exp/experiment.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/exp/record.hpp"
 
 using namespace eesmr;
 using harness::ClusterConfig;
 using harness::Protocol;
 using harness::RunResult;
 
-constexpr std::size_t kClients = 4;
-constexpr sim::Duration kRunTime = sim::seconds(60);
+int main(int argc, char** argv) {
+  exp::Experiment ex(
+      "fig_latency_throughput",
+      "client-centric SMR interface of Section 3 (f+1 identical replies)",
+      argc, argv, /*default_seed=*/42);
 
-ClusterConfig base_cfg(Protocol protocol) {
-  ClusterConfig cfg;
-  cfg.protocol = protocol;
-  cfg.n = 4;
-  cfg.f = 1;
-  cfg.seed = 42;
-  cfg.batch_size = 32;
-  cfg.clients = kClients;
-  return cfg;
-}
+  const std::size_t clients = 4;
+  const sim::Duration run_time =
+      ex.smoke() ? sim::seconds(10) : sim::seconds(60);
 
-void row(const std::string& shape, const std::string& offered,
-         const RunResult& r) {
-  std::printf("  %-28s %-14s %8.1f %10.1f %8.1f %8.1f %8.1f\n", shape.c_str(),
-              offered.c_str(), r.accepted_per_sec(),
-              static_cast<double>(r.requests_accepted),
-              sim::to_milliseconds(r.latency.p50()),
-              sim::to_milliseconds(r.latency.p90()),
-              sim::to_milliseconds(r.latency.p99()));
-}
+  // Workload shapes as one axis: closed-loop windows, open-loop rates,
+  // and the Zipf KV mix.
+  std::vector<std::string> shapes = {"closed_w1",  "closed_w4", "closed_w16",
+                                     "open_10rps", "open_50rps", "open_200rps",
+                                     "kv_zipf_w4"};
+  if (ex.smoke()) shapes = {"closed_w4", "open_50rps", "kv_zipf_w4"};
+  const std::vector<Protocol> protocols = {Protocol::kEesmr,
+                                           Protocol::kSyncHotStuff};
 
-void sweep(Protocol protocol) {
-  std::printf("\n%s (n=4, f=1, %zu clients, %lds simulated)\n",
-              harness::protocol_name(protocol), kClients,
-              static_cast<long>(kRunTime / 1'000'000));
-  std::printf("  %-28s %-14s %8s %10s %8s %8s %8s\n", "workload", "offered",
-              "acc/s", "accepted", "p50ms", "p90ms", "p99ms");
+  exp::Grid grid;
+  grid.axis("protocol", {"EESMR", "SyncHS"});
+  grid.axis("workload", shapes);
 
-  // Closed loop: the window size sets the offered load.
-  for (std::size_t window : {1, 4, 16}) {
-    ClusterConfig cfg = base_cfg(protocol);
-    cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
-    cfg.workload.outstanding = window;
+  exp::Report& rep = ex.run("latency_throughput", grid,
+                            [&](const exp::RunContext& c) {
+    ClusterConfig cfg;
+    cfg.protocol = protocols[c.at("protocol")];
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.seed = c.seed;
+    cfg.batch_size = 32;
+    cfg.clients = clients;
+    const std::string& shape = c.label("workload");
+    if (shape == "closed_w1" || shape == "closed_w4" ||
+        shape == "closed_w16") {
+      cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+      cfg.workload.outstanding = shape == "closed_w1"   ? 1
+                                 : shape == "closed_w4" ? 4
+                                                        : 16;
+    } else if (shape == "kv_zipf_w4") {
+      cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+      cfg.workload.outstanding = 4;
+      cfg.workload.gen.kind = client::GenSpec::Kind::kKv;
+      cfg.workload.gen.kv_keys = 64;
+      cfg.workload.gen.kv_read_fraction = 0.5;
+      cfg.workload.gen.kv_zipf = 0.99;
+    } else {
+      cfg.workload.mode = client::WorkloadSpec::Mode::kOpenLoop;
+      cfg.workload.rate_per_sec = shape == "open_10rps"   ? 10.0
+                                  : shape == "open_50rps" ? 50.0
+                                                          : 200.0;
+    }
     harness::Cluster cluster(cfg);
-    const RunResult r = cluster.run_for(kRunTime);
+    const RunResult r = cluster.run_for(run_time);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
-    row("closed-loop synthetic", std::to_string(window) + "/client", r);
-  }
+    const harness::RunSummary s = r.summarize();
+    exp::MetricRow row;
+    row.set("accepted_per_sec", s.accepted_per_sec);
+    row.set("accepted", s.requests_accepted);
+    row.set("p50_ms", s.latency_p50_ms);
+    row.set("p90_ms", s.latency_p90_ms);
+    row.set("p99_ms", s.latency_p99_ms);
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  rep.print_table(1);
 
-  // Open loop: Poisson arrivals, rate swept past saturation.
-  for (double rate : {10.0, 50.0, 200.0}) {
-    ClusterConfig cfg = base_cfg(protocol);
-    cfg.workload.mode = client::WorkloadSpec::Mode::kOpenLoop;
-    cfg.workload.rate_per_sec = rate;
-    harness::Cluster cluster(cfg);
-    const RunResult r = cluster.run_for(kRunTime);
-    if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
-    char offered[32];
-    std::snprintf(offered, sizeof offered, "%.0f req/s/cl", rate);
-    row("open-loop Poisson", offered, r);
-  }
-
-  // Skewed KV: 50/50 read-write over a hot Zipf(0.99) key set.
-  {
-    ClusterConfig cfg = base_cfg(protocol);
-    cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
-    cfg.workload.outstanding = 4;
-    cfg.workload.gen.kind = client::GenSpec::Kind::kKv;
-    cfg.workload.gen.kv_keys = 64;
-    cfg.workload.gen.kv_read_fraction = 0.5;
-    cfg.workload.gen.kv_zipf = 0.99;
-    harness::Cluster cluster(cfg);
-    const RunResult r = cluster.run_for(kRunTime);
-    if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
-    row("closed-loop KV zipf(0.99)", "4/client", r);
-  }
-}
-
-}  // namespace
-
-int main() {
-  eesmr::bench::header(
-      "Latency vs throughput under client load",
-      "client-centric SMR interface of Section 3 (f+1 identical replies)");
-  eesmr::bench::note(
-      "end-to-end: submit -> order -> execute -> f+1 signed replies");
-  sweep(Protocol::kEesmr);
-  sweep(Protocol::kSyncHotStuff);
-  return 0;
+  ex.note("end-to-end: submit -> order -> execute -> f+1 signed replies; "
+          "closed-loop offered load = window/client, open-loop = Poisson "
+          "req/s/client");
+  return ex.finish();
 }

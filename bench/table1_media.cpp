@@ -3,64 +3,72 @@
 // through exactly these measured points) plus the derived per-byte view,
 // and — via the typed-channel instrumentation — a per-stream breakdown
 // of where each Joule goes when EESMR actually runs on each medium.
-#include "bench/bench_util.hpp"
+#include <vector>
+
 #include "src/energy/cost_model.hpp"
+#include "src/exp/experiment.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/exp/record.hpp"
 
 using namespace eesmr;
 using namespace eesmr::energy;
 
-int main() {
-  bench::header("Table 1 — per-message energy by medium (mJ)",
-                "Table 1 (§5.4, communication primitives)");
+int main(int argc, char** argv) {
+  exp::Experiment ex("table1_media",
+                     "Table 1 (§5.4, communication primitives)", argc, argv,
+                     /*default_seed=*/42);
 
-  std::printf("%-8s | %8s %8s %10s | %9s %9s | %8s %8s\n", "Size",
-              "BLE.Send", "BLE.Recv", "BLE.Mcast", "4G.Send", "4G.Recv",
-              "WiFi.S", "WiFi.R");
-  std::printf("---------+-----------------------------+"
-              "---------------------+------------------\n");
-  for (std::size_t size : {256u, 512u, 1024u, 2048u}) {
-    std::printf("%5zu B  | %8.2f %8.2f %10.2f | %9.2f %9.2f | %8.2f %8.2f\n",
-                size, send_energy_mj(Medium::kBle, size),
-                recv_energy_mj(Medium::kBle, size),
-                multicast_energy_mj(Medium::kBle, size),
-                send_energy_mj(Medium::k4gLte, size),
-                recv_energy_mj(Medium::k4gLte, size),
-                send_energy_mj(Medium::kWifi, size),
-                recv_energy_mj(Medium::kWifi, size));
-  }
+  const std::vector<Medium> media = {Medium::kBle, Medium::kWifi,
+                                     Medium::k4gLte};
+  const std::vector<std::string> medium_labels = {"BLE", "WiFi", "4G_LTE"};
+  std::vector<std::size_t> sizes = {256, 512, 1024, 2048};
+  if (ex.smoke()) sizes = {256, 2048};
 
-  std::printf("\nPer-byte send cost at 1 kB (mJ/B):\n");
-  for (auto m : {Medium::kBle, Medium::kWifi, Medium::k4gLte}) {
-    std::printf("  %-8s %.4f\n", medium_name(m),
-                send_energy_mj(m, 1024) / 1024.0);
-  }
-  bench::note("expected shape: BLE ~2 orders of magnitude below WiFi, "
-              "~3 below 4G (paper: 'two orders... three orders')");
+  // -- the measured per-message points -----------------------------------------
+  exp::Grid grid;
+  grid.axis("medium", medium_labels);
+  grid.axis_of("bytes", sizes);
+
+  exp::Report& rep = ex.run("per_message_mj", grid,
+                            [&](const exp::RunContext& c) {
+    const Medium m = media[c.at("medium")];
+    const std::size_t size = sizes[c.at("bytes")];
+    exp::MetricRow row;
+    row.set("send_mj", send_energy_mj(m, size));
+    row.set("recv_mj", recv_energy_mj(m, size));
+    row.set("mcast_mj", multicast_energy_mj(m, size));
+    row.set("send_mj_per_byte", send_energy_mj(m, size) / size);
+    return row;
+  });
+  rep.print_table(3);
+
   const double ble = send_energy_mj(Medium::kBle, 1024);
-  const double wifi = send_energy_mj(Medium::kWifi, 1024);
-  const double lte = send_energy_mj(Medium::k4gLte, 1024);
-  std::printf("measured ratios at 1kB: WiFi/BLE = %.0fx, 4G/BLE = %.0fx\n",
-              wifi / ble, lte / ble);
+  exp::Report ratios;
+  ratios.name = "ratios_at_1kb";
+  exp::MetricRow rrow;
+  rrow.set("wifi_over_ble", send_energy_mj(Medium::kWifi, 1024) / ble);
+  rrow.set("lte_over_ble", send_energy_mj(Medium::k4gLte, 1024) / ble);
+  ratios.rows.push_back(std::move(rrow));
+  ex.add_section(std::move(ratios)).print_table(0);
+  ex.note("expected shape: BLE ~2 orders of magnitude below WiFi, ~3 "
+          "below 4G (paper: 'two orders... three orders')");
 
   // -- where each Joule went: per-stream breakdown per medium ----------------
   // A small EESMR cluster with clients on each medium; the typed
   // channels attribute every transmission (including forwarded hops) to
   // its channel class.
-  std::printf("\nPer-stream replica energy, EESMR n=7 k=3 + 3 clients "
-              "(%% of radio mJ):\n");
-  std::printf("%-8s", "Medium");
-  for (std::size_t s = 0; s < kNumStreams; ++s) {
-    std::printf(" %9s", stream_name(static_cast<Stream>(s)));
-  }
-  std::printf(" | %10s\n", "radio mJ");
-  for (auto m : {Medium::kBle, Medium::kWifi, Medium::k4gLte}) {
+  exp::Grid streams_grid;
+  streams_grid.axis("medium", medium_labels);
+
+  exp::Report& streams = ex.run("per_stream_pct", streams_grid,
+                                [&](const exp::RunContext& c) {
     harness::ClusterConfig cfg;
     cfg.protocol = harness::Protocol::kEesmr;
     cfg.n = 7;
     cfg.f = 2;
     cfg.k = 3;
-    cfg.medium = m;
-    cfg.seed = 42;
+    cfg.medium = media[c.at("medium")];
+    cfg.seed = c.seed;
     cfg.clients = 3;
     cfg.workload.mode = eesmr::client::WorkloadSpec::Mode::kClosedLoop;
     cfg.workload.outstanding = 1;
@@ -72,14 +80,19 @@ int main() {
     for (std::size_t s = 0; s < kNumStreams; ++s) {
       radio += r.stream_totals(static_cast<Stream>(s)).total_mj();
     }
-    std::printf("%-8s", medium_name(m));
+    exp::MetricRow row;
     for (std::size_t s = 0; s < kNumStreams; ++s) {
       const auto st = r.stream_totals(static_cast<Stream>(s));
-      std::printf(" %8.1f%%", radio > 0 ? 100.0 * st.total_mj() / radio : 0.0);
+      if (st.transmissions == 0 && st.recv_mj == 0) continue;
+      row.set(std::string(stream_name(static_cast<Stream>(s))) + "_pct",
+              radio > 0 ? 100.0 * st.total_mj() / radio : 0.0);
     }
-    std::printf(" | %10.1f\n", radio);
-  }
-  bench::note("proposal + request streams dominate the flood fabric; the "
-              "reply stream stays small (routed unicasts)");
-  return 0;
+    row.set("radio_mj", radio);
+    row.set("run", exp::run_result_json(r));
+    return row;
+  });
+  streams.print_table(1);
+  ex.note("proposal + request streams dominate the flood fabric; the "
+          "reply stream stays small (routed unicasts)");
+  return ex.finish();
 }

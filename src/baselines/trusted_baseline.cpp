@@ -1,6 +1,7 @@
 #include "src/baselines/trusted_baseline.hpp"
 
 #include "src/common/serde.hpp"
+#include "src/smr/request.hpp"
 
 namespace eesmr::baselines {
 
@@ -15,8 +16,8 @@ using smr::MsgType;
 
 TrustedController::TrustedController(net::Network& net,
                                      smr::ReplicaConfig cfg,
-                                     energy::Meter* meter)
-    : ReplicaBase(net, std::move(cfg), meter) {
+                                     energy::Meter* meter, bool dedup)
+    : ReplicaBase(net, std::move(cfg), meter), dedup_(dedup) {
   tip_ = smr::genesis_hash();
   // The control node answers point-to-point; it never floods.
   router().set_forwarding(false);
@@ -30,7 +31,20 @@ void TrustedController::handle(NodeId /*from*/, const Msg& msg) {
     Reader r(msg.data);
     const std::uint32_t count = r.u32();
     for (std::uint32_t i = 0; i < count; ++i) {
-      pending_.push_back(Command{r.bytes()});
+      Command cmd{r.bytes()};
+      if (dedup_) {
+        // A flooded client request reaches every CPS node and each one
+        // ships it up: order the first copy only. (client, req_id)
+        // names the operation; untagged commands pass through.
+        const auto req = smr::ClientRequest::decode(cmd.data);
+        if (req.has_value() &&
+            !seen_requests_.emplace(req->client, req->req_id).second) {
+          ++dedup_skipped_;
+          dedup_bytes_ += cmd.data.size();
+          continue;
+        }
+      }
+      pending_.push_back(std::move(cmd));
     }
   } catch (const SerdeError&) {
     return;

@@ -10,7 +10,8 @@
 // per node.
 #pragma once
 
-#include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/smr/replica.hpp"
@@ -22,13 +23,29 @@ namespace eesmr::baselines {
 /// Deployed as node id n in an (n+1)-node star topology.
 class TrustedController final : public smr::ReplicaBase {
  public:
+  /// `dedup`: order each flooded client request once, not once per
+  /// submitting CPS node. Every node pools a flooded request and ships
+  /// it up in its next kSubmit batch, so without dedup the controller
+  /// orders up to n copies — each copy costing a downlink slot in an
+  /// ordered block that every CPS node pays to receive (exactly-once
+  /// execution absorbs the duplicates, but only after the radio energy
+  /// is spent). Keyed by (client, req_id); untagged synthetic commands
+  /// are never deduplicated (distinct operations by definition).
   TrustedController(net::Network& net, smr::ReplicaConfig cfg,
-                    energy::Meter* meter);
+                    energy::Meter* meter, bool dedup = true);
 
   void start() override;
 
   [[nodiscard]] std::uint64_t blocks_ordered() const {
     return blocks_ordered_;
+  }
+  /// Duplicate request orderings skipped thanks to dedup, and the
+  /// command bytes they would have re-shipped in ordered blocks.
+  [[nodiscard]] std::uint64_t dedup_orderings_saved() const {
+    return dedup_skipped_;
+  }
+  [[nodiscard]] std::uint64_t dedup_bytes_saved() const {
+    return dedup_bytes_;
   }
 
  protected:
@@ -42,6 +59,11 @@ class TrustedController final : public smr::ReplicaBase {
   std::vector<smr::Command> pending_;
   bool round_timer_armed_ = false;
   std::uint64_t blocks_ordered_ = 0;
+  bool dedup_;
+  /// Tagged requests already accepted for ordering (pending or ordered).
+  std::set<std::pair<NodeId, std::uint64_t>> seen_requests_;
+  std::uint64_t dedup_skipped_ = 0;
+  std::uint64_t dedup_bytes_ = 0;
 };
 
 /// A CPS node in the baseline: submits commands every `submit interval`

@@ -127,6 +127,12 @@ void Client::on_deliver(NodeId, BytesView payload) {
   }
   if (!cfg_.keyring->verify(m.author, m.preimage(), m.sig)) return;
 
+  // The verified reply names the replier's current leader: steer the
+  // next submissions there (TargetedSubset only; see Channel::prefer).
+  if (cfg_.leader_hints && rep->leader != kNoNode) {
+    channel_->prefer(rep->leader);
+  }
+
   Pending& p = it->second;
   const auto result = p.acks.add(m.author, rep->result);
   if (!result.has_value()) return;

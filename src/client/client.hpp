@@ -48,6 +48,12 @@ struct ClientConfig {
   /// replica-side unicast request stream so the contacted replica
   /// forwards to the leader.
   net::DisseminationPolicy submit;
+  /// Learn the current leader from verified reply metadata and aim the
+  /// TargetedSubset cursor there, so subsequent submissions reach the
+  /// leader directly instead of relying on blind rotation + replica
+  /// forwarding. Ignored under flood submission (the leader always
+  /// hears a flood anyway).
+  bool leader_hints = true;
 };
 
 class Client final : public net::FloodClient {
@@ -72,6 +78,10 @@ class Client final : public net::FloodClient {
   /// Subset rotations under a TargetedSubset submission policy.
   [[nodiscard]] std::uint64_t failovers() const {
     return channel_->failovers();
+  }
+  /// Leader hints from reply metadata that re-aimed the subset cursor.
+  [[nodiscard]] std::uint64_t leader_hints_applied() const {
+    return channel_->hints_applied();
   }
   /// The typed request channel this client submits through.
   [[nodiscard]] const net::Channel& request_channel() const {

@@ -1,0 +1,191 @@
+#include "src/exp/experiment.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace eesmr::exp {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  try {
+    // stoull would silently wrap "-3" to 2^64-3; digits only.
+    if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument(text);
+    }
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value for " + flag + ": '" + text + "'");
+  }
+}
+
+}  // namespace
+
+Options parse_cli(int argc, char** argv, std::uint64_t default_seed) {
+  Options o;
+  o.seed = default_seed;
+  const auto need_value = [&](int& i, const std::string& flag) {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    return std::string(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      o.threads = static_cast<std::size_t>(parse_u64(arg, need_value(i, arg)));
+    } else if (arg == "--smoke") {
+      o.smoke = true;
+    } else if (arg == "--seed") {
+      o.seed = parse_u64(arg, need_value(i, arg));
+    } else if (arg == "--json-out") {
+      o.json_out = need_value(i, arg);
+    } else if (arg == "--csv-out") {
+      o.csv_out = need_value(i, arg);
+    } else if (arg == "--no-json") {
+      o.write_json = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--threads N] [--smoke] [--seed S] [--json-out PATH]\n"
+          "          [--csv-out PATH] [--no-json]\n",
+          argc > 0 ? argv[0] : "bench");
+      std::exit(0);
+    } else {
+      o.extra.push_back(arg);
+    }
+  }
+  return o;
+}
+
+Experiment::Experiment(std::string name, std::string paper_ref, int argc,
+                       char** argv, std::uint64_t default_seed)
+    : name_(std::move(name)), paper_ref_(std::move(paper_ref)) {
+  try {
+    opts_ = parse_cli(argc, argv, default_seed);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "[%s] ERROR: %s\n", name_.c_str(), e.what());
+    std::exit(2);
+  }
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", name_.c_str());
+  std::printf("reproduces: %s\n", paper_ref_.c_str());
+  if (opts_.smoke) std::printf("mode: smoke (trimmed grids)\n");
+  std::printf("================================================================\n");
+  // Thread count is execution detail, not data: stderr only, so stdout
+  // stays byte-identical across --threads values.
+  std::fprintf(stderr, "[%s] threads=%zu seed=%llu\n", name_.c_str(),
+               threads(), static_cast<unsigned long long>(opts_.seed));
+}
+
+std::size_t Experiment::threads() const {
+  if (serial_only_) return 1;
+  return opts_.threads == 0 ? default_threads() : opts_.threads;
+}
+
+void Experiment::force_serial(const char* reason) {
+  if (!serial_only_ && threads() > 1) {
+    std::fprintf(stderr, "[%s] running single-threaded: %s\n", name_.c_str(),
+                 reason);
+  }
+  serial_only_ = true;
+}
+
+bool Experiment::report_unknown_args() const {
+  bool unknown = false;
+  for (const std::string& e : opts_.extra) {
+    bool known = false;
+    for (const std::string& r : recognized_extra_) known |= (r == e);
+    if (!known) {
+      std::fprintf(stderr, "[%s] ERROR: unrecognized argument '%s'\n",
+                   name_.c_str(), e.c_str());
+      unknown = true;
+    }
+  }
+  return unknown;
+}
+
+bool Experiment::flag(std::string_view name) const {
+  recognized_extra_.emplace_back(name);
+  for (const std::string& e : opts_.extra) {
+    if (e == name) return true;
+  }
+  return false;
+}
+
+Report& Experiment::run(std::string section, const Grid& grid,
+                        const RunFn& fn) {
+  // By the first run() every bench-specific flag has been queried
+  // (benches read them before building grids), so leftovers are typos:
+  // abort before burning cycles on a configuration nobody asked for.
+  if (report_unknown_args()) std::exit(2);
+
+  RunnerOptions ro;
+  ro.threads = threads();
+  ro.seed = opts_.seed;
+  ro.smoke = opts_.smoke;
+  auto report = std::make_unique<Report>();
+  report->name = std::move(section);
+  report->grid = grid;
+  report->rows = run_matrix(grid, fn, ro);
+  sections_.push_back(std::move(report));
+  return *sections_.back();
+}
+
+Report& Experiment::add_section(Report report) {
+  sections_.push_back(std::make_unique<Report>(std::move(report)));
+  return *sections_.back();
+}
+
+void Experiment::note(const std::string& text) {
+  std::printf("-- %s\n", text.c_str());
+  if (!sections_.empty()) sections_.back()->notes.push_back(text);
+}
+
+int Experiment::finish() {
+  // Arguments neither the shared CLI nor the bench (via flag())
+  // recognized are typos: fail loudly rather than silently reporting a
+  // different configuration than the caller intended. (run() already
+  // aborts on these; this catches benches that never ran a grid.)
+  if (report_unknown_args()) return 2;
+
+  Json doc = Json::object();
+  doc.set("bench", name_);
+  doc.set("paper_ref", paper_ref_);
+  doc.set("seed", opts_.seed);
+  doc.set("smoke", Json(opts_.smoke));
+  Json sections = Json::array();
+  for (const auto& s : sections_) sections.push_back(s->to_json());
+  doc.set("sections", std::move(sections));
+
+  int rc = 0;
+  if (opts_.write_json) {
+    const std::string path =
+        opts_.json_out.empty() ? "BENCH_" + name_ + ".json" : opts_.json_out;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc.pretty();
+    if (!out) {
+      std::fprintf(stderr, "[%s] FAILED to write %s\n", name_.c_str(),
+                   path.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "[%s] metrics -> %s\n", name_.c_str(),
+                   path.c_str());
+    }
+  }
+  if (!opts_.csv_out.empty()) {
+    std::ofstream csv(opts_.csv_out, std::ios::binary | std::ios::trunc);
+    for (const auto& s : sections_) csv << s->to_csv();
+    if (!csv) {
+      std::fprintf(stderr, "[%s] FAILED to write %s\n", name_.c_str(),
+                   opts_.csv_out.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace eesmr::exp

@@ -1,0 +1,107 @@
+// Experiment facade: the shared CLI and lifecycle of every bench binary.
+//
+//   exp::Experiment ex("fig3_eesmr_vs_synchs", "Fig. 3 (§5.7)", argc, argv);
+//   exp::Grid grid; grid.axis_of("f", fs);
+//   exp::Report& rep = ex.run("main", grid, [&](const exp::RunContext& c) {
+//     ...build a ClusterConfig from c, run it...
+//     exp::MetricRow row; row.set("mJ_per_block", ...); return row;
+//   });
+//   rep.print_table();
+//   return ex.finish();   // writes BENCH_<name>.json (+ optional CSV)
+//
+// Shared flags (every bench accepts them):
+//   --threads N    worker threads for the run matrix (default: min(8, cores))
+//   --smoke        trimmed-down grids/durations for CI smoke runs
+//   --seed S       base seed; each run derives its own via sim::derive_seed
+//   --json-out P   metrics file path (default: BENCH_<name>.json in cwd)
+//   --csv-out P    additionally write flat CSV
+//   --no-json      skip the metrics file (stdout only)
+//
+// Determinism contract: with a fixed seed, stdout and the JSON/CSV
+// files are byte-identical at any --threads value. Everything
+// thread- or wall-clock-dependent goes to stderr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/exp/grid.hpp"
+#include "src/exp/metrics.hpp"
+#include "src/exp/runner.hpp"
+
+namespace eesmr::exp {
+
+struct Options {
+  std::size_t threads = 0;  ///< 0 = default_threads()
+  bool smoke = false;
+  std::uint64_t seed = 1;
+  std::string json_out;     ///< empty = BENCH_<name>.json
+  std::string csv_out;      ///< empty = no CSV
+  bool write_json = true;
+  std::vector<std::string> extra;  ///< unrecognized args (bench-specific)
+};
+
+/// Parse the shared CLI. Unknown arguments land in Options::extra.
+/// Throws std::invalid_argument on a malformed value.
+Options parse_cli(int argc, char** argv, std::uint64_t default_seed);
+
+class Experiment {
+ public:
+  /// Parses the CLI, prints the header (name + paper reference) to
+  /// stdout and the runner configuration to stderr. `default_seed` is
+  /// the per-bench seed used when --seed is absent, so each figure
+  /// keeps its historical default randomness.
+  Experiment(std::string name, std::string paper_ref, int argc, char** argv,
+             std::uint64_t default_seed = 1);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] bool smoke() const { return opts_.smoke; }
+  [[nodiscard]] std::uint64_t seed() const { return opts_.seed; }
+  [[nodiscard]] std::size_t threads() const;
+  /// Bench-specific flag passthrough (e.g. "--host-timing"). Querying a
+  /// flag marks it as recognized; run()/finish() reject any leftover
+  /// arguments nobody asked about, so a CLI typo (--smoek, --thread)
+  /// fails the run instead of silently changing its configuration.
+  [[nodiscard]] bool flag(std::string_view name) const;
+
+  /// Clamp the runner to one worker thread (overriding --threads), for
+  /// benches whose measurements would be skewed by concurrency — e.g.
+  /// --host-timing wall-clock loops contending for cores. Logs the
+  /// reason to stderr.
+  void force_serial(const char* reason);
+
+  /// Run one section's grid through the parallel runner; the returned
+  /// Report lives until finish() and may be post-processed (derived
+  /// columns, extra rows) before printing/serialization.
+  Report& run(std::string section, const Grid& grid, const RunFn& fn);
+
+  /// Add an already-assembled section (analytic post-passes).
+  Report& add_section(Report report);
+
+  /// Print `text` to stdout and record it in the current section's
+  /// notes (it ends up in the JSON, so the expected-shape commentary
+  /// travels with the data).
+  void note(const std::string& text);
+
+  /// Write BENCH_<name>.json (+ CSV when requested). Returns the
+  /// process exit code: 0 on success, 1 when writing failed, 2 when
+  /// the command line carried arguments no one recognized.
+  int finish();
+
+ private:
+  std::string name_;
+  std::string paper_ref_;
+  Options opts_;
+  /// True (after printing an ERROR per offender) when the command line
+  /// carried arguments neither the shared CLI nor flag() recognized.
+  [[nodiscard]] bool report_unknown_args() const;
+
+  /// Extra args a bench queried via flag() (recognized bench-specific
+  /// flags); the rest are typos run()/finish() report.
+  mutable std::vector<std::string> recognized_extra_;
+  bool serial_only_ = false;
+  std::vector<std::unique_ptr<Report>> sections_;
+};
+
+}  // namespace eesmr::exp

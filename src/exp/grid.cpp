@@ -1,0 +1,43 @@
+#include "src/exp/grid.hpp"
+
+#include <stdexcept>
+
+namespace eesmr::exp {
+
+Grid& Grid::axis(Axis a) {
+  if (a.labels.empty()) {
+    throw std::invalid_argument("Grid: axis '" + a.name + "' has no values");
+  }
+  for (const Axis& existing : axes_) {
+    if (existing.name == a.name) {
+      throw std::invalid_argument("Grid: duplicate axis '" + a.name + "'");
+    }
+  }
+  axes_.push_back(std::move(a));
+  return *this;
+}
+
+std::size_t Grid::size() const {
+  std::size_t total = 1;
+  for (const Axis& a : axes_) total *= a.size();
+  return total;
+}
+
+std::vector<std::size_t> Grid::indices(std::size_t i) const {
+  std::vector<std::size_t> out(axes_.size(), 0);
+  // Row-major: the LAST axis varies fastest.
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    out[a] = i % axes_[a].size();
+    i /= axes_[a].size();
+  }
+  return out;
+}
+
+std::size_t Grid::axis_pos(std::string_view name) const {
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (axes_[a].name == name) return a;
+  }
+  throw std::out_of_range("Grid: no axis named '" + std::string(name) + "'");
+}
+
+}  // namespace eesmr::exp

@@ -1,0 +1,73 @@
+// Declarative parameter grids — the sweep vocabulary of the experiment
+// engine. Every figure/table in the paper is a sweep over a small
+// cartesian product (protocol x medium x n x block size x load); a Grid
+// names each axis once and expands to the full run matrix in row-major
+// order (last axis fastest), which is also the order results are
+// committed and reported in, independent of how many worker threads
+// executed the runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eesmr::exp {
+
+/// One swept parameter: a name plus human-readable labels for each of
+/// its values. The engine never interprets the values themselves — the
+/// bench keeps its own typed vector and indexes it with the axis index
+/// of each run — so axes over protocols, media, policies and sizes all
+/// look the same here.
+struct Axis {
+  std::string name;
+  std::vector<std::string> labels;
+
+  Axis(std::string axis_name, std::vector<std::string> value_labels)
+      : name(std::move(axis_name)), labels(std::move(value_labels)) {}
+
+  /// Convenience: labels via std::to_string over a value vector.
+  template <typename T>
+  static Axis of(std::string axis_name, const std::vector<T>& values) {
+    std::vector<std::string> labels;
+    labels.reserve(values.size());
+    for (const T& v : values) labels.push_back(std::to_string(v));
+    return Axis(std::move(axis_name), std::move(labels));
+  }
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+class Grid {
+ public:
+  Grid() = default;
+
+  /// Append an axis; returns *this for chaining. Axis names must be
+  /// unique within a grid.
+  Grid& axis(Axis a);
+  Grid& axis(std::string name, std::vector<std::string> labels) {
+    return axis(Axis(std::move(name), std::move(labels)));
+  }
+  template <typename T>
+  Grid& axis_of(std::string name, const std::vector<T>& values) {
+    return axis(Axis::of(std::move(name), values));
+  }
+
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+
+  /// Total number of runs (product of axis sizes; 1 for an empty grid —
+  /// a single-point grid is how one-shot sections are expressed).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Row-major expansion: per-axis value indices of flat run `i`.
+  [[nodiscard]] std::vector<std::size_t> indices(std::size_t i) const;
+
+  /// Position of `name` among the axes; throws std::out_of_range when
+  /// the grid has no such axis.
+  [[nodiscard]] std::size_t axis_pos(std::string_view name) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+}  // namespace eesmr::exp

@@ -1,0 +1,127 @@
+// Minimal JSON value for the experiment engine's structured output.
+//
+// Design constraints that rule out an off-the-shelf library:
+//  * object keys keep INSERTION order, so a Report dumps its columns in
+//    the order the bench declared them and two dumps of the same value
+//    are byte-identical — the engine's determinism contract ("same seed
+//    => byte-identical BENCH_*.json at any --threads N") leans on this;
+//  * doubles print through a fixed shortest-round-trip format so the
+//    bytes are a pure function of the value;
+//  * a parser is included for the RunResult round-trip tests and for
+//    tooling that re-reads BENCH_*.json.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eesmr::exp {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object member: objects are vectors of these, and
+/// set/contains/at scan linearly — fine for the few-dozen-key records
+/// the engine emits, not for large maps.
+using JsonMember = std::pair<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,  ///< always held as double; integral values print as integers
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(unsigned v) : type_(Type::kNumber), num_(v) {}
+  Json(long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(unsigned long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(long long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(unsigned long long v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return num_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(num_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  // -- array -----------------------------------------------------------------
+  void push_back(Json v) { arr_.push_back(std::move(v)); }
+  [[nodiscard]] const JsonArray& items() const { return arr_; }
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::kArray ? arr_.size() : obj_.size();
+  }
+  [[nodiscard]] const Json& at(std::size_t i) const { return arr_.at(i); }
+
+  // -- object ----------------------------------------------------------------
+  /// Insert or overwrite a member; insertion order is preserved, a
+  /// re-set key keeps its original position.
+  void set(const std::string& key, Json v);
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Member lookup; throws std::out_of_range when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<JsonMember>& members() const { return obj_; }
+
+  // -- text ------------------------------------------------------------------
+  /// Compact single-line form (no whitespace).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty-printed with 2-space indentation and a trailing newline.
+  [[nodiscard]] std::string pretty() const;
+
+  /// Parse a JSON document. Throws JsonError on malformed input.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  std::vector<JsonMember> obj_;
+};
+
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Deterministic number formatting used by dump(): integral values in
+/// (-2^53, 2^53) print without a decimal point, everything else through
+/// shortest-round-trip scientific/fixed notation.
+std::string json_number(double v);
+
+}  // namespace eesmr::exp

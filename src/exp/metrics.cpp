@@ -1,0 +1,192 @@
+#include "src/exp/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace eesmr::exp {
+
+namespace {
+
+/// Union of scalar (non-object, non-array) metric names over all rows,
+/// in first-seen order.
+std::vector<std::string> scalar_columns(const std::vector<MetricRow>& rows) {
+  std::vector<std::string> cols;
+  for (const MetricRow& row : rows) {
+    for (const JsonMember& m : row.values()) {
+      if (m.second.is_object() || m.second.is_array()) continue;
+      if (std::find(cols.begin(), cols.end(), m.first) == cols.end()) {
+        cols.push_back(m.first);
+      }
+    }
+  }
+  return cols;
+}
+
+std::string cell_text(const Json& v, int precision) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      return "-";
+    case Json::Type::kBool:
+      return v.as_bool() ? "true" : "false";
+    case Json::Type::kNumber: {
+      const double d = v.as_double();
+      // Guard before as_int(): casting inf/nan to int64 is UB, and a
+      // stalled run can legitimately produce x/0 metrics.
+      if (!std::isfinite(d)) return d > 0 ? "inf" : (d < 0 ? "-inf" : "nan");
+      if (d == static_cast<double>(v.as_int())) return json_number(d);
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.*f", precision, d);
+      return buf;
+    }
+    case Json::Type::kString:
+      return v.as_string();
+    default:
+      return "";  // nested detail: not a table cell
+  }
+}
+
+std::string csv_cell(const Json& v) {
+  if (v.is_object() || v.is_array() || v.is_null()) return "";
+  std::string text = v.is_string() ? v.as_string() : cell_text(v, 6);
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (const char c : text) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::vector<std::string> Report::labels(std::size_t i) const {
+  const std::vector<std::size_t> idx = grid.indices(i);
+  std::vector<std::string> out;
+  out.reserve(idx.size());
+  for (std::size_t a = 0; a < idx.size(); ++a) {
+    out.push_back(grid.axes()[a].labels[idx[a]]);
+  }
+  return out;
+}
+
+Json Report::to_json() const {
+  Json section = Json::object();
+  section.set("name", name);
+
+  Json axes = Json::array();
+  for (const Axis& a : grid.axes()) {
+    Json axis = Json::object();
+    axis.set("name", a.name);
+    Json labels = Json::array();
+    for (const std::string& l : a.labels) labels.push_back(l);
+    axis.set("labels", std::move(labels));
+    axes.push_back(std::move(axis));
+  }
+  section.set("axes", std::move(axes));
+
+  Json out_rows = Json::array();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    Json row = Json::object();
+    Json params = Json::object();
+    const std::vector<std::string> ls = labels(i);
+    for (std::size_t a = 0; a < ls.size(); ++a) {
+      params.set(grid.axes()[a].name, ls[a]);
+    }
+    row.set("params", std::move(params));
+    Json metrics = Json::object();
+    for (const JsonMember& m : rows[i].values()) {
+      metrics.set(m.first, m.second);
+    }
+    row.set("metrics", std::move(metrics));
+    out_rows.push_back(std::move(row));
+  }
+  section.set("rows", std::move(out_rows));
+
+  if (!notes.empty()) {
+    Json ns = Json::array();
+    for (const std::string& n : notes) ns.push_back(n);
+    section.set("notes", std::move(ns));
+  }
+  return section;
+}
+
+std::string Report::to_csv() const {
+  const std::vector<std::string> cols = scalar_columns(rows);
+  std::string out;
+  out += "section";
+  for (const Axis& a : grid.axes()) {
+    out += ',';
+    out += a.name;
+  }
+  for (const std::string& c : cols) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += csv_cell(Json(name));
+    for (const std::string& l : labels(i)) {
+      out += ',';
+      out += csv_cell(Json(l));
+    }
+    for (const std::string& c : cols) {
+      out += ',';
+      if (rows[i].contains(c)) out += csv_cell(rows[i].at(c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Report::print_table(int precision) const {
+  const std::vector<std::string> cols = scalar_columns(rows);
+
+  // Assemble all cells first, then size the columns to fit.
+  std::vector<std::vector<std::string>> table;
+  std::vector<std::string> header;
+  for (const Axis& a : grid.axes()) header.push_back(a.name);
+  header.insert(header.end(), cols.begin(), cols.end());
+  table.push_back(header);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> line = labels(i);
+    for (const std::string& c : cols) {
+      line.push_back(rows[i].contains(c) ? cell_text(rows[i].at(c), precision)
+                                         : "-");
+    }
+    table.push_back(std::move(line));
+  }
+
+  std::vector<std::size_t> width(header.size(), 0);
+  for (const auto& line : table) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      width[c] = std::max(width[c], line[c].size());
+    }
+  }
+
+  const std::size_t n_axes = grid.axes().size();
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    std::string out = "  ";
+    for (std::size_t c = 0; c < table[r].size(); ++c) {
+      const std::string& cell = table[r][c];
+      // Axis labels left-aligned, metrics right-aligned.
+      if (c < n_axes) {
+        out += cell + std::string(width[c] - cell.size(), ' ');
+      } else {
+        out += std::string(width[c] - cell.size(), ' ') + cell;
+      }
+      if (c + 1 < table[r].size()) out += (c + 1 == n_axes) ? " | " : "  ";
+    }
+    std::printf("%s\n", out.c_str());
+    if (r == 0) {
+      std::size_t total = 2;
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c + 1 < width.size() ? (c + 1 == n_axes ? 3 : 2) : 0);
+      }
+      std::printf("  %s\n", std::string(total - 2, '-').c_str());
+    }
+  }
+}
+
+}  // namespace eesmr::exp

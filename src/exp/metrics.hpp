@@ -1,0 +1,70 @@
+// Structured run metrics: MetricRow (the measurements of one grid
+// point, in declaration order) and Report (one section of a bench run:
+// the grid, its rows, and notes), with JSON/CSV serialization and a
+// generic aligned table printer. This is the layer that turns a bench
+// from printf soup into data the perf trajectory can accumulate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/exp/grid.hpp"
+#include "src/exp/json.hpp"
+
+namespace eesmr::exp {
+
+/// Metrics of one run. Values are JSON values so a row can carry plain
+/// scalars (printed in tables / CSV) alongside nested detail objects
+/// such as the full serialized RunResult (JSON output only).
+class MetricRow {
+ public:
+  /// Set (or overwrite) a metric; insertion order is the column order.
+  MetricRow& set(const std::string& name, Json value) {
+    values_.set(name, std::move(value));
+    return *this;
+  }
+  /// Shorthand for a missing / not-applicable cell (prints as "-").
+  MetricRow& skip(const std::string& name) { return set(name, Json()); }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return values_.contains(name);
+  }
+  [[nodiscard]] const Json& at(const std::string& name) const {
+    return values_.at(name);
+  }
+  [[nodiscard]] double number(const std::string& name) const {
+    return values_.at(name).as_double();
+  }
+  [[nodiscard]] const std::vector<JsonMember>& values() const {
+    return values_.members();
+  }
+
+ private:
+  Json values_ = Json::object();
+};
+
+/// One section of a bench: the grid it swept, one row per grid point
+/// (in grid order), plus per-row axis labels.
+struct Report {
+  std::string name;        ///< section name ("main" for single-section benches)
+  Grid grid;
+  std::vector<MetricRow> rows;  ///< size() == grid.size()
+  std::vector<std::string> notes;
+
+  /// Axis labels of row `i`, in axis order.
+  [[nodiscard]] std::vector<std::string> labels(std::size_t i) const;
+
+  [[nodiscard]] Json to_json() const;
+
+  /// Flat CSV: axis columns then the union of scalar metric columns
+  /// (first-seen order). Nested values and nulls render empty.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Aligned human-readable table to stdout: axis columns then every
+  /// scalar metric column. Doubles print with `precision` decimals.
+  void print_table(int precision = 2) const;
+};
+
+}  // namespace eesmr::exp

@@ -1,0 +1,158 @@
+#include "src/exp/record.hpp"
+
+namespace eesmr::exp {
+
+Json summary_json(const harness::RunSummary& s) {
+  Json j = Json::object();
+  j.set("nodes", s.nodes);
+  j.set("safety_ok", Json(s.safety_ok));
+  j.set("min_committed", s.min_committed);
+  j.set("max_committed", s.max_committed);
+  j.set("view_changes", s.view_changes);
+  j.set("transmissions", s.transmissions);
+  j.set("bytes_transmitted", s.bytes_transmitted);
+  j.set("end_time_s", s.end_time_s);
+  j.set("total_energy_mj", s.total_energy_mj);
+  j.set("energy_per_block_mj", s.energy_per_block_mj);
+  j.set("requests_submitted", s.requests_submitted);
+  j.set("requests_accepted", s.requests_accepted);
+  j.set("request_retransmissions", s.request_retransmissions);
+  j.set("requests_dropped", s.requests_dropped);
+  j.set("requests_rate_limited", s.requests_rate_limited);
+  j.set("request_failovers", s.request_failovers);
+  j.set("requests_forwarded", s.requests_forwarded);
+  j.set("request_hints_applied", s.request_hints_applied);
+  j.set("controller_dedup_saved", s.controller_dedup_saved);
+  j.set("controller_dedup_bytes_saved", s.controller_dedup_bytes_saved);
+  j.set("accepted_per_sec", s.accepted_per_sec);
+  j.set("latency_samples", s.latency_samples);
+  j.set("latency_p50_ms", s.latency_p50_ms);
+  j.set("latency_p90_ms", s.latency_p90_ms);
+  j.set("latency_p99_ms", s.latency_p99_ms);
+  j.set("latency_mean_ms", s.latency_mean_ms);
+  j.set("state_transfers", s.state_transfers);
+  j.set("max_recovery_ms", s.max_recovery_ms);
+  j.set("max_retained_log", s.max_retained_log);
+  j.set("max_dedup_entries", s.max_dedup_entries);
+  j.set("max_store_blocks", s.max_store_blocks);
+  j.set("max_checkpoints_taken", s.max_checkpoints_taken);
+  return j;
+}
+
+harness::RunSummary summary_from_json(const Json& doc) {
+  const Json& j = doc.contains("summary") ? doc.at("summary") : doc;
+  harness::RunSummary s;
+  s.nodes = static_cast<std::size_t>(j.at("nodes").as_int());
+  s.safety_ok = j.at("safety_ok").as_bool();
+  s.min_committed = static_cast<std::uint64_t>(j.at("min_committed").as_int());
+  s.max_committed = static_cast<std::uint64_t>(j.at("max_committed").as_int());
+  s.view_changes = static_cast<std::uint64_t>(j.at("view_changes").as_int());
+  s.transmissions = static_cast<std::uint64_t>(j.at("transmissions").as_int());
+  s.bytes_transmitted =
+      static_cast<std::uint64_t>(j.at("bytes_transmitted").as_int());
+  s.end_time_s = j.at("end_time_s").as_double();
+  s.total_energy_mj = j.at("total_energy_mj").as_double();
+  s.energy_per_block_mj = j.at("energy_per_block_mj").as_double();
+  s.requests_submitted =
+      static_cast<std::uint64_t>(j.at("requests_submitted").as_int());
+  s.requests_accepted =
+      static_cast<std::uint64_t>(j.at("requests_accepted").as_int());
+  s.request_retransmissions =
+      static_cast<std::uint64_t>(j.at("request_retransmissions").as_int());
+  s.requests_dropped =
+      static_cast<std::uint64_t>(j.at("requests_dropped").as_int());
+  s.requests_rate_limited =
+      static_cast<std::uint64_t>(j.at("requests_rate_limited").as_int());
+  s.request_failovers =
+      static_cast<std::uint64_t>(j.at("request_failovers").as_int());
+  s.requests_forwarded =
+      static_cast<std::uint64_t>(j.at("requests_forwarded").as_int());
+  s.request_hints_applied =
+      static_cast<std::uint64_t>(j.at("request_hints_applied").as_int());
+  s.controller_dedup_saved =
+      static_cast<std::uint64_t>(j.at("controller_dedup_saved").as_int());
+  s.controller_dedup_bytes_saved = static_cast<std::uint64_t>(
+      j.at("controller_dedup_bytes_saved").as_int());
+  s.accepted_per_sec = j.at("accepted_per_sec").as_double();
+  s.latency_samples =
+      static_cast<std::uint64_t>(j.at("latency_samples").as_int());
+  s.latency_p50_ms = j.at("latency_p50_ms").as_double();
+  s.latency_p90_ms = j.at("latency_p90_ms").as_double();
+  s.latency_p99_ms = j.at("latency_p99_ms").as_double();
+  s.latency_mean_ms = j.at("latency_mean_ms").as_double();
+  s.state_transfers =
+      static_cast<std::uint64_t>(j.at("state_transfers").as_int());
+  s.max_recovery_ms = j.at("max_recovery_ms").as_double();
+  s.max_retained_log =
+      static_cast<std::size_t>(j.at("max_retained_log").as_int());
+  s.max_dedup_entries =
+      static_cast<std::size_t>(j.at("max_dedup_entries").as_int());
+  s.max_store_blocks =
+      static_cast<std::size_t>(j.at("max_store_blocks").as_int());
+  s.max_checkpoints_taken =
+      static_cast<std::uint64_t>(j.at("max_checkpoints_taken").as_int());
+  return s;
+}
+
+Json stream_json(const harness::RunResult& r) {
+  Json streams = Json::object();
+  for (std::size_t s = 0; s < energy::kNumStreams; ++s) {
+    const auto stream = static_cast<energy::Stream>(s);
+    const energy::StreamStats st = r.stream_totals_all(stream);
+    if (st.transmissions == 0 && st.bytes_received == 0 && st.recv_mj == 0) {
+      continue;
+    }
+    Json one = Json::object();
+    one.set("send_mj", st.send_mj);
+    one.set("recv_mj", st.recv_mj);
+    one.set("tx", st.transmissions);
+    one.set("bytes_sent", st.bytes_sent);
+    one.set("bytes_received", st.bytes_received);
+    streams.set(energy::stream_name(stream), std::move(one));
+  }
+  return streams;
+}
+
+Json run_result_json(const harness::RunResult& r) {
+  Json doc = Json::object();
+  doc.set("summary", summary_json(r.summarize()));
+  doc.set("streams", stream_json(r));
+
+  Json node_mj = Json::array();
+  for (std::size_t i = 0; i < r.meters.size(); ++i) {
+    node_mj.push_back(r.meters[i].total_millijoules());
+  }
+  doc.set("node_energy_mj", std::move(node_mj));
+
+  if (!r.footprints.empty()) {
+    Json fps = Json::array();
+    for (const harness::ReplicaFootprint& fp : r.footprints) {
+      Json one = Json::object();
+      one.set("retained_log", fp.retained_log);
+      one.set("store_blocks", fp.store_blocks);
+      one.set("executed_entries", fp.executed_entries);
+      one.set("mempool_pending", fp.mempool_pending);
+      one.set("mempool_committed_keys", fp.mempool_committed_keys);
+      one.set("committed_blocks", fp.committed_blocks);
+      one.set("low_water_mark", fp.low_water_mark);
+      one.set("checkpoints_taken", fp.checkpoints_taken);
+      one.set("stable_height", fp.stable_height);
+      one.set("state_transfers", fp.state_transfers);
+      fps.push_back(std::move(one));
+    }
+    doc.set("footprints", std::move(fps));
+  }
+  return doc;
+}
+
+void add_run_metrics(MetricRow& row, const harness::RunResult& r,
+                     bool detail) {
+  row.set("blocks", r.min_committed());
+  row.set("total_mj", r.total_energy_mj());
+  row.set("energy_per_block_mj", r.energy_per_block_mj());
+  row.set("view_changes", r.view_changes);
+  row.set("safety", Json(r.safety_ok()));
+  if (detail) row.set("run", run_result_json(r));
+}
+
+}  // namespace eesmr::exp

@@ -1,0 +1,37 @@
+// Serialization of harness run measurements into exp::Json — the bridge
+// between the simulator's RunResult and the structured BENCH_*.json /
+// CSV output of the experiment engine.
+#pragma once
+
+#include "src/exp/json.hpp"
+#include "src/exp/metrics.hpp"
+#include "src/harness/metrics.hpp"
+
+namespace eesmr::exp {
+
+/// Flat summary record (harness::RunSummary) as an ordered JSON object.
+Json summary_json(const harness::RunSummary& s);
+
+/// Per-stream radio breakdown over correct nodes (clients included):
+/// {"proposal": {"send_mj": ..., "recv_mj": ..., "tx": ...,
+///  "bytes_sent": ..., "bytes_received": ...}, ...}. Streams with no
+/// traffic are omitted.
+Json stream_json(const harness::RunResult& r);
+
+/// Full serialized RunResult: {"summary": ..., "streams": ...,
+/// "node_energy_mj": [...], "footprints": [...]}. Round-trippable
+/// through Json::parse (see tests/exp_test.cpp).
+Json run_result_json(const harness::RunResult& r);
+
+/// Parse a run_result_json() document back into the flat summary (the
+/// inverse used by tooling reading BENCH_*.json). Throws JsonError /
+/// std::out_of_range on malformed input.
+harness::RunSummary summary_from_json(const Json& doc);
+
+/// Attach the headline scalars of `r` to a MetricRow under conventional
+/// column names (energy_per_block_mj, total_mj, blocks, view_changes,
+/// safety), plus the full nested record under "run" when `detail`.
+void add_run_metrics(MetricRow& row, const harness::RunResult& r,
+                     bool detail = true);
+
+}  // namespace eesmr::exp

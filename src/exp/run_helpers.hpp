@@ -1,0 +1,55 @@
+// Shared simulation-run recipes used across the figure benches: the
+// steady-state run and the ψ_V = ψ_W − ψ_B view-change decomposition.
+// Pure functions of their ClusterConfig (each call builds a fresh
+// Cluster with its own scheduler), so they are safe to call from any
+// worker thread of the experiment runner.
+#pragma once
+
+#include <cstdio>
+
+#include "src/harness/cluster.hpp"
+
+namespace eesmr::exp {
+
+/// Run an honest cluster until `blocks` commits; returns the result.
+inline harness::RunResult run_steady(const harness::ClusterConfig& cfg,
+                                     std::size_t blocks) {
+  harness::Cluster cluster(cfg);
+  harness::RunResult r =
+      cluster.run_until_commits(blocks, sim::seconds(100000));
+  if (!r.safety_ok()) {
+    std::fprintf(stderr, "SAFETY VIOLATION in %s run\n",
+                 harness::protocol_name(cfg.protocol));
+  }
+  return r;
+}
+
+/// Energy attributable to one view change for `node`:
+/// E(faulty run to B blocks) − E(honest run to B blocks), i.e. the
+/// ψ_V = ψ_W − ψ_B decomposition of Section 4 measured empirically.
+struct ViewChangeCost {
+  double node_mj = 0;   ///< surcharge at `node`
+  double total_mj = 0;  ///< surcharge summed over correct nodes
+  std::uint64_t view_changes = 0;
+};
+
+inline ViewChangeCost view_change_cost(const harness::ClusterConfig& cfg,
+                                       const harness::FaultSpec& fault,
+                                       NodeId node, std::size_t blocks) {
+  const harness::RunResult honest = run_steady(cfg, blocks);
+  harness::ClusterConfig faulty_cfg = cfg;
+  faulty_cfg.faults.push_back(fault);
+  const harness::RunResult faulty = run_steady(faulty_cfg, blocks);
+
+  ViewChangeCost out;
+  out.view_changes = faulty.view_changes;
+  const double per_vc =
+      faulty.view_changes == 0 ? 1.0 : static_cast<double>(faulty.view_changes);
+  out.node_mj =
+      (faulty.node_energy_mj(node) - honest.node_energy_mj(node)) / per_vc;
+  out.total_mj =
+      (faulty.total_energy_mj() - honest.total_energy_mj()) / per_vc;
+  return out;
+}
+
+}  // namespace eesmr::exp

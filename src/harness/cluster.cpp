@@ -290,7 +290,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
           // The control node's energy is not counted (mains-powered).
           counted_[i] = false;
           replicas_.push_back(std::make_unique<baselines::TrustedController>(
-              *net_, rc, &meters_[i]));
+              *net_, rc, &meters_[i], cfg_.trusted_dedup));
         } else {
           replicas_.push_back(
               std::make_unique<baselines::TrustedBaselineReplica>(
@@ -320,6 +320,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       cc.seed = cfg_.seed + 7919 * (ci + 1);
       cc.retry_after = cfg_.client_retry;
       cc.submit = cfg_.client_submit;
+      cc.leader_hints = cfg_.client_leader_hints;
       if (cc.submit.kind ==
               net::DisseminationPolicy::Kind::kTargetedSubset &&
           cc.submit.timeout <= 0) {
@@ -431,8 +432,8 @@ RunResult Cluster::snapshot() const {
                                   replicas_[i]->current_view() - 1);
     }
   }
-  for (auto& rp : replicas_) {
-    smr::ReplicaBase& r = *rp;
+  for (const auto& rp : replicas_) {
+    const smr::ReplicaBase& r = *rp;
     ReplicaFootprint fp;
     fp.retained_log = r.log().size();
     fp.store_blocks = r.store().size();
@@ -461,6 +462,15 @@ RunResult Cluster::snapshot() const {
     out.requests_accepted += c->accepted();
     out.request_retransmissions += c->retransmissions();
     out.request_failovers += c->failovers();
+    out.request_hints_applied += c->leader_hints_applied();
+  }
+  if (cfg_.protocol == Protocol::kTrustedBaseline) {
+    const auto* ctl = dynamic_cast<const baselines::TrustedController*>(
+        replicas_.at(cfg_.n).get());
+    if (ctl != nullptr) {
+      out.controller_dedup_saved = ctl->dedup_orderings_saved();
+      out.controller_dedup_bytes_saved = ctl->dedup_bytes_saved();
+    }
   }
   return out;
 }

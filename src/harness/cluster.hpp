@@ -81,6 +81,14 @@ struct ClusterConfig {
   /// Replica-side verified-bytes cache (skip commit-time request
   /// signature re-verification for pool-time-verified bytes).
   bool verified_cache = true;
+  /// Clients learn the current leader from verified reply metadata and
+  /// aim the TargetedSubset submission cursor there (no effect under
+  /// flood submission).
+  bool client_leader_hints = true;
+  /// Trusted baseline only: the controller orders each flooded client
+  /// request once instead of once per submitting CPS node; skipped
+  /// orderings / bytes are reported in RunResult.
+  bool trusted_dedup = true;
 
   // -- checkpointing / admission control (src/checkpoint/) ---------------------
   /// Committed commands per stable checkpoint (0 = off). Enables log

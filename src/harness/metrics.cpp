@@ -1,0 +1,53 @@
+#include "src/harness/metrics.hpp"
+
+#include <algorithm>
+
+namespace eesmr::harness {
+
+RunSummary RunResult::summarize() const {
+  RunSummary s;
+  s.nodes = meters.size();
+  s.safety_ok = safety_ok();
+  s.min_committed = min_committed();
+  s.max_committed = max_committed();
+  s.view_changes = view_changes;
+  s.transmissions = transmissions;
+  s.bytes_transmitted = bytes_transmitted;
+  s.end_time_s = sim::to_seconds(end_time);
+
+  s.total_energy_mj = total_energy_mj();
+  s.energy_per_block_mj = energy_per_block_mj();
+
+  s.requests_submitted = requests_submitted;
+  s.requests_accepted = requests_accepted;
+  s.request_retransmissions = request_retransmissions;
+  s.requests_dropped = requests_dropped;
+  s.requests_rate_limited = requests_rate_limited;
+  s.request_failovers = request_failovers;
+  s.requests_forwarded = requests_forwarded;
+  s.request_hints_applied = request_hints_applied;
+  s.controller_dedup_saved = controller_dedup_saved;
+  s.controller_dedup_bytes_saved = controller_dedup_bytes_saved;
+  s.accepted_per_sec = accepted_per_sec();
+  s.latency_samples = latency.count();
+  s.latency_p50_ms = sim::to_milliseconds(latency.p50());
+  s.latency_p90_ms = sim::to_milliseconds(latency.p90());
+  s.latency_p99_ms = sim::to_milliseconds(latency.p99());
+  s.latency_mean_ms = latency.mean_ms();
+
+  s.state_transfers = state_transfers;
+  s.max_recovery_ms = sim::to_milliseconds(max_recovery_latency);
+  s.max_retained_log = max_retained_log();
+  s.max_dedup_entries = max_dedup_entries();
+  for (std::size_t i = 0; i < footprints.size(); ++i) {
+    if (i < correct.size() && correct[i] && i < counted.size() && counted[i]) {
+      s.max_store_blocks = std::max(s.max_store_blocks,
+                                    footprints[i].store_blocks);
+      s.max_checkpoints_taken = std::max(s.max_checkpoints_taken,
+                                         footprints[i].checkpoints_taken);
+    }
+  }
+  return s;
+}
+
+}  // namespace eesmr::harness

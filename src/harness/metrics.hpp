@@ -59,6 +59,12 @@ struct RunResult {
   /// replica-side request forwards to the leader.
   std::uint64_t request_failovers = 0;
   std::uint64_t requests_forwarded = 0;
+  /// Reply-metadata leader hints that re-aimed a client's subset cursor.
+  std::uint64_t request_hints_applied = 0;
+  /// Trusted baseline: duplicate request orderings the controller dedup
+  /// skipped, and the command bytes they would have re-shipped downlink.
+  std::uint64_t controller_dedup_saved = 0;
+  std::uint64_t controller_dedup_bytes_saved = 0;
 
   // Checkpoint / state-transfer measurements.
   std::vector<ReplicaFootprint> footprints;  ///< per protocol node
@@ -103,6 +109,53 @@ struct RunResult {
   [[nodiscard]] double node_energy_mj(NodeId id) const;
   /// Per-node energy / committed blocks of that node.
   [[nodiscard]] double node_energy_per_block_mj(NodeId id) const;
+
+  /// Flatten into the serializable summary record below.
+  [[nodiscard]] struct RunSummary summarize() const;
+};
+
+/// The flat, serialization-ready digest of a RunResult: every scalar the
+/// paper's figures plot, with times in milliseconds/seconds. This is the
+/// record the experiment engine writes into BENCH_*.json (alongside the
+/// per-stream breakdown, which keeps its own structure).
+struct RunSummary {
+  std::size_t nodes = 0;  ///< meters (protocol nodes + clients)
+  bool safety_ok = true;
+  std::uint64_t min_committed = 0;
+  std::uint64_t max_committed = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t bytes_transmitted = 0;
+  double end_time_s = 0;
+
+  double total_energy_mj = 0;
+  double energy_per_block_mj = 0;
+
+  // Client / workload.
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t request_retransmissions = 0;
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t requests_rate_limited = 0;
+  std::uint64_t request_failovers = 0;
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t request_hints_applied = 0;
+  std::uint64_t controller_dedup_saved = 0;
+  std::uint64_t controller_dedup_bytes_saved = 0;
+  double accepted_per_sec = 0;
+  std::uint64_t latency_samples = 0;
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_mean_ms = 0;
+
+  // Checkpoint / memory.
+  std::uint64_t state_transfers = 0;
+  double max_recovery_ms = 0;
+  std::size_t max_retained_log = 0;
+  std::size_t max_dedup_entries = 0;
+  std::size_t max_store_blocks = 0;       ///< over counted correct nodes
+  std::uint64_t max_checkpoints_taken = 0;
 };
 
 }  // namespace eesmr::harness

@@ -119,6 +119,19 @@ void Channel::on_timeout(std::uint64_t id) {
   arm(id, t);
 }
 
+void Channel::prefer(NodeId target) {
+  if (policy_.kind != DisseminationPolicy::Kind::kTargetedSubset) return;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i] == target) {
+      if (cursor_ != i) {
+        cursor_ = i;
+        ++hints_;
+      }
+      return;
+    }
+  }
+}
+
 void Channel::complete(std::uint64_t id) {
   const auto it = inflight_.find(id);
   if (it == inflight_.end()) return;

@@ -124,6 +124,12 @@ class Channel {
   /// its failover timer and drop the tracked payload.
   void complete(std::uint64_t id);
 
+  /// Steer the rotating subset so `target` is contacted first (leader
+  /// hint learned from reply metadata). No-op unless the policy is
+  /// TargetedSubset and `target` is one of this channel's targets;
+  /// counted in hints_applied() only when it actually moved the cursor.
+  void prefer(NodeId target);
+
   void set_policy(DisseminationPolicy policy);
   [[nodiscard]] const DisseminationPolicy& policy() const { return policy_; }
   [[nodiscard]] energy::Stream stream() const { return stream_; }
@@ -134,6 +140,9 @@ class Channel {
   [[nodiscard]] std::uint64_t resends() const { return resends_; }
   /// Subset rotations (TargetedSubset timeouts).
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  /// Leader hints that re-aimed the subset cursor (prefer() calls that
+  /// changed the first contacted target).
+  [[nodiscard]] std::uint64_t hints_applied() const { return hints_; }
   [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
   /// Current first target of the rotating subset (tests).
   [[nodiscard]] std::size_t cursor() const { return cursor_; }
@@ -156,6 +165,7 @@ class Channel {
   std::size_t cursor_ = 0;
   std::uint64_t resends_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t hints_ = 0;
   std::map<std::uint64_t, Tracked> inflight_;
 };
 

@@ -61,4 +61,16 @@ Rng Rng::fork() {
   return child;
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two splitmix64 steps over base, then mix the stream in and step
+  // twice more: nearby (base, stream) pairs land far apart, and
+  // derive_seed(b, 0) != b so a run never aliases its own base seed.
+  std::uint64_t x = base;
+  (void)splitmix64(x);
+  std::uint64_t h = splitmix64(x);
+  x = h ^ (stream + 0x9E3779B97f4A7C15ull);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace eesmr::sim

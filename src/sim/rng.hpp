@@ -38,4 +38,11 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derive an independent per-run seed from a base seed and a run index
+/// (splitmix64 over the concatenation). Used by the experiment engine so
+/// every grid point gets its own reproducible randomness regardless of
+/// how runs are scheduled across worker threads: the derived seed is a
+/// pure function of (base, stream), never of execution order.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace eesmr::sim

@@ -596,6 +596,9 @@ void ReplicaBase::reply_to_client(const ClientRequest& req,
   rep.client = req.client;
   rep.req_id = req.req_id;
   rep.result = result;
+  // Leader hint for TargetedSubset clients: rides under the reply
+  // signature, so lying is confined to the f Byzantine repliers.
+  rep.leader = leader_of(v_cur_);
   Msg m = make_msg(MsgType::kReply, r_cur_, rep.encode());
   send(req.client, m);
 }

@@ -90,6 +90,7 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] std::uint64_t current_round() const { return r_cur_; }
   [[nodiscard]] const BlockStore& store() const { return store_; }
   [[nodiscard]] Mempool& mempool() { return mempool_; }
+  [[nodiscard]] const Mempool& mempool() const { return mempool_; }
   [[nodiscard]] const BlockHash& committed_tip() const {
     return committed_tip_;
   }

@@ -46,6 +46,7 @@ Bytes ClientReply::encode() const {
   w.u32(client);
   w.u64(req_id);
   w.bytes(result);
+  w.u32(leader);
   return w.take();
 }
 
@@ -56,6 +57,7 @@ std::optional<ClientReply> ClientReply::decode(BytesView data) {
     rep.client = r.u32();
     rep.req_id = r.u64();
     rep.result = r.bytes();
+    rep.leader = r.u32();
     r.expect_done();
     return rep;
   } catch (const SerdeError&) {

@@ -49,6 +49,13 @@ struct ClientReply {
   NodeId client = kNoNode;  ///< the client this acknowledgment answers
   std::uint64_t req_id = 0;
   Bytes result;
+  /// Leader hint: the replying replica's current leader. Clients under a
+  /// TargetedSubset submission policy steer their next submissions there
+  /// instead of blindly rotating (the hint rides under the reply
+  /// signature, so only f Byzantine repliers can lie — and a stale or
+  /// false hint costs one failover, never safety). kNoNode when the
+  /// replier does not expose one.
+  NodeId leader = kNoNode;
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<ClientReply> decode(BytesView data);

@@ -166,5 +166,59 @@ TEST(Dissemination, TargetedSubsetSubmissionUsesLessRequestEnergyThanFlood) {
   EXPECT_EQ(rt.stream_totals(Stream::kCheckpoint).transmissions, 0u);
 }
 
+TEST(Dissemination, LeaderHintsCutWastedSubmissionsAcrossAViewChange) {
+  // TargetedSubset clients across a leader crash + view change: without
+  // hints the cursor only ever moves on timeouts, so every submission
+  // that lands on a non-leader costs a replica-side forward (and
+  // submissions to the dead leader cost timeout failovers). With hints,
+  // verified reply metadata re-aims the cursor at the current leader, so
+  // post-view-change submissions reach it directly. "Wasted
+  // submissions" = forwards + failovers + timeout retransmissions.
+  ClusterConfig base;
+  base.protocol = Protocol::kEesmr;
+  base.n = 4;
+  base.f = 1;
+  base.k = 0;
+  base.seed = 17;
+  base.clients = 2;
+  base.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+  base.workload.outstanding = 1;
+  base.workload.max_requests = 20;
+  base.client_submit = DisseminationPolicy::targeted_subset(1, 0);
+  // Leader of view 1 (replica 1) crashes in steady state; the cluster
+  // view-changes to replica 2 and keeps ordering.
+  base.faults.push_back({1, protocol::ByzantineMode::kCrash, 6});
+
+  ClusterConfig with_hints = base;  // default: client_leader_hints = true
+  ClusterConfig without = base;
+  without.client_leader_hints = false;
+
+  Cluster ch(with_hints);
+  const RunResult rh = ch.run_until_accepted(40, sim::seconds(2000));
+  Cluster cn(without);
+  const RunResult rn = cn.run_until_accepted(40, sim::seconds(2000));
+
+  // Both configurations make full progress through the view change.
+  ASSERT_EQ(rh.requests_accepted, 40u);
+  ASSERT_EQ(rn.requests_accepted, 40u);
+  EXPECT_TRUE(rh.safety_ok());
+  EXPECT_TRUE(rn.safety_ok());
+  EXPECT_GE(rh.view_changes, 1u);
+  EXPECT_GE(rn.view_changes, 1u);
+
+  // Hints fired, and they strictly cut the wasted-submission total.
+  EXPECT_GT(rh.request_hints_applied, 0u);
+  const std::uint64_t wasted_hints = rh.requests_forwarded +
+                                     rh.request_failovers +
+                                     rh.request_retransmissions;
+  const std::uint64_t wasted_blind = rn.requests_forwarded +
+                                     rn.request_failovers +
+                                     rn.request_retransmissions;
+  EXPECT_LT(wasted_hints, wasted_blind);
+  // In particular the steady stream of non-leader forwards disappears
+  // once the clients aim at the leader directly.
+  EXPECT_LT(rh.requests_forwarded, rn.requests_forwarded);
+}
+
 }  // namespace
 }  // namespace eesmr
