@@ -1,0 +1,374 @@
+#include "src/adversary/adversary.hpp"
+
+#include <stdexcept>
+
+#include "src/energy/cost_model.hpp"
+#include "src/smr/request.hpp"
+
+namespace eesmr::adversary {
+
+namespace {
+
+bool window_active(sim::SimTime now, sim::SimTime from, sim::SimTime until) {
+  return now >= from && (until == 0 || now < until);
+}
+
+bool stream_matches(int rule, energy::Stream s) {
+  return rule == kAnyStream || rule == static_cast<int>(s);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NetAdversary
+// ---------------------------------------------------------------------------
+
+NetAdversary::NetAdversary(std::vector<AdversarySpec::LinkFault> rules,
+                           sim::Scheduler& sched, std::uint64_t seed)
+    : rules_(std::move(rules)), sched_(sched), rng_(seed) {}
+
+net::FaultVerdict NetAdversary::on_delivery(NodeId from, NodeId to,
+                                            energy::Stream stream,
+                                            std::size_t /*bytes*/) {
+  net::FaultVerdict v;
+  for (const AdversarySpec::LinkFault& r : rules_) {
+    if (r.from != kAnyNode && r.from != from) continue;
+    if (r.to != kAnyNode && r.to != to) continue;
+    if (!stream_matches(r.stream, stream)) continue;
+    if (!window_active(sched_.now(), r.from_time, r.until_time)) continue;
+    // First matching rule decides the delivery.
+    if (r.drop > 0 && rng_.chance(r.drop)) {
+      ++dropped_;
+      v.drop = true;
+      return v;
+    }
+    if (r.duplicate > 0 && rng_.chance(r.duplicate)) {
+      ++duplicated_;
+      v.duplicates = 1;
+    }
+    if (r.reorder > 0 && r.reorder_delay > 0 && rng_.chance(r.reorder)) {
+      ++reordered_;
+      v.extra_delay = r.reorder_delay;
+    }
+    return v;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// WithholdFilter
+// ---------------------------------------------------------------------------
+
+WithholdFilter::WithholdFilter(std::vector<AdversarySpec::Withhold> rules,
+                               sim::Scheduler& sched, std::uint64_t seed)
+    : rules_(std::move(rules)), sched_(sched), rng_(seed) {}
+
+bool WithholdFilter::allow(const smr::Msg& m, NodeId /*dest*/) {
+  const energy::Stream s = smr::stream_of(m.type);
+  for (const AdversarySpec::Withhold& r : rules_) {
+    if (!stream_matches(r.stream, s)) continue;
+    if (!window_active(sched_.now(), r.from_time, r.until_time)) continue;
+    if (r.prob >= 1.0 || rng_.chance(r.prob)) {
+      ++withheld_;
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ByzantineClient
+// ---------------------------------------------------------------------------
+
+ByzantineClient::ByzantineClient(net::Network& net, NodeId id,
+                                 std::shared_ptr<crypto::Keyring> keyring,
+                                 AdversarySpec::ByzClient spec,
+                                 std::uint64_t seed, energy::Meter* meter)
+    : router_(net, id, this),
+      sched_(net.scheduler()),
+      id_(id),
+      keyring_(std::move(keyring)),
+      spec_(spec),
+      rng_(seed),
+      meter_(meter) {
+  if (!keyring_ || keyring_->size() <= id_) {
+    throw std::invalid_argument("ByzantineClient: keyring must cover id");
+  }
+}
+
+Bytes ByzantineClient::next_request() {
+  smr::ClientRequest req;
+  req.client = id_;
+  req.op.resize(spec_.op_bytes);
+  for (auto& b : req.op) b = static_cast<std::uint8_t>(rng_.next());
+  if (spec_.kind == AdversarySpec::ByzClient::Kind::kReplayFlood) {
+    // One genuinely signed request, replayed byte-identically forever:
+    // the first copy orders and executes; every later copy probes the
+    // pool dedup, reply-cache replay, and (after GC) the per-client
+    // watermark's free drop.
+    if (replay_wire_.empty()) {
+      req.req_id = 1;
+      req.sig = keyring_->signer(id_).sign(req.preimage());
+      if (meter_ != nullptr) {
+        meter_->charge(energy::Category::kSign,
+                       energy::sign_energy_mj(keyring_->scheme()));
+      }
+      smr::Msg m;
+      m.type = smr::MsgType::kRequest;
+      m.view = 0;
+      m.round = req.req_id;
+      m.author = id_;
+      m.data = req.encode();
+      replay_wire_ = m.encode();
+    }
+    return replay_wire_;
+  }
+  // Garbage flood: fresh req_id, correctly sized but corrupted signature
+  // — every replica pays one metered verification and must reject.
+  req.req_id = next_req_id_++;
+  req.sig = keyring_->signer(id_).sign(req.preimage());
+  if (meter_ != nullptr) {
+    meter_->charge(energy::Category::kSign,
+                   energy::sign_energy_mj(keyring_->scheme()));
+  }
+  req.sig[rng_.below(req.sig.size())] ^=
+      static_cast<std::uint8_t>(1 + rng_.below(255));
+  smr::Msg m;
+  m.type = smr::MsgType::kRequest;
+  m.view = 0;
+  m.round = req.req_id;
+  m.author = id_;
+  m.data = req.encode();
+  return m.encode();
+}
+
+void ByzantineClient::start() { fire(); }
+
+void ByzantineClient::fire() {
+  if (spec_.max_requests > 0 && sent_ >= spec_.max_requests) return;
+  router_.broadcast(next_request(), energy::Stream::kRequest);
+  ++sent_;
+  sched_.after(std::max<sim::Duration>(1, spec_.interval),
+               [this] { fire(); });
+}
+
+// ---------------------------------------------------------------------------
+// Attack matrix
+// ---------------------------------------------------------------------------
+
+const char* attack_name(AttackKind a) {
+  switch (a) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kCrash:
+      return "crash";
+    case AttackKind::kCrashRecover:
+      return "crash_recover";
+    case AttackKind::kOverBudgetCrash:
+      return "over_budget_crash";
+    case AttackKind::kEquivocate:
+      return "equivocate";
+    case AttackKind::kEquivocateSelective:
+      return "equivocate_selective";
+    case AttackKind::kWithholdProposals:
+      return "withhold_proposals";
+    case AttackKind::kVoteSuppression:
+      return "vote_suppression";
+    case AttackKind::kDupReorder:
+      return "dup_reorder";
+    case AttackKind::kFaultyLinkDrop:
+      return "faulty_link_drop";
+    case AttackKind::kGarbageClientFlood:
+      return "garbage_client_flood";
+    case AttackKind::kReplayClientFlood:
+      return "replay_client_flood";
+  }
+  return "?";
+}
+
+const std::vector<AttackKind>& all_attacks() {
+  static const std::vector<AttackKind> kAll = {
+      AttackKind::kNone,
+      AttackKind::kCrash,
+      AttackKind::kCrashRecover,
+      AttackKind::kOverBudgetCrash,
+      AttackKind::kEquivocate,
+      AttackKind::kEquivocateSelective,
+      AttackKind::kWithholdProposals,
+      AttackKind::kVoteSuppression,
+      AttackKind::kDupReorder,
+      AttackKind::kFaultyLinkDrop,
+      AttackKind::kGarbageClientFlood,
+      AttackKind::kReplayClientFlood,
+  };
+  return kAll;
+}
+
+void apply_attack(harness::ClusterConfig& cfg, AttackKind attack) {
+  const std::size_t f = cfg.f;
+  AdversarySpec& adv = cfg.adversary;
+  // Faulty replicas are 1..f: leader_of(view) = view % n, so node 1
+  // leads view 1 and leader-centric attacks bite immediately.
+  switch (attack) {
+    case AttackKind::kNone:
+      return;
+    case AttackKind::kCrash:
+      for (NodeId i = 1; i <= f; ++i) {
+        cfg.faults.push_back({i, protocol::ByzantineMode::kCrash, 5});
+      }
+      return;
+    case AttackKind::kCrashRecover: {
+      for (NodeId i = 1; i <= f; ++i) {
+        AdversarySpec::CrashRecover cr;
+        cr.node = i;
+        cr.crash_at = sim::milliseconds(500);
+        cr.recover_at = sim::milliseconds(1500);
+        adv.crashes.push_back(cr);
+      }
+      return;
+    }
+    case AttackKind::kOverBudgetCrash: {
+      // n-1 crashes, early enough that no protocol has finished a
+      // meaningful run: a lone survivor can never assemble an f+1 blame
+      // quorum, so no protocol claims liveness here.
+      for (NodeId i = 1; i < cfg.n; ++i) {
+        AdversarySpec::CrashRecover cr;
+        cr.node = i;
+        cr.crash_at = sim::milliseconds(100);
+        adv.crashes.push_back(cr);
+      }
+      return;
+    }
+    case AttackKind::kEquivocate:
+      for (NodeId i = 1; i <= f; ++i) {
+        cfg.faults.push_back({i, protocol::ByzantineMode::kEquivocate, 5});
+      }
+      return;
+    case AttackKind::kEquivocateSelective:
+      for (NodeId i = 1; i <= f; ++i) {
+        cfg.faults.push_back(
+            {i, protocol::ByzantineMode::kEquivocateSelective, 5});
+      }
+      return;
+    case AttackKind::kWithholdProposals:
+    case AttackKind::kVoteSuppression: {
+      const auto stream = attack == AttackKind::kWithholdProposals
+                              ? energy::Stream::kProposal
+                              : energy::Stream::kVote;
+      for (NodeId i = 1; i <= f; ++i) {
+        AdversarySpec::Withhold w;
+        w.node = i;
+        w.stream = static_cast<int>(stream);
+        adv.withholds.push_back(w);
+      }
+      return;
+    }
+    case AttackKind::kDupReorder: {
+      // Duplication + reordering on every link, with the extra delay at
+      // the hop bound so end-to-end delivery stays within Δ (bounded
+      // synchrony holds; every protocol must ride it out).
+      AdversarySpec::LinkFault lf;
+      lf.duplicate = 0.3;
+      lf.reorder = 0.3;
+      lf.reorder_delay = cfg.hop_delay;
+      adv.link_faults.push_back(lf);
+      return;
+    }
+    case AttackKind::kFaultyLinkDrop: {
+      for (NodeId i = 1; i <= f; ++i) {
+        AdversarySpec::LinkFault lf;
+        lf.from = i;
+        lf.drop = 0.5;
+        adv.link_faults.push_back(lf);
+        adv.mark_faulty.push_back(i);
+      }
+      return;
+    }
+    case AttackKind::kGarbageClientFlood:
+    case AttackKind::kReplayClientFlood: {
+      AdversarySpec::ByzClient bc;
+      bc.kind = attack == AttackKind::kGarbageClientFlood
+                    ? AdversarySpec::ByzClient::Kind::kGarbageFlood
+                    : AdversarySpec::ByzClient::Kind::kReplayFlood;
+      bc.interval = sim::milliseconds(40);
+      adv.clients.push_back(bc);
+      return;
+    }
+  }
+}
+
+bool expect_liveness(harness::Protocol /*protocol*/, AttackKind attack) {
+  // EESMR and Sync HotStuff both claim liveness at their f budget under
+  // every attack in the matrix; only the deliberately over-budget crash
+  // exceeds any documented tolerance. (Dolev-Strong cells assert
+  // termination directly in run_dolev_strong_attack.)
+  return attack != AttackKind::kOverBudgetCrash;
+}
+
+DolevStrongVerdict run_dolev_strong_attack(std::size_t n, std::size_t f,
+                                           AttackKind attack,
+                                           std::uint64_t seed) {
+  baselines::DolevStrongAttack a;
+  std::vector<AdversarySpec::LinkFault> rules;
+  switch (attack) {
+    case AttackKind::kNone:
+      break;
+    case AttackKind::kCrash:
+    case AttackKind::kCrashRecover:    // one-shot BA: crash == no recovery
+    case AttackKind::kWithholdProposals:  // a silent sender withholds all
+      a.crash = {0};
+      break;
+    case AttackKind::kOverBudgetCrash:
+      for (NodeId i = 0; i + 1 < n; ++i) a.crash.push_back(i);
+      break;
+    case AttackKind::kEquivocate:
+      a.sender_equivocate = true;
+      break;
+    case AttackKind::kEquivocateSelective:
+      a.sender_selective = true;
+      break;
+    case AttackKind::kVoteSuppression:
+      // f silent relays: they neither sign nor forward chains.
+      for (NodeId i = 1; i <= f && i < n; ++i) a.crash.push_back(i);
+      break;
+    case AttackKind::kDupReorder: {
+      AdversarySpec::LinkFault lf;
+      lf.duplicate = 0.3;
+      lf.reorder = 0.3;
+      lf.reorder_delay = sim::milliseconds(10);  // the driver's hop bound
+      rules.push_back(lf);
+      break;
+    }
+    case AttackKind::kFaultyLinkDrop: {
+      AdversarySpec::LinkFault lf;
+      lf.from = 0;
+      lf.drop = 0.5;
+      rules.push_back(lf);
+      break;
+    }
+    case AttackKind::kGarbageClientFlood:
+    case AttackKind::kReplayClientFlood:
+      // BA has no clients; the closest analogue is a junk-flooding node.
+      a.garbage = {static_cast<NodeId>(n - 1)};
+      break;
+  }
+
+  sim::Scheduler fault_clock;  // rule windows only; rules here use none
+  NetAdversary injector(rules, fault_clock, sim::derive_seed(seed, 0xfa));
+  if (!rules.empty()) a.injector = &injector;
+
+  const Bytes value = to_bytes(std::string("ds-conformance-value"));
+  const baselines::DolevStrongResult r =
+      baselines::run_dolev_strong(n, f, value, a, seed);
+
+  DolevStrongVerdict v;
+  v.agreement = r.agreement();
+  v.terminated = r.decided == r.decisions.size() && !r.decisions.empty();
+  v.transmissions = r.transmissions;
+  v.faults_dropped = injector.dropped();
+  v.faults_duplicated = injector.duplicated();
+  v.faults_reordered = injector.reordered();
+  return v;
+}
+
+}  // namespace eesmr::adversary

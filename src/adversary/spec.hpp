@@ -1,0 +1,106 @@
+// Declarative adversary description — the fault-injection half of a
+// ClusterConfig. A spec names WHAT goes wrong (which links drop, which
+// replicas withhold which streams, who crashes when, which Byzantine
+// clients flood); the harness wires it into the network / replicas /
+// scheduler at construction time, and the always-on Safety/Liveness
+// checkers turn every run into a conformance verdict.
+//
+// Everything here is a pure value: a spec plus the run seed fully
+// determines the fault schedule (drop/dup/reorder decisions come from an
+// Rng derived from the seed, so identical seeds reproduce identical
+// schedules at any experiment-runner thread count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/sim/time.hpp"
+
+namespace eesmr::adversary {
+
+/// Wildcard node in a fault rule's from/to match.
+constexpr NodeId kAnyNode = kNoNode;
+/// Wildcard stream (any energy::Stream traffic class).
+constexpr int kAnyStream = -1;
+
+struct AdversarySpec {
+  /// Network-level fault rule, installed on net::Network via a
+  /// NetAdversary (src/adversary/adversary.hpp). The first matching rule
+  /// decides each (transmission, receiver) delivery.
+  struct LinkFault {
+    NodeId from = kAnyNode;  ///< link sender filter (kAnyNode = all)
+    NodeId to = kAnyNode;    ///< receiver filter
+    int stream = kAnyStream; ///< energy::Stream value, or kAnyStream
+    double drop = 0;         ///< per-delivery drop probability
+    double duplicate = 0;    ///< probability of one extra delivered copy
+    double reorder = 0;      ///< probability of delaying the delivery
+    /// Extra delay applied when the reorder trial fires. Kept at or
+    /// below the hop bound this still respects bounded synchrony (pure
+    /// reordering); above it, the rule deliberately violates Δ.
+    sim::Duration reorder_delay = 0;
+    /// Active window in simulated time ([from_time, until_time); an
+    /// until_time of 0 means "until the end of the run").
+    sim::SimTime from_time = 0;
+    sim::SimTime until_time = 0;
+  };
+  std::vector<LinkFault> link_faults;
+
+  /// Byzantine per-stream withholding: the named replica builds and
+  /// signs its outgoing messages but suppresses those whose type maps to
+  /// `stream` (selective withholding per traffic class; stream =
+  /// energy::Stream::kVote is classic vote suppression). Installed as a
+  /// smr::OutboundPolicy on the replica.
+  struct Withhold {
+    NodeId node = 0;
+    int stream = kAnyStream;
+    double prob = 1.0;  ///< withhold probability per outgoing message
+    sim::SimTime from_time = 0;
+    sim::SimTime until_time = 0;  ///< 0 = until the end of the run
+  };
+  std::vector<Withhold> withholds;
+
+  /// Crash/recover schedule generalizing ClusterConfig::late_starts: the
+  /// replica runs normally, goes off the air at crash_at (no reception,
+  /// transmission or radio energy), and — when recover_at > 0 — comes
+  /// back and catches up by chain sync or checkpoint state transfer.
+  struct CrashRecover {
+    NodeId node = 0;
+    sim::SimTime crash_at = 0;
+    sim::SimTime recover_at = 0;  ///< 0 = never recovers
+  };
+  std::vector<CrashRecover> crashes;
+
+  /// Byzantine client attached as an extra non-relay leaf after the
+  /// honest clients. kGarbageFlood submits requests with fresh req_ids
+  /// and corrupted signatures (each costs every replica one metered
+  /// verification and is then rejected); kReplayFlood signs one valid
+  /// request and re-floods those exact bytes forever (stressing the
+  /// dedup/admission path: pool dedup, reply-cache replay, and the
+  /// per-client watermark's free drops after GC).
+  struct ByzClient {
+    enum class Kind { kGarbageFlood, kReplayFlood };
+    Kind kind = Kind::kGarbageFlood;
+    sim::Duration interval = sim::milliseconds(50);
+    std::uint64_t max_requests = 0;  ///< 0 = flood until the run ends
+    std::size_t op_bytes = 16;
+  };
+  std::vector<ByzClient> clients;
+
+  /// Replicas consumed by the fault budget without a behavior change of
+  /// their own (e.g. the targets of a LinkFault drop rule): excluded
+  /// from the correct-node accounting like any Byzantine replica.
+  std::vector<NodeId> mark_faulty;
+
+  /// LivenessChecker bound: longest tolerated gap between advances of
+  /// the honest commit frontier. 0 = observe only (RunResult records the
+  /// stall but liveness_ok() never fails).
+  sim::Duration stall_bound = 0;
+
+  [[nodiscard]] bool empty() const {
+    return link_faults.empty() && withholds.empty() && crashes.empty() &&
+           clients.empty() && mark_faulty.empty();
+  }
+};
+
+}  // namespace eesmr::adversary

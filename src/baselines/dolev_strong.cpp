@@ -57,7 +57,8 @@ Bytes DolevStrongNode::sign_value(const Bytes& value) const {
 }
 
 void DolevStrongNode::start(const Bytes& value,
-                            const std::optional<Bytes>& equivocate_with) {
+                            const std::optional<Bytes>& equivocate_with,
+                            bool selective) {
   // Decision fires at the end of round f+1.
   sched_.after(static_cast<sim::Duration>(cfg_.f + 2) * cfg_.delta,
                [this] { decide(); });
@@ -67,14 +68,35 @@ void DolevStrongNode::start(const Bytes& value,
   c.value = value;
   c.sigs.emplace_back(cfg_.id, sign_value(value));
   extracted_.push_back(value);
-  router_.broadcast(c.encode());
-  if (equivocate_with.has_value()) {
-    Chain c2;
-    c2.value = *equivocate_with;
-    c2.sigs.emplace_back(cfg_.id, sign_value(*equivocate_with));
-    extracted_.push_back(*equivocate_with);
-    router_.broadcast(c2.encode());
+  if (!equivocate_with.has_value()) {
+    router_.broadcast(c.encode());
+    return;
   }
+  Chain c2;
+  c2.value = *equivocate_with;
+  c2.sigs.emplace_back(cfg_.id, sign_value(*equivocate_with));
+  extracted_.push_back(*equivocate_with);
+  if (!selective) {
+    router_.broadcast(c.encode());
+    router_.broadcast(c2.encode());
+    return;
+  }
+  // Selective equivocation: each conflicting value leaves on a disjoint
+  // half of the out-edges; only honest relaying surfaces the conflict.
+  const std::size_t out = router_.network().graph().out_edges(cfg_.id).size();
+  std::vector<std::size_t> even, odd;
+  for (std::size_t e = 0; e < out; ++e) (e % 2 == 0 ? even : odd).push_back(e);
+  router_.broadcast_on_edges(even, c.encode());
+  router_.broadcast_on_edges(odd, c2.encode());
+}
+
+void DolevStrongNode::flood_junk(std::uint64_t salt) {
+  // Deterministic garbage: decodes as no valid chain (or one without the
+  // sender's signature) at every honest node.
+  sim::Rng rng(salt ^ (0x6a2bull << 32) ^ cfg_.id);
+  Bytes junk(24 + rng.below(48));
+  for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+  router_.broadcast(junk);
 }
 
 void DolevStrongNode::on_deliver(NodeId /*origin*/, BytesView payload) {
@@ -136,7 +158,8 @@ bool DolevStrongResult::agreement() const {
 }
 
 DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
-                                   const Bytes& value, bool byzantine_sender,
+                                   const Bytes& value,
+                                   const DolevStrongAttack& attack,
                                    std::uint64_t seed) {
   sim::Scheduler sched;
   std::vector<energy::Meter> meters(n);
@@ -146,10 +169,12 @@ DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
   net::Network net(sched, net::Hypergraph::full_mesh(n), tc, &meters);
   net.set_delay_policy(std::make_unique<net::UniformDelay>(
       sim::Rng(seed), sim::milliseconds(2), sim::milliseconds(10)));
+  if (attack.injector != nullptr) net.set_fault_injector(attack.injector);
 
   auto keyring = crypto::Keyring::simulated(crypto::SchemeId::kRsa1024, n,
                                             seed);
   std::vector<std::unique_ptr<DolevStrongNode>> nodes;
+  std::vector<bool> honest(n, true);
   for (NodeId i = 0; i < n; ++i) {
     DolevStrongConfig cfg;
     cfg.id = i;
@@ -160,20 +185,52 @@ DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
     cfg.keyring = keyring;
     nodes.push_back(std::make_unique<DolevStrongNode>(net, cfg, &meters[i]));
   }
+  if (attack.sender_equivocate || attack.sender_selective) honest[0] = false;
+  for (NodeId c : attack.crash) {
+    honest.at(c) = false;
+    net.set_node_online(c, false);  // silent from the start
+  }
+  for (NodeId g : attack.garbage) honest.at(g) = false;
+
   const Bytes other = to_bytes(std::string("conflicting-value"));
-  for (auto& node : nodes) {
-    node->start(value, byzantine_sender ? std::optional<Bytes>(other)
-                                        : std::nullopt);
+  const bool equiv = attack.sender_equivocate || attack.sender_selective;
+  const sim::Duration delta = sim::milliseconds(20);
+  for (NodeId i = 0; i < n; ++i) {
+    if (std::find(attack.crash.begin(), attack.crash.end(), i) !=
+        attack.crash.end()) {
+      continue;  // crashed before the protocol started
+    }
+    nodes[i]->start(value,
+                    (i == 0 && equiv) ? std::optional<Bytes>(other)
+                                      : std::nullopt,
+                    attack.sender_selective);
+  }
+  for (NodeId g : attack.garbage) {
+    // Junk every half-round through round f+1.
+    for (std::size_t k = 0; k <= 2 * (f + 2); ++k) {
+      sched.after(static_cast<sim::Duration>(k) * (delta / 2),
+                  [node = nodes[g].get(), k] { node->flood_junk(k); });
+    }
   }
   sched.run();
 
   DolevStrongResult out;
   out.meters = meters;
   out.transmissions = net.transmissions();
-  for (NodeId i = byzantine_sender ? 1 : 0; i < n; ++i) {
+  for (NodeId i = 0; i < n; ++i) {
+    if (!honest[i]) continue;
+    out.decided += nodes[i]->decision().has_value() ? 1 : 0;
     out.decisions.push_back(nodes[i]->decision().value_or(Bytes{1, 1, 1}));
   }
   return out;
+}
+
+DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
+                                   const Bytes& value, bool byzantine_sender,
+                                   std::uint64_t seed) {
+  DolevStrongAttack attack;
+  attack.sender_equivocate = byzantine_sender;
+  return run_dolev_strong(n, f, value, attack, seed);
 }
 
 }  // namespace eesmr::baselines

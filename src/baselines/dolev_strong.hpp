@@ -42,9 +42,18 @@ class DolevStrongNode final : public net::FloodClient {
 
   /// Start the protocol; only the designated sender uses `value`.
   /// Byzantine sender behaviour: pass `equivocate_with` to sign and send
-  /// a second, conflicting value.
-  void start(const Bytes& value, const std::optional<Bytes>& equivocate_with =
-                                     std::nullopt);
+  /// a second, conflicting value — flooded to everyone by default, or
+  /// (with `selective`) each conflicting value transmitted on a disjoint
+  /// half of the out-edges so only honest re-broadcast surfaces the
+  /// conflict.
+  void start(const Bytes& value,
+             const std::optional<Bytes>& equivocate_with = std::nullopt,
+             bool selective = false);
+
+  /// Byzantine junk flooding: broadcast a deterministic garbage frame
+  /// (salted by `salt`) that honest nodes must reject without crashing
+  /// or signing anything.
+  void flood_junk(std::uint64_t salt);
 
   /// Decided output; empty optional before round f+1, ⊥ (empty bytes
   /// inside the optional) on conflict/silence.
@@ -71,13 +80,33 @@ class DolevStrongNode final : public net::FloodClient {
 };
 
 /// Convenience driver: run one BA instance over a fresh network.
-/// Returns each node's decision (index = node id).
+/// Returns the honest nodes' decisions in node-id order (faulty nodes —
+/// Byzantine sender, crashed, junk flooders — are omitted, so indices
+/// are NOT node ids whenever the run has faults).
 struct DolevStrongResult {
-  std::vector<Bytes> decisions;
+  std::vector<Bytes> decisions;  ///< honest nodes only
   std::vector<energy::Meter> meters;
   std::uint64_t transmissions = 0;
+  /// Honest nodes that reached a decision by round f+1 (termination).
+  std::size_t decided = 0;
   bool agreement() const;
 };
+
+/// Adversarial run description for the fault-injection matrix
+/// (src/adversary): Byzantine sender behaviours, silent (crashed)
+/// nodes, junk flooders, and an optional network-level fault injector.
+struct DolevStrongAttack {
+  bool sender_equivocate = false;
+  bool sender_selective = false;     ///< disjoint-edge-half equivocation
+  std::vector<NodeId> crash;         ///< off the air from the start
+  std::vector<NodeId> garbage;       ///< flood junk frames every Δ/2
+  net::FaultInjector* injector = nullptr;  ///< installed on the network
+};
+
+DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
+                                   const Bytes& value,
+                                   const DolevStrongAttack& attack,
+                                   std::uint64_t seed = 1);
 
 DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
                                    const Bytes& value, bool byzantine_sender,

@@ -144,8 +144,25 @@ void SyncHsReplica::handle_propose(NodeId from, const Msg& msg) {
     retry_.push_back(msg);
     return;
   }
-  // Vote only for proposals extending the highest certified block.
-  if (!store_.extends(h, certified_tip_)) return;
+  // Vote for proposals whose certified parent is at least as high as the
+  // highest certified block we know (Sync HotStuff's vote rule). The
+  // strict earlier form — extends OUR certified tip — loses safety after
+  // an equivocation splits the votes: both conflicting blocks can
+  // certify on disjoint node subsets, each node locks its own branch,
+  // and the next view's leader can then commit alone on a branch the
+  // rest abandoned (found by the adversary conformance matrix). Voting
+  // re-locks us onto the proposal's certified branch, so every honest
+  // node follows the new leader and the 2Δ commit argument closes again.
+  if (!store_.extends(h, certified_tip_)) {
+    const Block* parent = store_.get(b.parent);
+    if (parent == nullptr || parent->height < certified_height_) return;
+    certified_tip_ = b.parent;
+    certified_height_ = parent->height;
+    tip_cert_ = parent_cert;
+  }
+  // At most one vote per height per view: an equivocation window must
+  // not arm 2Δ commits for two conflicting siblings.
+  if (!voted_height_.try_emplace(b.height, h).second) return;
   if (!voted_.insert(hkey(h)).second) return;
   vote_for(b, h);
 }
@@ -307,6 +324,7 @@ void SyncHsReplica::enter_new_view() {
   nv_proposed_ = false;
   seen_.clear();
   status_.clear();
+  voted_height_.clear();  // one vote per height per VIEW
   phase_ = Phase::kSteady;
   if (crashed_) return;
   reset_blame_timer(6 * cfg_.delta);
@@ -381,6 +399,8 @@ void SyncHsReplica::on_low_water(const Block& root) {
   // their proposal, and peers never retransmit them, so wiping an
   // in-flight bucket could cost the block its quorum.
   seen_.erase(seen_.begin(), seen_.upper_bound(root.height));
+  voted_height_.erase(voted_height_.begin(),
+                      voted_height_.upper_bound(root.height));
   for (auto it = votes_.begin(); it != votes_.end();) {
     const BlockHash h(it->first.begin(), it->first.end());
     const Block* b = store_.get(h);
@@ -413,6 +433,7 @@ void SyncHsReplica::on_state_transfer(const Block& root) {
   seen_.clear();
   votes_.clear();
   voted_.clear();
+  voted_height_.clear();
   reset_blame_timer(8 * cfg_.delta);
   drain_buffered();
 }

@@ -115,7 +115,11 @@ class SyncHsReplica final : public smr::ReplicaBase {
   std::map<std::uint64_t, std::pair<smr::BlockHash, smr::Msg>> seen_;
   /// Votes per block hash.
   std::map<std::string, std::vector<smr::Msg>> votes_;
-  std::set<std::string> voted_;  ///< heights we voted for (as hash keys)
+  std::set<std::string> voted_;  ///< block hashes we voted for
+  /// First vote per height in the current view (cleared on view entry):
+  /// an equivocating leader must not extract two votes — and two armed
+  /// 2Δ commits — for conflicting same-height siblings from one node.
+  std::map<std::uint64_t, smr::BlockHash> voted_height_;
 
   sim::Timer blame_timer_;
   std::map<std::string, sim::EventId> commit_timers_;

@@ -37,8 +37,7 @@ void TrustedController::handle(NodeId /*from*/, const Msg& msg) {
         // ships it up: order the first copy only. (client, req_id)
         // names the operation; untagged commands pass through.
         const auto req = smr::ClientRequest::decode(cmd.data);
-        if (req.has_value() &&
-            !seen_requests_.emplace(req->client, req->req_id).second) {
+        if (req.has_value() && !seen_requests_[req->client].insert(req->req_id)) {
           ++dedup_skipped_;
           dedup_bytes_ += cmd.data.size();
           continue;

@@ -10,8 +10,7 @@
 // per node.
 #pragma once
 
-#include <set>
-#include <utility>
+#include <map>
 #include <vector>
 
 #include "src/smr/replica.hpp"
@@ -47,6 +46,16 @@ class TrustedController final : public smr::ReplicaBase {
   [[nodiscard]] std::uint64_t dedup_bytes_saved() const {
     return dedup_bytes_;
   }
+  /// Live dedup-state size: one watermark per client plus the sparse
+  /// tails. Bounded at O(clients · tail window), not O(requests) — the
+  /// ROADMAP unbounded-seen-set fix.
+  [[nodiscard]] std::size_t dedup_state_entries() const {
+    std::size_t total = 0;
+    for (const auto& [client, win] : seen_requests_) {
+      total += 1 + win.tail_size();
+    }
+    return total;
+  }
 
  protected:
   void handle(NodeId from, const smr::Msg& msg) override;
@@ -60,8 +69,13 @@ class TrustedController final : public smr::ReplicaBase {
   bool round_timer_armed_ = false;
   std::uint64_t blocks_ordered_ = 0;
   bool dedup_;
-  /// Tagged requests already accepted for ordering (pending or ordered).
-  std::set<std::pair<NodeId, std::uint64_t>> seen_requests_;
+  /// Tagged requests already accepted for ordering (pending or ordered),
+  /// compacted per client into a contiguous watermark + sparse tail over
+  /// req_ids (clients issue ascending ids from 1, so the prefix folds
+  /// as submissions arrive; a Byzantine client leaving persistent gaps
+  /// is force-compacted past them at the tail bound, which can only
+  /// over-dedup its own requests).
+  std::map<NodeId, net::FloodRouter::SeenWindow> seen_requests_;
   std::uint64_t dedup_skipped_ = 0;
   std::uint64_t dedup_bytes_ = 0;
 };

@@ -36,6 +36,15 @@ Json summary_json(const harness::RunSummary& s) {
   j.set("max_dedup_entries", s.max_dedup_entries);
   j.set("max_store_blocks", s.max_store_blocks);
   j.set("max_checkpoints_taken", s.max_checkpoints_taken);
+  j.set("safety_violations", s.safety_violations);
+  j.set("liveness_ok", Json(s.liveness_ok));
+  j.set("max_commit_stall_ms", s.max_commit_stall_ms);
+  j.set("faults_dropped", s.faults_dropped);
+  j.set("faults_duplicated", s.faults_duplicated);
+  j.set("faults_reordered", s.faults_reordered);
+  j.set("msgs_withheld", s.msgs_withheld);
+  j.set("byz_requests_sent", s.byz_requests_sent);
+  j.set("adversary_energy_mj", s.adversary_energy_mj);
   return j;
 }
 
@@ -91,6 +100,20 @@ harness::RunSummary summary_from_json(const Json& doc) {
       static_cast<std::size_t>(j.at("max_store_blocks").as_int());
   s.max_checkpoints_taken =
       static_cast<std::uint64_t>(j.at("max_checkpoints_taken").as_int());
+  s.safety_violations =
+      static_cast<std::uint64_t>(j.at("safety_violations").as_int());
+  s.liveness_ok = j.at("liveness_ok").as_bool();
+  s.max_commit_stall_ms = j.at("max_commit_stall_ms").as_double();
+  s.faults_dropped =
+      static_cast<std::uint64_t>(j.at("faults_dropped").as_int());
+  s.faults_duplicated =
+      static_cast<std::uint64_t>(j.at("faults_duplicated").as_int());
+  s.faults_reordered =
+      static_cast<std::uint64_t>(j.at("faults_reordered").as_int());
+  s.msgs_withheld = static_cast<std::uint64_t>(j.at("msgs_withheld").as_int());
+  s.byz_requests_sent =
+      static_cast<std::uint64_t>(j.at("byz_requests_sent").as_int());
+  s.adversary_energy_mj = j.at("adversary_energy_mj").as_double();
   return s;
 }
 

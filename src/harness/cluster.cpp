@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "src/adversary/adversary.hpp"
+
 namespace eesmr::harness {
 
 const char* protocol_name(Protocol p) {
@@ -136,12 +138,17 @@ double RunResult::node_energy_per_block_mj(NodeId id) const {
 // Cluster
 // ---------------------------------------------------------------------------
 
+Cluster::~Cluster() = default;
+
 Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   if (cfg_.n < 2) throw std::invalid_argument("Cluster: n >= 2 required");
   const bool baseline = cfg_.protocol == Protocol::kTrustedBaseline;
   const std::size_t total = baseline ? cfg_.n + 1 : cfg_.n;
-  // Clients are appended after the protocol nodes.
-  const std::size_t world = total + cfg_.clients;
+  // Clients are appended after the protocol nodes; Byzantine clients
+  // (adversary script) after the honest ones.
+  const std::size_t byz_clients = cfg_.adversary.clients.size();
+  const std::size_t leaves = cfg_.clients + byz_clients;
+  const std::size_t world = total + leaves;
 
   // Protocol-node topology.
   net::Hypergraph graph(total);
@@ -162,7 +169,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   const std::size_t diameter = std::max<std::size_t>(1, graph.diameter());
   delta_ = cfg_.hop_delay * static_cast<sim::Duration>(diameter + 1);
 
-  if (cfg_.clients > 0) {
+  if (leaves > 0) {
     graph = net::Hypergraph::expanded(graph, world);
     const std::size_t attach =
         cfg_.client_attach == 0 ? cfg_.n
@@ -176,17 +183,27 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
         graph.add_edge({r, {cid}});
       }
     }
+    // Byzantine clients attach everywhere (a flooding attacker picks the
+    // best-connected access it can get).
+    for (std::size_t bi = 0; bi < byz_clients; ++bi) {
+      const NodeId cid = static_cast<NodeId>(total + cfg_.clients + bi);
+      for (NodeId r = 0; r < cfg_.n; ++r) {
+        graph.add_edge({cid, {r}});
+        graph.add_edge({r, {cid}});
+      }
+    }
   }
 
   meters_.resize(world);
   net::TransportConfig tc;
   tc.medium = cfg_.medium;
   tc.hop_bound = cfg_.hop_delay;
-  // Clients are non-relay leaves from the start (one hop computation).
+  // Clients (honest and Byzantine) are non-relay leaves from the start
+  // (one hop computation).
   std::vector<bool> relay;
-  if (cfg_.clients > 0) {
+  if (leaves > 0) {
     relay.assign(world, true);
-    for (std::size_t ci = 0; ci < cfg_.clients; ++ci) relay[total + ci] = false;
+    for (std::size_t ci = 0; ci < leaves; ++ci) relay[total + ci] = false;
   }
   net_ = std::make_unique<net::Network>(sched_, std::move(graph), tc,
                                         &meters_, std::move(relay));
@@ -206,14 +223,37 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   correct_.assign(world, true);
   counted_.assign(world, true);
   // Clients are mains-powered workload generators: correct but never
-  // part of the replica energy/commit accounting.
-  for (std::size_t ci = 0; ci < cfg_.clients; ++ci) {
+  // part of the replica energy/commit accounting. Byzantine clients are
+  // adversarial on top of that.
+  for (std::size_t ci = 0; ci < leaves; ++ci) {
     counted_[total + ci] = false;
+  }
+  for (std::size_t bi = 0; bi < byz_clients; ++bi) {
+    correct_[total + cfg_.clients + bi] = false;
   }
   for (const FaultSpec& fs : cfg_.faults) {
     if (fs.mode != protocol::ByzantineMode::kHonest) {
       correct_.at(fs.node) = false;
     }
+  }
+  // Every replica an adversary script touches consumes the fault budget:
+  // withholders and crash/recover nodes behave abnormally themselves,
+  // and mark_faulty covers nodes attacked indirectly (e.g. the senders a
+  // LinkFault drop rule targets).
+  const adversary::AdversarySpec& adv = cfg_.adversary;
+  const auto consume_budget = [&](NodeId id) {
+    if (id >= total) {
+      throw std::invalid_argument("Cluster: adversary names a non-replica");
+    }
+    correct_.at(id) = false;
+  };
+  for (const auto& w : adv.withholds) consume_budget(w.node);
+  for (const auto& cr : adv.crashes) consume_budget(cr.node);
+  for (NodeId id : adv.mark_faulty) consume_budget(id);
+  if (!adv.link_faults.empty()) {
+    injector_ = std::make_unique<adversary::NetAdversary>(
+        adv.link_faults, sched_, sim::derive_seed(cfg_.seed, 0xfa01));
+    net_->set_fault_injector(injector_.get());
   }
 
   smr::ReplicaConfig base;
@@ -301,6 +341,28 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
     }
   }
 
+  // Byzantine per-stream withholding: one outbound filter per scripted
+  // replica (its rules evaluated against every outgoing message).
+  {
+    std::map<NodeId, std::vector<adversary::AdversarySpec::Withhold>> by_node;
+    for (const auto& w : adv.withholds) by_node[w.node].push_back(w);
+    for (auto& [node, rules] : by_node) {
+      withhold_filters_.push_back(std::make_unique<adversary::WithholdFilter>(
+          std::move(rules), sched_,
+          sim::derive_seed(cfg_.seed, 0x3170000ull + node)));
+      replicas_.at(node)->set_outbound_policy(withhold_filters_.back().get());
+    }
+  }
+  // Every faulted replica (Byzantine protocol mode, withhold filter,
+  // crash schedule, or network-level script against it) may legitimately
+  // commit a private fork nobody else saw — e.g. an equivocating or
+  // withholding leader self-accepts proposals the cluster moved past.
+  // It is excluded from correctness accounting, so it tolerates the
+  // fork; honest replicas keep the hard conflicting-commit assertion.
+  for (NodeId i = 0; i < total; ++i) {
+    if (!correct_[i]) replicas_[i]->set_tolerate_fork(true);
+  }
+
   // Execution apps + client nodes. Checkpointing snapshots the app, so
   // replicas get one whenever checkpoints are on, clients or not.
   if (cfg_.clients > 0 || cfg_.checkpoint_interval > 0) {
@@ -335,6 +397,12 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
           std::make_unique<client::Client>(*net_, cc, &meters_[cc.id]));
     }
   }
+  for (std::size_t bi = 0; bi < byz_clients; ++bi) {
+    const NodeId cid = static_cast<NodeId>(total + cfg_.clients + bi);
+    byz_clients_.push_back(std::make_unique<adversary::ByzantineClient>(
+        *net_, cid, keyring_, adv.clients[bi],
+        sim::derive_seed(cfg_.seed, 0xb120000ull + bi), &meters_[cid]));
+  }
 
   // Late joiners: off the air (no reception, relay or energy) until
   // their delay elapses; started then (see start()).
@@ -368,7 +436,26 @@ void Cluster::start() {
       replicas_[node]->start();
     });
   }
+  // Crash/recover schedules (the late_starts generalization): the node
+  // runs normally, drops off the air at crash_at, and — when scripted —
+  // comes back at recover_at and catches up by chain sync or state
+  // transfer.
+  for (const adversary::AdversarySpec::CrashRecover& cr :
+       cfg_.adversary.crashes) {
+    sched_.at(std::max(cr.crash_at, sched_.now()), [this, node = cr.node] {
+      net_->set_node_online(node, false);
+      replicas_[node]->set_online(false);
+    });
+    if (cr.recover_at > 0) {
+      sched_.at(std::max(cr.recover_at, sched_.now()),
+                [this, node = cr.node] {
+        net_->set_node_online(node, true);
+        replicas_[node]->set_online(true);
+      });
+    }
+  }
   for (auto& c : clients_) c->start();
+  for (auto& bc : byz_clients_) bc->start();
 }
 
 std::size_t Cluster::min_committed_correct() const {
@@ -381,14 +468,27 @@ std::size_t Cluster::min_committed_correct() const {
   return best == SIZE_MAX ? 0 : best;
 }
 
+void Cluster::tick_checkers() {
+  std::uint64_t min_lwm = UINT64_MAX;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!correct_[i] || !counted_[i]) continue;
+    safety_.observe(static_cast<NodeId>(i), replicas_[i]->log());
+    min_lwm = std::min(min_lwm, replicas_[i]->low_water_mark());
+  }
+  if (min_lwm != UINT64_MAX && min_lwm > 0) safety_.prune_below(min_lwm);
+  liveness_.sample(sched_.now(), min_committed_correct());
+}
+
 RunResult Cluster::run_until_commits(std::size_t target_blocks,
                                      sim::Duration max_time) {
   start();
   const sim::SimTime deadline = sched_.now() + max_time;
+  tick_checkers();
   while (sched_.now() < deadline &&
          min_committed_correct() < target_blocks && !sched_.empty()) {
     sched_.run_until(std::min<sim::SimTime>(
         deadline, sched_.now() + cfg_.hop_delay * 4));
+    tick_checkers();
   }
   return snapshot();
 }
@@ -402,17 +502,25 @@ RunResult Cluster::run_until_accepted(std::uint64_t target_requests,
     for (const auto& c : clients_) total += c->accepted();
     return total;
   };
+  tick_checkers();
   while (sched_.now() < deadline && accepted_total() < target_requests &&
          !sched_.empty()) {
     sched_.run_until(std::min<sim::SimTime>(
         deadline, sched_.now() + cfg_.hop_delay * 4));
+    tick_checkers();
   }
   return snapshot();
 }
 
 RunResult Cluster::run_for(sim::Duration time) {
   start();
-  sched_.run_until(sched_.now() + time);
+  const sim::SimTime deadline = sched_.now() + time;
+  tick_checkers();
+  while (sched_.now() < deadline) {
+    sched_.run_until(std::min<sim::SimTime>(
+        deadline, sched_.now() + cfg_.hop_delay * 4));
+    tick_checkers();
+  }
   return snapshot();
 }
 
@@ -440,6 +548,7 @@ RunResult Cluster::snapshot() const {
     fp.executed_entries = r.executed_entries();
     fp.mempool_pending = r.mempool().pending();
     fp.mempool_committed_keys = r.mempool().committed_keys();
+    fp.flood_dedup_tail = r.flood_dedup_entries();
     fp.committed_blocks = r.committed_blocks();
     fp.low_water_mark = r.low_water_mark();
     fp.checkpoints_taken = r.checkpoints().taken();
@@ -472,6 +581,20 @@ RunResult Cluster::snapshot() const {
       out.controller_dedup_bytes_saved = ctl->dedup_bytes_saved();
     }
   }
+  // Adversary verdicts & attack accounting (the checkers run on every
+  // cluster; the fault counters only move when a spec scripted faults).
+  out.safety_violations = safety_.violations();
+  out.max_commit_stall = liveness_.max_stall(sched_.now());
+  out.liveness_stall_bound = cfg_.adversary.stall_bound;
+  if (injector_ != nullptr) {
+    out.faults_dropped = injector_->dropped();
+    out.faults_duplicated = injector_->duplicated();
+    out.faults_reordered = injector_->reordered();
+  }
+  for (const auto& wf : withhold_filters_) {
+    out.msgs_withheld += wf->withheld();
+  }
+  for (const auto& bc : byz_clients_) out.byz_requests_sent += bc->sent();
   return out;
 }
 

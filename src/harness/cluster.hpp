@@ -6,11 +6,19 @@
 #include <memory>
 #include <vector>
 
+#include "src/adversary/spec.hpp"
 #include "src/baselines/sync_hotstuff.hpp"
 #include "src/baselines/trusted_baseline.hpp"
 #include "src/client/client.hpp"
 #include "src/eesmr/eesmr.hpp"
+#include "src/harness/checkers.hpp"
 #include "src/harness/metrics.hpp"
+
+namespace eesmr::adversary {
+class NetAdversary;
+class WithholdFilter;
+class ByzantineClient;
+}  // namespace eesmr::adversary
 
 namespace eesmr::harness {
 
@@ -108,11 +116,20 @@ struct ClusterConfig {
     sim::Duration delay = 0;
   };
   std::vector<LateStart> late_starts;
+
+  // -- adversary & fault injection (src/adversary/) ----------------------------
+  /// Declarative fault script: network-level link faults (drop / delay /
+  /// duplicate / reorder with seed-derived deterministic schedules),
+  /// Byzantine per-stream withholding, crash/recover schedules, and
+  /// Byzantine clients. The Safety/Liveness checkers run on every
+  /// cluster regardless; their verdicts land in RunResult.
+  adversary::AdversarySpec adversary;
 };
 
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& cfg);
+  ~Cluster();
 
   void start();
 
@@ -144,8 +161,19 @@ class Cluster {
   /// End-to-end Δ derived from the topology (hop bound × diameter + 1).
   [[nodiscard]] sim::Duration delta() const { return delta_; }
 
+  /// In-run conformance oracles (always on; ticked every few hop delays
+  /// while the run loops and once more at snapshot time).
+  [[nodiscard]] const SafetyChecker& safety_checker() const {
+    return safety_;
+  }
+  [[nodiscard]] const LivenessChecker& liveness_checker() const {
+    return liveness_;
+  }
+
  private:
   [[nodiscard]] std::size_t min_committed_correct() const;
+  /// Feed the safety/liveness checkers from the honest replicas.
+  void tick_checkers();
 
   ClusterConfig cfg_;
   sim::Scheduler sched_;
@@ -160,6 +188,14 @@ class Cluster {
   std::vector<bool> counted_;
   std::vector<bool> late_;
   bool started_ = false;
+
+  // Adversary wiring (src/adversary; owned here, installed on the
+  // network / replicas at construction time).
+  std::unique_ptr<adversary::NetAdversary> injector_;
+  std::vector<std::unique_ptr<adversary::WithholdFilter>> withhold_filters_;
+  std::vector<std::unique_ptr<adversary::ByzantineClient>> byz_clients_;
+  SafetyChecker safety_;
+  LivenessChecker liveness_;
 };
 
 }  // namespace eesmr::harness

@@ -4,10 +4,20 @@
 
 namespace eesmr::harness {
 
+double RunResult::adversary_energy_mj() const {
+  double total = 0;
+  for (std::size_t i = 0; i < meters.size(); ++i) {
+    if (i < correct.size() && !correct[i]) {
+      total += meters[i].total_millijoules();
+    }
+  }
+  return total;
+}
+
 RunSummary RunResult::summarize() const {
   RunSummary s;
   s.nodes = meters.size();
-  s.safety_ok = safety_ok();
+  s.safety_ok = safety_ok() && safety_violations == 0;
   s.min_committed = min_committed();
   s.max_committed = max_committed();
   s.view_changes = view_changes;
@@ -47,6 +57,16 @@ RunSummary RunResult::summarize() const {
                                          footprints[i].checkpoints_taken);
     }
   }
+
+  s.safety_violations = safety_violations;
+  s.liveness_ok = liveness_ok();
+  s.max_commit_stall_ms = sim::to_milliseconds(max_commit_stall);
+  s.faults_dropped = faults_dropped;
+  s.faults_duplicated = faults_duplicated;
+  s.faults_reordered = faults_reordered;
+  s.msgs_withheld = msgs_withheld;
+  s.byz_requests_sent = byz_requests_sent;
+  s.adversary_energy_mj = adversary_energy_mj();
   return s;
 }
 

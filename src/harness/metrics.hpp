@@ -21,6 +21,7 @@ struct ReplicaFootprint {
   std::size_t executed_entries = 0;       ///< exactly-once reply cache
   std::size_t mempool_pending = 0;
   std::size_t mempool_committed_keys = 0;
+  std::size_t flood_dedup_tail = 0;       ///< router seen-window tails
   std::uint64_t committed_blocks = 0;     ///< total ever committed
   std::uint64_t low_water_mark = 0;
   std::uint64_t checkpoints_taken = 0;
@@ -72,6 +73,34 @@ struct RunResult {
   /// Slowest request→restore duration among completed state transfers.
   sim::Duration max_recovery_latency = 0;
 
+  // Adversary / fault-injection measurements (src/adversary). The
+  // always-on checkers fill the verdicts on every run, attacked or not.
+  /// Conflicting honest commits detected by the in-run SafetyChecker.
+  std::uint64_t safety_violations = 0;
+  /// Longest stall of the honest commit frontier during the run.
+  sim::Duration max_commit_stall = 0;
+  /// Configured liveness bound (AdversarySpec::stall_bound; 0 = observe
+  /// only, liveness_ok() then never fails).
+  sim::Duration liveness_stall_bound = 0;
+  /// Network-level fault injections actually applied.
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_reordered = 0;
+  /// Outgoing messages suppressed by Byzantine withhold filters.
+  std::uint64_t msgs_withheld = 0;
+  /// Requests flooded by Byzantine clients.
+  std::uint64_t byz_requests_sent = 0;
+
+  /// Liveness verdict: the honest commit frontier never stalled past the
+  /// configured bound (vacuously true when no bound was set).
+  [[nodiscard]] bool liveness_ok() const {
+    return liveness_stall_bound == 0 ||
+           max_commit_stall <= liveness_stall_bound;
+  }
+  /// Energy spent by adversarial nodes (faulty replicas + Byzantine
+  /// clients) — what the attack cost the attacker.
+  [[nodiscard]] double adversary_energy_mj() const;
+
   /// Safety (Definition 2.1): for every height, all correct nodes that
   /// committed (and still retain) a block at that height committed the
   /// same block. Height-keyed, so logs truncated at different stable
@@ -120,6 +149,7 @@ struct RunResult {
 /// per-stream breakdown, which keeps its own structure).
 struct RunSummary {
   std::size_t nodes = 0;  ///< meters (protocol nodes + clients)
+  /// Final-log cross-check AND zero in-run SafetyChecker violations.
   bool safety_ok = true;
   std::uint64_t min_committed = 0;
   std::uint64_t max_committed = 0;
@@ -156,6 +186,17 @@ struct RunSummary {
   std::size_t max_dedup_entries = 0;
   std::size_t max_store_blocks = 0;       ///< over counted correct nodes
   std::uint64_t max_checkpoints_taken = 0;
+
+  // Adversary / fault injection.
+  std::uint64_t safety_violations = 0;
+  bool liveness_ok = true;
+  double max_commit_stall_ms = 0;
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_reordered = 0;
+  std::uint64_t msgs_withheld = 0;
+  std::uint64_t byz_requests_sent = 0;
+  double adversary_energy_mj = 0;
 };
 
 }  // namespace eesmr::harness

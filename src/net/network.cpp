@@ -109,15 +109,25 @@ void Network::transmit_edge(const HyperEdge& edge, BytesView frame,
   for (NodeId to : edge.receivers) {
     PacketSink* sink = sinks_[to];
     if (sink == nullptr || !online_[to]) continue;
-    sim::Duration d = policy_->delay(edge.sender, to, frame.size());
-    d = std::clamp<sim::Duration>(d, 1, config_.hop_bound);
-    ++deliveries_;
-    // Re-check at delivery time: the receiver may have gone offline
-    // while the frame was in flight.
-    sched_.after(d, [this, sink, to, from = edge.sender,
-                     data = to_bytes(frame)] {
-      if (online_[to]) sink->on_packet(from, data);
-    });
+    FaultVerdict fv;
+    if (injector_ != nullptr) {
+      fv = injector_->on_delivery(edge.sender, to, stream, frame.size());
+    }
+    if (fv.drop) continue;  // corrupted past recovery; recv energy stays
+    for (std::uint32_t copy = 0; copy <= fv.duplicates; ++copy) {
+      // Each copy draws its own hop delay, so duplicates interleave with
+      // (and reorder against) the surrounding traffic. extra_delay is
+      // added unclamped: the injector may exceed the hop bound.
+      sim::Duration d = policy_->delay(edge.sender, to, frame.size());
+      d = std::clamp<sim::Duration>(d, 1, config_.hop_bound) + fv.extra_delay;
+      ++deliveries_;
+      // Re-check at delivery time: the receiver may have gone offline
+      // while the frame was in flight.
+      sched_.after(d, [this, sink, to, from = edge.sender,
+                       data = to_bytes(frame)] {
+        if (online_[to]) sink->on_packet(from, data);
+      });
+    }
   }
 }
 

@@ -65,6 +65,28 @@ class MaxDelay final : public DelayPolicy {
   sim::Duration bound_;
 };
 
+/// Per-delivery fault verdict chosen by an installed FaultInjector. A
+/// dropped frame is modeled as corrupted after reception (the receiver's
+/// radio listened, so its reception energy is still charged); duplicates
+/// are stack-level re-deliveries and charge no extra energy. extra_delay
+/// is deliberately NOT clamped to the hop bound — a fault schedule may
+/// exceed it to violate bounded synchrony and stress liveness.
+struct FaultVerdict {
+  bool drop = false;
+  std::uint32_t duplicates = 0;   ///< extra copies delivered
+  sim::Duration extra_delay = 0;  ///< added on top of the drawn hop delay
+};
+
+/// Scripted network-level fault injection (src/adversary): consulted once
+/// per (transmission, receiver) before the delivery is scheduled.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultVerdict on_delivery(NodeId from, NodeId to,
+                                   energy::Stream stream,
+                                   std::size_t bytes) = 0;
+};
+
 struct TransportConfig {
   energy::Medium medium = energy::Medium::kBle;
   /// Max per-hop delivery delay (the edge-level Δ component).
@@ -87,6 +109,9 @@ class Network {
 
   void attach(NodeId node, PacketSink* sink);
   void set_delay_policy(std::unique_ptr<DelayPolicy> policy);
+  /// Install (or clear, with nullptr) a fault injector. Not owned; must
+  /// outlive the network while installed.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Take a node off the air (crashed / not yet spawned) or bring it
   /// back. While offline the node neither transmits, receives, relays,
@@ -144,6 +169,7 @@ class Network {
   std::vector<energy::Meter>* meters_;
   std::vector<PacketSink*> sinks_;
   std::unique_ptr<DelayPolicy> policy_;
+  FaultInjector* injector_ = nullptr;
   std::vector<bool> relay_;
   std::vector<bool> online_;
   std::vector<std::vector<std::size_t>> hop_matrix_;

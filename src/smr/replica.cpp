@@ -100,10 +100,12 @@ BlockHash ReplicaBase::hash_block(const Block& b) {
 }
 
 void ReplicaBase::broadcast(const Msg& m) {
+  if (outbound_ != nullptr && !outbound_->allow(m, kNoNode)) return;
   channel(stream_of(m.type)).disseminate(m.encode());
 }
 
 void ReplicaBase::send(NodeId to, const Msg& m) {
+  if (outbound_ != nullptr && !outbound_->allow(m, to)) return;
   channel(stream_of(m.type)).send_to(to, m.encode());
 }
 
@@ -133,6 +135,9 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
   if (target->height <= lwm_height_) return;  // below the stable checkpoint
   if (!store_.extends(h, committed_tip_)) {
     if (store_.extends(committed_tip_, h)) return;  // already covered
+    // A scripted-faulty node's private fork (see set_tolerate_fork):
+    // stop committing rather than crash the simulation.
+    if (tolerate_fork_) return;
     throw std::logic_error("commit_chain: conflicting commit (safety bug)");
   }
   for (const Block& b : store_.chain_between(h, committed_tip_)) {

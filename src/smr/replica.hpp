@@ -67,6 +67,18 @@ struct ReplicaConfig {
   std::size_t client_pending_cap = 0;
 };
 
+/// Byzantine outbound interception (src/adversary): consulted for every
+/// outgoing protocol message of a replica it is installed on. Returning
+/// false withholds the message — it was built and signed (that energy is
+/// already charged, as a real traitor would pay it) but never reaches
+/// the radio. `dest` is kNoNode for broadcasts. This is the per-stream
+/// selective-withholding / vote-suppression primitive.
+class OutboundPolicy {
+ public:
+  virtual ~OutboundPolicy() = default;
+  [[nodiscard]] virtual bool allow(const Msg& m, NodeId dest) = 0;
+};
+
 /// Base class for protocol replicas. Subclasses implement start() and
 /// handle(); the base dispatches, chain-synchronizes, and meters.
 class ReplicaBase : public net::FloodClient {
@@ -132,12 +144,30 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] std::uint64_t requests_forwarded() const {
     return requests_forwarded_;
   }
+  /// Sparse flood-router dedup entries currently held (seen-window
+  /// tails; bounded even under adversarial duplication/reordering).
+  [[nodiscard]] std::size_t flood_dedup_entries() const {
+    return router_.dedup_tail_entries();
+  }
 
   /// Harness hook: while offline every delivery is dropped (a crashed /
   /// not-yet-spawned replica). Going online again models recovery; the
   /// replica then catches up by chain sync or state transfer.
   void set_online(bool online) { online_ = online; }
   [[nodiscard]] bool online() const { return online_; }
+
+  /// Install (or clear) a Byzantine outbound filter. Not owned; must
+  /// outlive the replica while installed.
+  void set_outbound_policy(OutboundPolicy* policy) { outbound_ = policy; }
+
+  /// Scripted-fault harness hook: a replica whose outgoing traffic is
+  /// scripted away (withhold filter, lossy links) can legitimately
+  /// commit a private fork nobody else saw — e.g. a withholding leader
+  /// self-accepts the proposals it never sent, then observes the view
+  /// change move past them. Such a node is excluded from correctness
+  /// accounting, so commit_chain treats the conflict as a no-op instead
+  /// of asserting (honest replicas keep the hard assertion).
+  void set_tolerate_fork(bool tolerate) { tolerate_fork_ = tolerate; }
 
   /// Attach an execution-layer state machine: every committed command is
   /// applied in log order; results are the per-request acknowledgments a
@@ -282,6 +312,8 @@ class ReplicaBase : public net::FloodClient {
   std::uint64_t committed_height_ = 0;
   std::set<std::string> sync_requested_;
   StateMachine* app_ = nullptr;
+  OutboundPolicy* outbound_ = nullptr;
+  bool tolerate_fork_ = false;
   std::vector<Bytes> results_;
   /// First execution result per (client, req_id): a request re-proposed
   /// across a view change can land in two committed blocks; the cache

@@ -243,5 +243,32 @@ TEST(TrustedBaseline, ControllerDedupsFloodedRequests) {
   EXPECT_LT(rd.total_energy_mj(), rn.total_energy_mj());
 }
 
+TEST(TrustedBaseline, ControllerDedupStateStaysBoundedOverLongRuns) {
+  // The controller's (client, req_id) seen-set is a per-client
+  // watermark + sparse tail, not a per-request set: a long run with
+  // ascending client req_ids must leave O(clients) live entries, not
+  // O(requests ordered) — the ROADMAP unbounded-seen-set fix.
+  ClusterConfig cfg = shs_config(4, 1);
+  cfg.protocol = Protocol::kTrustedBaseline;
+  cfg.clients = 2;
+  cfg.batch_size = 8;
+  cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+  cfg.workload.outstanding = 4;
+  cfg.workload.max_requests = 150;
+
+  Cluster cluster(cfg);
+  const RunResult r = cluster.run_until_accepted(300, sim::seconds(5000));
+  ASSERT_EQ(r.requests_accepted, 300u);
+  EXPECT_GT(r.controller_dedup_saved, 0u);
+
+  const auto* ctl = dynamic_cast<const baselines::TrustedController*>(
+      &cluster.replica(static_cast<NodeId>(cfg.n)));
+  ASSERT_NE(ctl, nullptr);
+  // 300 requests ordered; live dedup state is the two client watermarks
+  // plus whatever reordering tail is still open (flooded submissions
+  // arrive near-ascending, so the tail is a handful of entries).
+  EXPECT_LE(ctl->dedup_state_entries(), cfg.clients * 8);
+}
+
 }  // namespace
 }  // namespace eesmr::harness

@@ -228,6 +228,45 @@ TEST(SeenWindow, PersistentGapsAreForceCompactedAtTheCap) {
   EXPECT_FALSE(w.insert(100000));
 }
 
+TEST(SeenWindow, AdversarialDuplicationAndReorderingStaysExactAndBounded) {
+  // An adversarial link schedule re-delivers every seq several times and
+  // reorders arrivals within a sliding window. The window must accept
+  // each seq exactly once, reject every duplicate copy, and keep its
+  // sparse tail bounded by the reordering horizon — dup-heavy schedules
+  // must not grow dedup state past its bound.
+  FloodRouter::SeenWindow w;
+  sim::Rng rng(0xd0b1e);
+  constexpr std::uint64_t kSeqs = 50000;
+  constexpr std::uint64_t kHorizon = 64;  // reordering window
+  std::uint64_t accepted = 0;
+  std::vector<std::uint64_t> window;
+  std::uint64_t next = 1;
+  std::size_t max_tail = 0;
+  while (accepted < kSeqs) {
+    while (window.size() < kHorizon && next <= kSeqs) {
+      window.push_back(next++);
+      // Adversarial duplication: every seq queued as 1-3 copies.
+      for (std::uint64_t c = rng.below(3); c > 0; --c) {
+        window.push_back(window.back());
+      }
+    }
+    // Deliver a random element of the in-flight window (reordering).
+    const std::size_t pick = rng.below(window.size());
+    if (w.insert(window[pick])) ++accepted;
+    window.erase(window.begin() + static_cast<std::ptrdiff_t>(pick));
+    max_tail = std::max(max_tail, w.tail_size());
+  }
+  for (const std::uint64_t leftover : window) {
+    EXPECT_FALSE(w.insert(leftover));  // every remaining copy is a dup
+  }
+  EXPECT_EQ(accepted, kSeqs);  // exactly-once despite the duplication
+  EXPECT_EQ(w.watermark, kSeqs);
+  // A slow seq can hold the watermark while later arrivals pile into the
+  // sparse tail, but never past the force-compaction cap — the bound is
+  // O(window), independent of the 50k-seq load.
+  EXPECT_LE(max_tail, FloodRouter::SeenWindow::kMaxTail);
+}
+
 TEST(Routing, DedupStateStaysBoundedUnderLongMixedTraffic) {
   // Long run of interleaved floods and routed unicasts: the unicast seqs
   // are gaps in the flood-observers' windows. Per-origin state must stay
