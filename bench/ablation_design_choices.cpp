@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     cfg.seed = c.seed;
     exp::MetricRow row;
     row.set("mj_per_block",
-            exp::run_steady(cfg, blocks).energy_per_block_mj());
+            exp::run_steady(c, cfg, blocks).energy_per_block_mj());
     return row;
   }).print_table(0);
   ex.note("expected: RSA-1024 cheapest asymmetric (verify 0.02 J); ECDSA "
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     cfg.seed = c.seed;
     exp::MetricRow row;
     row.set("mj_per_block",
-            exp::run_steady(cfg, blocks).energy_per_block_mj());
+            exp::run_steady(c, cfg, blocks).energy_per_block_mj());
     return row;
   }).print_table(0);
   ex.note("expected: k-casts win on SENDER energy (one advertisement "
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
     cfg.eesmr.equivocation_fast_path = c.label("fast_path") == "on";
     cfg.seed = c.seed;
     const exp::ViewChangeCost vc = exp::view_change_cost(
-        cfg, {1, protocol::ByzantineMode::kEquivocate, 4}, 2,
+        c, cfg, {1, protocol::ByzantineMode::kEquivocate, 4}, 2,
         ex.smoke() ? 4 : 6);
     exp::MetricRow row;
     row.set("vc_surcharge_total_mj", vc.total_mj);
@@ -119,9 +119,11 @@ int main(int argc, char** argv) {
     cfg.k = 3;
     cfg.eesmr.pipeline = pipelines[c.at("pipeline")];
     cfg.seed = c.seed;
+    exp::prepare(c, cfg);
     Cluster cluster(cfg);
     const RunResult r =
         cluster.run_for(sim::seconds(ex.smoke() ? 10 : 40));
+    exp::observe(c, r);
     exp::MetricRow row;
     row.set("blocks", r.min_committed());
     row.set("mj_per_block", r.energy_per_block_mj());
@@ -142,8 +144,10 @@ int main(int argc, char** argv) {
     cfg.eesmr.cmds_in_bootstrap = c.label("cmds_in_bootstrap") == "on";
     cfg.faults = {{1, protocol::ByzantineMode::kCrash, 4}};
     cfg.seed = c.seed;
+    exp::prepare(c, cfg);
     Cluster cluster(cfg);
     const RunResult r = cluster.run_until_commits(6, sim::seconds(600));
+    exp::observe(c, r);
     exp::MetricRow row;
     row.set("blocks", r.min_committed());
     row.set("t_end_s", sim::to_seconds(r.end_time));
@@ -169,7 +173,7 @@ int main(int argc, char** argv) {
     cfg.seed = c.seed;
     exp::MetricRow row;
     row.set("mj_per_block",
-            exp::run_steady(cfg, blocks).energy_per_block_mj());
+            exp::run_steady(c, cfg, blocks).energy_per_block_mj());
     return row;
   }).print_table(0);
   ex.note("expected: verification energy amortizes across the checkpoint "

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     cfg.cmd_bytes = 16;
     cfg.batch_size = 1;
     cfg.seed = c.seed;
-    const RunResult r = exp::run_steady(cfg, blocks);
+    const RunResult r = exp::run_steady(c, cfg, blocks);
     const double leader_mj = r.node_energy_per_block_mj(leader);
     // Average over all non-leader correct replicas.
     double rep_mj = 0;

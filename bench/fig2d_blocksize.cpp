@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     cfg.cmd_bytes = sizes[c.at("block_bytes")];
     cfg.batch_size = 1;
     cfg.seed = c.seed;
-    const RunResult r = exp::run_steady(cfg, blocks);
+    const RunResult r = exp::run_steady(c, cfg, blocks);
     exp::MetricRow row;
     row.set("leader_mj_per_block", r.node_energy_per_block_mj(1));
     row.set("run", exp::run_result_json(r));

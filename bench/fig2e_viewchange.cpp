@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     } else if (c.label("scenario") == "no_progress") {
       cfg.faults.push_back({1, protocol::ByzantineMode::kCrash, 4});
     }
-    const RunResult r = exp::run_steady(cfg, blocks);
+    const RunResult r = exp::run_steady(c, cfg, blocks);
     exp::MetricRow row;
     row.set("k", cfg.k);
     row.set("new_leader_mj", r.node_energy_mj(new_leader));

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     cfg.medium = energy::Medium::kBle;
     cfg.cmd_bytes = 16;
     cfg.seed = c.seed;
-    const RunResult r = exp::run_steady(cfg, blocks);
+    const RunResult r = exp::run_steady(c, cfg, blocks);
     row.set("mj_per_block", r.energy_per_block_mj());
     row.set("run", exp::run_result_json(r));
     return row;

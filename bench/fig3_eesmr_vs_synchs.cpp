@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     if (c.label("scenario") == "crash_vc") {
       cfg.faults.push_back({1, protocol::ByzantineMode::kCrash, 4});
     }
-    const RunResult r = exp::run_steady(cfg, blocks);
+    const RunResult r = exp::run_steady(c, cfg, blocks);
     exp::MetricRow row;
     row.set("k", f + 1);
     row.set("leader1_mj_per_block", r.node_energy_per_block_mj(1));

@@ -9,6 +9,7 @@
 #include "src/adversary/adversary.hpp"
 #include "src/exp/experiment.hpp"
 #include "src/exp/record.hpp"
+#include "src/exp/run_helpers.hpp"
 
 using namespace eesmr;
 using adversary::AttackKind;
@@ -96,15 +97,18 @@ int main(int argc, char** argv) {
     base.adversary.stall_bound = sim::seconds(10);
 
     // Honest twin: identical configuration and seed, no attack.
+    exp::prepare(c, base);
     harness::Cluster honest_cluster(base);
     const RunResult honest =
         honest_cluster.run_until_commits(blocks, sim::seconds(60));
+    exp::observe(c, honest, {{"phase", "honest"}});
 
     ClusterConfig attacked_cfg = base;
     adversary::apply_attack(attacked_cfg, attacks[c.at("attack")]);
     harness::Cluster attacked_cluster(attacked_cfg);
     const RunResult attacked =
         attacked_cluster.run_until_commits(blocks, sim::seconds(60));
+    exp::observe(c, attacked, {{"phase", "attacked"}});
 
     if (!attacked.safety_ok() || attacked.safety_violations > 0) {
       std::fprintf(stderr, "SAFETY VIOLATION under %s\n",

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/exp/experiment.hpp"
+#include "src/exp/run_helpers.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/exp/record.hpp"
 
@@ -63,9 +64,12 @@ int main(int argc, char** argv) {
 
   exp::Report& mem = ex.run("memory_energy", steady,
                             [&](const exp::RunContext& c) {
-    Cluster cluster(base_cfg(protocols[c.at("protocol")],
-                             intervals[c.at("interval")], c.seed));
+    ClusterConfig cfg = base_cfg(protocols[c.at("protocol")],
+                                 intervals[c.at("interval")], c.seed);
+    exp::prepare(c, cfg);
+    Cluster cluster(cfg);
     const RunResult r = cluster.run_for(run_time);
+    exp::observe(c, r);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
     const harness::RunSummary s = r.summarize();
     exp::MetricRow row;
@@ -109,8 +113,10 @@ int main(int argc, char** argv) {
                                  intervals[c.at("interval")], c.seed);
     cfg.workload.max_requests = 600;  // traffic persists past the join
     cfg.late_starts.push_back({3, kJoinAt});
+    exp::prepare(c, cfg);
     Cluster cluster(cfg);
     const RunResult r = cluster.run_for(run_time);
+    exp::observe(c, r);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
     exp::MetricRow row;
     row.set("state_transfers", r.state_transfers);

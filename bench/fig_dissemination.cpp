@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/exp/experiment.hpp"
+#include "src/exp/run_helpers.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/exp/record.hpp"
 
@@ -48,9 +49,11 @@ int main(int argc, char** argv) {
     if (c.label("submission") == "targeted_subset") {
       cfg.client_submit = net::DisseminationPolicy::targeted_subset(1, 0);
     }
+    exp::prepare(c, cfg);
     harness::Cluster cluster(cfg);
     const RunResult r =
         cluster.run_until_accepted(requests, sim::seconds(5000));
+    exp::observe(c, r);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
     if (r.requests_accepted < requests) {
       std::fprintf(stderr, "LIVENESS: only %llu/%llu accepted\n",

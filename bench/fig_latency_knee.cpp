@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/exp/experiment.hpp"
+#include "src/exp/run_helpers.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/exp/record.hpp"
 
@@ -43,8 +44,10 @@ int main(int argc, char** argv) {
     cfg.mempool_capacity = 256;  // shed overload instead of queueing
     cfg.workload.mode = client::WorkloadSpec::Mode::kOpenLoop;
     cfg.workload.rate_per_sec = static_cast<double>(rates[c.at("rate_rps")]);
+    exp::prepare(c, cfg);
     harness::Cluster cluster(cfg);
     const RunResult r = cluster.run_for(run_time);
+    exp::observe(c, r);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
     const harness::RunSummary s = r.summarize();
     exp::MetricRow row;

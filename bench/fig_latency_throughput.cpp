@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/exp/experiment.hpp"
+#include "src/exp/run_helpers.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/exp/record.hpp"
 
@@ -71,8 +72,10 @@ int main(int argc, char** argv) {
                                   : shape == "open_50rps" ? 50.0
                                                           : 200.0;
     }
+    exp::prepare(c, cfg);
     harness::Cluster cluster(cfg);
     const RunResult r = cluster.run_for(run_time);
+    exp::observe(c, r);
     if (!r.safety_ok()) std::fprintf(stderr, "SAFETY VIOLATION\n");
     const harness::RunSummary s = r.summarize();
     exp::MetricRow row;

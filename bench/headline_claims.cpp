@@ -48,8 +48,11 @@ int main(int argc, char** argv) {
     ee.protocol = Protocol::kEesmr;
     ClusterConfig shs = cfg;
     shs.protocol = Protocol::kSyncHotStuff;
-    const double e = exp::run_steady(ee, blocks).energy_per_block_mj();
-    const double s = exp::run_steady(shs, blocks).energy_per_block_mj();
+    const double e = exp::run_steady(c, ee, blocks, {{"protocol", "eesmr"}})
+                         .energy_per_block_mj();
+    const double s =
+        exp::run_steady(c, shs, blocks, {{"protocol", "sync_hotstuff"}})
+            .energy_per_block_mj();
 
     exp::MetricRow row;
     row.set("f", cfg.f);
@@ -86,12 +89,16 @@ int main(int argc, char** argv) {
     shs.protocol = Protocol::kSyncHotStuff;
     const std::size_t vc_blocks = ex.smoke() ? 4 : 6;
     const exp::ViewChangeCost ee_vc = exp::view_change_cost(
-        ee, {1, protocol::ByzantineMode::kCrash, 4}, 2, vc_blocks);
+        c, ee, {1, protocol::ByzantineMode::kCrash, 4}, 2, vc_blocks,
+        {{"protocol", "eesmr"}});
     const exp::ViewChangeCost shs_vc = exp::view_change_cost(
-        shs, {1, protocol::ByzantineMode::kCrash, 4}, 2, vc_blocks);
+        c, shs, {1, protocol::ByzantineMode::kCrash, 4}, 2, vc_blocks,
+        {{"protocol", "sync_hotstuff"}});
     const double per_block_gain =
-        exp::run_steady(shs, blocks).energy_per_block_mj() -
-        exp::run_steady(ee, blocks).energy_per_block_mj();
+        exp::run_steady(c, shs, blocks, {{"protocol", "sync_hotstuff"}})
+            .energy_per_block_mj() -
+        exp::run_steady(c, ee, blocks, {{"protocol", "eesmr"}})
+            .energy_per_block_mj();
 
     exp::MetricRow row;
     row.set("eesmr_vc_total_mj", ee_vc.total_mj);

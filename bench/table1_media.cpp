@@ -7,6 +7,7 @@
 
 #include "src/energy/cost_model.hpp"
 #include "src/exp/experiment.hpp"
+#include "src/exp/run_helpers.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/exp/record.hpp"
 
@@ -73,9 +74,11 @@ int main(int argc, char** argv) {
     cfg.workload.mode = eesmr::client::WorkloadSpec::Mode::kClosedLoop;
     cfg.workload.outstanding = 1;
     cfg.workload.max_requests = 6;
+    exp::prepare(c, cfg);
     harness::Cluster cluster(cfg);
     const harness::RunResult r =
         cluster.run_until_accepted(18, sim::seconds(5000));
+    exp::observe(c, r);
     double radio = 0;
     for (std::size_t s = 0; s < kNumStreams; ++s) {
       radio += r.stream_totals(static_cast<Stream>(s)).total_mj();

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     cfg.f = (cfg.n - 1) / 2;
     cfg.k = 0;  // full mesh, matching the table's d = n-1 setting
     cfg.seed = c.seed;
-    const RunResult r = exp::run_steady(cfg, blocks);
+    const RunResult r = exp::run_steady(c, cfg, blocks);
     const double b = static_cast<double>(r.min_committed());
     std::uint64_t signs = 0, verifies = 0;
     for (const auto& m : r.meters) {

@@ -27,6 +27,13 @@ NetAdversary::NetAdversary(std::vector<AdversarySpec::LinkFault> rules,
                            sim::Scheduler& sched, std::uint64_t seed)
     : rules_(std::move(rules)), sched_(sched), rng_(seed) {}
 
+void NetAdversary::trace_fault(const char* what, NodeId from, NodeId to) {
+  if (tracer_ != nullptr) {
+    tracer_->instant(sched_.now(), static_cast<std::int64_t>(to), "fault",
+                     what, {{"from", exp::Json(from)}, {"to", exp::Json(to)}});
+  }
+}
+
 net::FaultVerdict NetAdversary::on_delivery(NodeId from, NodeId to,
                                             energy::Stream stream,
                                             std::size_t /*bytes*/) {
@@ -39,15 +46,18 @@ net::FaultVerdict NetAdversary::on_delivery(NodeId from, NodeId to,
     // First matching rule decides the delivery.
     if (r.drop > 0 && rng_.chance(r.drop)) {
       ++dropped_;
+      trace_fault("drop", from, to);
       v.drop = true;
       return v;
     }
     if (r.duplicate > 0 && rng_.chance(r.duplicate)) {
       ++duplicated_;
+      trace_fault("duplicate", from, to);
       v.duplicates = 1;
     }
     if (r.reorder > 0 && r.reorder_delay > 0 && rng_.chance(r.reorder)) {
       ++reordered_;
+      trace_fault("reorder", from, to);
       v.extra_delay = r.reorder_delay;
     }
     return v;

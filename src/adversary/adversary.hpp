@@ -53,10 +53,16 @@ class NetAdversary final : public net::FaultInjector {
   [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
   [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
 
+  /// Emit an instant event per injected fault (not owned; nullptr off).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
+  void trace_fault(const char* what, NodeId from, NodeId to);
+
   std::vector<AdversarySpec::LinkFault> rules_;
   sim::Scheduler& sched_;
   sim::Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;

@@ -90,6 +90,12 @@ void SyncHsReplica::propose(std::uint64_t height) {
     w.bytes(tip_cert_->encode());
     Msg prop = make_msg(MsgType::kPropose, height, w.take());
     broadcast(prop);
+    if (tracing()) {
+      trace_instant("commit", "propose",
+                    {{"round", exp::Json(height)},
+                     {"height", exp::Json(b.height)},
+                     {"view", exp::Json(v_cur_)}});
+    }
     store_.add(b);
     handle_propose(cfg_.id, prop);
   };
@@ -167,7 +173,15 @@ void SyncHsReplica::handle_propose(NodeId from, const Msg& msg) {
   vote_for(b, h);
 }
 
-void SyncHsReplica::vote_for(const Block& /*block*/, const BlockHash& h) {
+void SyncHsReplica::vote_for(const Block& block, const BlockHash& h) {
+  if (tracing()) {
+    // Voting opens the 2Δ per-height block span; commit_chain's
+    // async_end closes it.
+    trace_begin("block", "block", block.height,
+                {{"round", exp::Json(block.round)},
+                 {"view", exp::Json(block.view)}});
+    trace_instant("commit", "vote", {{"height", exp::Json(block.height)}});
+  }
   Msg vote = make_msg(MsgType::kVote, 0, h);
   // Disseminated per the vote channel's policy (LocalKcast by default;
   // a Flood or RoutedUnicast sweep plugs in via ReplicaConfig::channels).
@@ -209,6 +223,7 @@ void SyncHsReplica::certify(const BlockHash& h) {
   const Block* b = store_.get(h);
   if (b == nullptr) return;
   if (b->height <= certified_height_) return;
+  trace_instant("commit", "certify", {{"height", exp::Json(b->height)}});
   certified_tip_ = h;
   certified_height_ = b->height;
   tip_cert_ = QuorumCert::combine(std::vector<Msg>(
@@ -243,6 +258,7 @@ void SyncHsReplica::reset_blame_timer(sim::Duration d) {
 void SyncHsReplica::send_blame() {
   if (blamed_ || crashed_) return;
   blamed_ = true;
+  trace_instant("view", "blame", {{"view", exp::Json(v_cur_)}});
   Msg blame = make_msg(MsgType::kBlame, 0, {});
   broadcast(blame);
   handle_blame(blame);
@@ -289,6 +305,7 @@ void SyncHsReplica::on_blame_quorum() {
 }
 
 void SyncHsReplica::quit_view() {
+  trace_begin("view", "view_change", v_cur_, {{"view", exp::Json(v_cur_)}});
   // Broadcast the highest certified block (status) and move to the next
   // view after 2Δ — Sync HotStuff's one-round view change.
   Msg status = make_msg(MsgType::kStatus, 0, tip_cert_->encode());
@@ -316,6 +333,10 @@ void SyncHsReplica::handle_status(const Msg& msg) {
 }
 
 void SyncHsReplica::enter_new_view() {
+  if (tracing()) {
+    trace_end("view", "view_change", v_cur_,
+              {{"new_view", exp::Json(v_cur_ + 1)}});
+  }
   v_cur_ += 1;
   blamers_.clear();
   blame_msgs_.clear();

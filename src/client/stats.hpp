@@ -1,5 +1,11 @@
 // Client-side measurement vocabulary: per-request latency samples with
 // on-demand quantiles (the p50/p90/p99 columns of the latency figures).
+//
+// Backed by an obs::Histogram so the registry's bucketed exposition and
+// the exact quantiles reported here are fed by the same observations and
+// cannot drift apart; the raw samples are kept for exact nearest-rank
+// quantiles (the bucket layout is export resolution, not measurement
+// resolution).
 #pragma once
 
 #include <algorithm>
@@ -7,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/sim/time.hpp"
 
 namespace eesmr::client {
@@ -15,16 +22,21 @@ class LatencyHistogram {
  public:
   void add(sim::Duration sample) {
     samples_.push_back(sample);
+    hist_.observe(sim::to_milliseconds(sample));
     sorted_ = false;
   }
 
   void merge(const LatencyHistogram& other) {
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
+    hist_.merge(other.hist_);
     sorted_ = false;
   }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// The same observations bucketed (milliseconds) for registry export.
+  [[nodiscard]] const obs::Histogram& buckets() const { return hist_; }
 
   /// Nearest-rank quantile (index ceil(q*n) - 1), q in [0, 1]; 0 when
   /// no samples.
@@ -66,6 +78,7 @@ class LatencyHistogram {
   }
 
   mutable std::vector<sim::Duration> samples_;
+  obs::Histogram hist_{obs::Histogram::default_latency_buckets_ms()};
   mutable bool sorted_ = true;
 };
 

@@ -87,6 +87,12 @@ void EesmrReplica::propose_block(std::uint64_t round) {
 
   Msg prop = make_msg(MsgType::kPropose, round, b.encode());
   broadcast(prop);
+  if (tracing()) {
+    trace_instant("commit", "propose",
+                  {{"round", exp::Json(round)},
+                   {"height", exp::Json(b.height)},
+                   {"view", exp::Json(v_cur_)}});
+  }
   // The leader executes the node part on its own proposal (line 209
   // "Also executed by the leader").
   store_.add(b);
@@ -160,6 +166,13 @@ void EesmrReplica::try_accept(const Msg& msg, NodeId origin) {
 }
 
 void EesmrReplica::accept_proposal(const Block& block, const BlockHash& h) {
+  if (tracing()) {
+    // Opens the per-height block span; commit_chain's async_end closes
+    // it. Accepting IS the "vote in the head" — no explicit vote leaves.
+    trace_begin("block", "block", block.height,
+                {{"round", exp::Json(block.round)},
+                 {"view", exp::Json(block.view)}});
+  }
   b_lck_ = h;
   b_lck_height_ = block.height;
   accepted_round_ = block.round;
@@ -223,6 +236,7 @@ void EesmrReplica::send_blame() {
   if (blamed_ || crashed_) return;
   blamed_ = true;
   ++blames_sent_;
+  trace_instant("view", "blame", {{"view", exp::Json(v_cur_)}});
   Msg blame = make_msg(MsgType::kBlame, 0, {});
   broadcast(blame);
   handle_blame(blame);  // count our own blame
@@ -235,6 +249,8 @@ void EesmrReplica::record_proposal_hash(std::uint64_t round,
   if (opts_.crash_fault_only) return;  // §3.2 crash-version
   // Equivocation: two leader-signed proposals for the same round.
   ++equivocations_detected_;
+  trace_instant("fault", "equivocation_detected",
+                {{"round", exp::Json(round)}, {"view", exp::Json(v_cur_)}});
   Writer w;
   w.bytes(it->second.second.encode());
   w.bytes(msg.encode());
@@ -340,6 +356,8 @@ void EesmrReplica::handle_blame_qc(const Msg& msg) {
 // ---------------------------------------------------------------------------
 
 void EesmrReplica::quit_view() {
+  // Opens the per-view view-change span; enter_new_view closes it.
+  trace_begin("view", "view_change", v_cur_, {{"view", exp::Json(v_cur_)}});
   phase_ = Phase::kQuitView;
   certify_msgs_.clear();
   // Broadcast our highest committed block and collect certificates for it
@@ -376,6 +394,9 @@ void EesmrReplica::handle_certify(const Msg& msg) {
   }
   certify_msgs_.push_back(msg);
   if (certify_msgs_.size() == quorum()) {
+    trace_instant("commit", "certify",
+                  {{"view", exp::Json(v_cur_)},
+                   {"height", exp::Json(commit_qc_height_)}});
     const QuorumCert qc = QuorumCert::combine(certify_msgs_);
     const std::uint64_t h = qc_block_height(qc);
     if (h >= commit_qc_height_) {
@@ -422,6 +443,10 @@ void EesmrReplica::finish_quit_view() {
 // ---------------------------------------------------------------------------
 
 void EesmrReplica::enter_new_view() {
+  if (tracing()) {
+    trace_end("view", "view_change", v_cur_,
+              {{"new_view", exp::Json(v_cur_ + 1)}});
+  }
   v_cur_ += 1;
   r_cur_ = 1;
   phase_ = Phase::kBootstrap1;
@@ -584,6 +609,9 @@ void EesmrReplica::handle_new_view_proposal(NodeId from, const Msg& msg) {
 
   Msg vote = make_msg(MsgType::kVoteMsg, 1, h1);
   broadcast(vote);
+  trace_instant("commit", "vote",
+                {{"view", exp::Json(v_cur_)},
+                 {"height", exp::Json(b1.height)}});
   reset_blame_timer(6 * cfg_.delta);  // line 273
   phase_ = Phase::kBootstrap2;
   r_cur_ = 2;

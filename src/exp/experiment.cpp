@@ -46,12 +46,17 @@ Options parse_cli(int argc, char** argv, std::uint64_t default_seed) {
       o.json_out = need_value(i, arg);
     } else if (arg == "--csv-out") {
       o.csv_out = need_value(i, arg);
+    } else if (arg == "--prom-out") {
+      o.prom_out = need_value(i, arg);
+    } else if (arg == "--trace-out") {
+      o.trace_out = need_value(i, arg);
     } else if (arg == "--no-json") {
       o.write_json = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--threads N] [--smoke] [--seed S] [--json-out PATH]\n"
-          "          [--csv-out PATH] [--no-json]\n",
+          "          [--csv-out PATH] [--no-json] [--prom-out PATH]\n"
+          "          [--trace-out PATH]\n",
           argc > 0 ? argv[0] : "bench");
       std::exit(0);
     } else {
@@ -127,10 +132,19 @@ Report& Experiment::run(std::string section, const Grid& grid,
   ro.threads = threads();
   ro.seed = opts_.seed;
   ro.smoke = opts_.smoke;
+  SectionArtifacts sa;
+  sa.section = section;
+  const bool collect = !opts_.prom_out.empty() || !opts_.trace_out.empty();
+  if (collect) {
+    ro.artifacts = &sa.slots;
+    ro.collect_registry = !opts_.prom_out.empty();
+    ro.collect_trace = !opts_.trace_out.empty();
+  }
   auto report = std::make_unique<Report>();
   report->name = std::move(section);
   report->grid = grid;
   report->rows = run_matrix(grid, fn, ro);
+  if (collect) artifacts_.push_back(std::move(sa));
   sections_.push_back(std::move(report));
   return *sections_.back();
 }
@@ -183,6 +197,53 @@ int Experiment::finish() {
       std::fprintf(stderr, "[%s] FAILED to write %s\n", name_.c_str(),
                    opts_.csv_out.c_str());
       rc = 1;
+    }
+  }
+  if (!opts_.prom_out.empty()) {
+    // One exposition for the whole bench: each run's registry merged in
+    // section-then-grid order under {section, run} labels, so the text
+    // is a pure function of the (deterministic) run results.
+    obs::Registry merged;
+    for (const SectionArtifacts& sa : artifacts_) {
+      for (std::size_t i = 0; i < sa.slots.size(); ++i) {
+        merged.merge(sa.slots[i].registry,
+                     {{"section", sa.section}, {"run", std::to_string(i)}});
+      }
+    }
+    std::ofstream prom(opts_.prom_out, std::ios::binary | std::ios::trunc);
+    prom << merged.text();
+    if (!prom) {
+      std::fprintf(stderr, "[%s] FAILED to write %s\n", name_.c_str(),
+                   opts_.prom_out.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "[%s] metrics exposition -> %s\n", name_.c_str(),
+                   opts_.prom_out.c_str());
+    }
+  }
+  if (!opts_.trace_out.empty()) {
+    // One Chrome trace document: each traced run becomes its own group
+    // of processes (one per cluster epoch), pids assigned sequentially
+    // in section-then-grid order.
+    Json events = Json::array();
+    int pid = 1;
+    for (const SectionArtifacts& sa : artifacts_) {
+      for (std::size_t i = 0; i < sa.slots.size(); ++i) {
+        const obs::Tracer& tr = sa.slots[i].tracer;
+        if (tr.empty()) continue;  // analytic run: no ghost processes
+        pid = tr.append_chrome(
+            events, pid, sa.section + "/run" + std::to_string(i) + " ");
+      }
+    }
+    std::ofstream trace(opts_.trace_out, std::ios::binary | std::ios::trunc);
+    trace << obs::Tracer::chrome_document(std::move(events)).pretty();
+    if (!trace) {
+      std::fprintf(stderr, "[%s] FAILED to write %s\n", name_.c_str(),
+                   opts_.trace_out.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "[%s] trace -> %s\n", name_.c_str(),
+                   opts_.trace_out.c_str());
     }
   }
   return rc;

@@ -16,10 +16,14 @@
 //   --json-out P   metrics file path (default: BENCH_<name>.json in cwd)
 //   --csv-out P    additionally write flat CSV
 //   --no-json      skip the metrics file (stdout only)
+//   --prom-out P   Prometheus text exposition of every run's registry,
+//                  samples labeled {section, run}
+//   --trace-out P  Chrome trace-event JSON of every run's commit-path
+//                  event stream (open in Perfetto / chrome://tracing)
 //
-// Determinism contract: with a fixed seed, stdout and the JSON/CSV
-// files are byte-identical at any --threads value. Everything
-// thread- or wall-clock-dependent goes to stderr.
+// Determinism contract: with a fixed seed, stdout and the JSON/CSV/
+// Prometheus/trace files are byte-identical at any --threads value.
+// Everything thread- or wall-clock-dependent goes to stderr.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +42,8 @@ struct Options {
   std::uint64_t seed = 1;
   std::string json_out;     ///< empty = BENCH_<name>.json
   std::string csv_out;      ///< empty = no CSV
+  std::string prom_out;     ///< empty = no Prometheus exposition
+  std::string trace_out;    ///< empty = no Chrome trace
   bool write_json = true;
   std::vector<std::string> extra;  ///< unrecognized args (bench-specific)
 };
@@ -102,6 +108,15 @@ class Experiment {
   mutable std::vector<std::string> recognized_extra_;
   bool serial_only_ = false;
   std::vector<std::unique_ptr<Report>> sections_;
+
+  /// Per-section observability artifacts (one slot per grid point),
+  /// collected only when --prom-out / --trace-out asked for them and
+  /// assembled into the output files by finish().
+  struct SectionArtifacts {
+    std::string section;
+    std::vector<RunArtifacts> slots;
+  };
+  std::vector<SectionArtifacts> artifacts_;
 };
 
 }  // namespace eesmr::exp

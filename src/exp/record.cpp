@@ -1,5 +1,7 @@
 #include "src/exp/record.hpp"
 
+#include "src/obs/metrics.hpp"
+
 namespace eesmr::exp {
 
 Json summary_json(const harness::RunSummary& s) {
@@ -117,54 +119,95 @@ harness::RunSummary summary_from_json(const Json& doc) {
   return s;
 }
 
-Json stream_json(const harness::RunResult& r) {
+namespace {
+
+// The BENCH_*.json sections below read a registry built by
+// RunResult::to_registry with no base labels, so every stream sample
+// carries exactly {stream, scope} and every per-node sample {node} —
+// sample order inside a family is registration order, which to_registry
+// fixes to stream-enum / node-id order.
+
+/// Per-stream breakdown from the `eesmr_stream_*` families, scope="all"
+/// (clients included). Streams with no traffic were never registered.
+Json streams_from_registry(const obs::Registry& reg) {
   Json streams = Json::object();
-  for (std::size_t s = 0; s < energy::kNumStreams; ++s) {
-    const auto stream = static_cast<energy::Stream>(s);
-    const energy::StreamStats st = r.stream_totals_all(stream);
-    if (st.transmissions == 0 && st.bytes_received == 0 && st.recv_mj == 0) {
-      continue;
+  const obs::Family* send = reg.find("eesmr_stream_send_mj");
+  if (send == nullptr) return streams;
+  for (const obs::Sample& s : send->samples) {
+    std::string name;
+    bool all_scope = false;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "stream") name = v;
+      if (k == "scope") all_scope = v == "all";
     }
+    if (!all_scope) continue;
     Json one = Json::object();
-    one.set("send_mj", st.send_mj);
-    one.set("recv_mj", st.recv_mj);
-    one.set("tx", st.transmissions);
-    one.set("bytes_sent", st.bytes_sent);
-    one.set("bytes_received", st.bytes_received);
-    streams.set(energy::stream_name(stream), std::move(one));
+    one.set("send_mj", s.value);
+    one.set("recv_mj", reg.value("eesmr_stream_recv_mj", s.labels));
+    one.set("tx", reg.value("eesmr_stream_tx_total", s.labels));
+    one.set("bytes_sent", reg.value("eesmr_stream_bytes_sent_total", s.labels));
+    one.set("bytes_received",
+            reg.value("eesmr_stream_bytes_received_total", s.labels));
+    streams.set(name, std::move(one));
   }
   return streams;
 }
 
-Json run_result_json(const harness::RunResult& r) {
-  Json doc = Json::object();
-  doc.set("summary", summary_json(r.summarize()));
-  doc.set("streams", stream_json(r));
-
+/// node_energy_mj array from the per-node energy family, node order.
+Json node_energy_from_registry(const obs::Registry& reg) {
   Json node_mj = Json::array();
-  for (std::size_t i = 0; i < r.meters.size(); ++i) {
-    node_mj.push_back(r.meters[i].total_millijoules());
+  if (const obs::Family* fam = reg.find("eesmr_node_energy_mj")) {
+    for (const obs::Sample& s : fam->samples) node_mj.push_back(s.value);
   }
-  doc.set("node_energy_mj", std::move(node_mj));
+  return node_mj;
+}
 
-  if (!r.footprints.empty()) {
-    Json fps = Json::array();
-    for (const harness::ReplicaFootprint& fp : r.footprints) {
-      Json one = Json::object();
-      one.set("retained_log", fp.retained_log);
-      one.set("store_blocks", fp.store_blocks);
-      one.set("executed_entries", fp.executed_entries);
-      one.set("mempool_pending", fp.mempool_pending);
-      one.set("mempool_committed_keys", fp.mempool_committed_keys);
-      one.set("committed_blocks", fp.committed_blocks);
-      one.set("low_water_mark", fp.low_water_mark);
-      one.set("checkpoints_taken", fp.checkpoints_taken);
-      one.set("stable_height", fp.stable_height);
-      one.set("state_transfers", fp.state_transfers);
-      fps.push_back(std::move(one));
-    }
-    doc.set("footprints", std::move(fps));
+/// footprints array from the `eesmr_footprint_*` families, node order.
+/// (flood_dedup_tail stays registry-only: the JSON record predates it and
+/// tooling round-trips the historical key set.)
+Json footprints_from_registry(const obs::Registry& reg) {
+  Json fps = Json::array();
+  const obs::Family* retained = reg.find("eesmr_footprint_retained_log");
+  if (retained == nullptr) return fps;
+  for (const obs::Sample& s : retained->samples) {
+    const auto fp = [&](const char* name) {
+      return reg.value(name, s.labels);
+    };
+    Json one = Json::object();
+    one.set("retained_log", s.value);
+    one.set("store_blocks", fp("eesmr_footprint_store_blocks"));
+    one.set("executed_entries", fp("eesmr_footprint_executed_entries"));
+    one.set("mempool_pending", fp("eesmr_footprint_mempool_pending"));
+    one.set("mempool_committed_keys",
+            fp("eesmr_footprint_mempool_committed_keys"));
+    one.set("committed_blocks", fp("eesmr_footprint_committed_blocks"));
+    one.set("low_water_mark", fp("eesmr_footprint_low_water_mark"));
+    one.set("checkpoints_taken", fp("eesmr_footprint_checkpoints_taken"));
+    one.set("stable_height", fp("eesmr_footprint_stable_height"));
+    one.set("state_transfers", fp("eesmr_footprint_state_transfers"));
+    fps.push_back(std::move(one));
   }
+  return fps;
+}
+
+}  // namespace
+
+Json stream_json(const harness::RunResult& r) {
+  obs::Registry reg;
+  r.to_registry(reg);
+  return streams_from_registry(reg);
+}
+
+Json run_result_json(const harness::RunResult& r) {
+  obs::Registry reg;
+  r.to_registry(reg);
+
+  Json doc = Json::object();
+  doc.set("summary", summary_json(harness::summary_from_registry(reg)));
+  doc.set("streams", streams_from_registry(reg));
+  doc.set("node_energy_mj", node_energy_from_registry(reg));
+  Json fps = footprints_from_registry(reg);
+  if (fps.size() > 0) doc.set("footprints", std::move(fps));
   return doc;
 }
 

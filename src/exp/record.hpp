@@ -20,7 +20,9 @@ Json stream_json(const harness::RunResult& r);
 
 /// Full serialized RunResult: {"summary": ..., "streams": ...,
 /// "node_energy_mj": [...], "footprints": [...]}. Round-trippable
-/// through Json::parse (see tests/exp_test.cpp).
+/// through Json::parse (see tests/exp_test.cpp). Every section is read
+/// back out of one obs::Registry snapshot (RunResult::to_registry) — the
+/// registry is the single source the record derives from.
 Json run_result_json(const harness::RunResult& r);
 
 /// Parse a run_result_json() document back into the flat summary (the

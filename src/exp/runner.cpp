@@ -19,6 +19,10 @@ std::vector<MetricRow> run_matrix(const Grid& grid, const RunFn& fn,
                                   const RunnerOptions& opts) {
   const std::size_t count = grid.size();
   std::vector<MetricRow> rows(count);
+  if (opts.artifacts != nullptr) {
+    opts.artifacts->clear();
+    opts.artifacts->resize(count);
+  }
 
   const auto run_one = [&](std::size_t i) {
     RunContext ctx;
@@ -27,7 +31,22 @@ std::vector<MetricRow> run_matrix(const Grid& grid, const RunFn& fn,
     ctx.smoke = opts.smoke;
     ctx.grid = &grid;
     ctx.axis = grid.indices(i);
+    if (opts.artifacts != nullptr) {
+      if (opts.collect_registry) ctx.registry = &(*opts.artifacts)[i].registry;
+      if (opts.collect_trace) ctx.tracer = &(*opts.artifacts)[i].tracer;
+    }
     rows[i] = fn(ctx);
+    if (ctx.registry != nullptr) {
+      // Every scalar column of the row, so analytic benches (no Cluster,
+      // nothing observe()d) still expose their measurements.
+      for (const auto& [col, v] : rows[i].values()) {
+        if (v.is_number()) {
+          ctx.registry->set_gauge("eesmr_row_metric",
+                                  "Scalar metric columns of the bench row",
+                                  {{"column", col}}, v.as_double());
+        }
+      }
+    }
   };
 
   const std::size_t threads =

@@ -15,8 +15,19 @@
 
 #include "src/exp/grid.hpp"
 #include "src/exp/metrics.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace eesmr::exp {
+
+/// Per-run observability artifacts: one slot per grid point, allocated
+/// by the runner so writes land in grid order regardless of which
+/// worker thread ran the point (the same slot trick the rows use — the
+/// assembled exposition stays byte-identical at any --threads N).
+struct RunArtifacts {
+  obs::Registry registry;  ///< metric snapshot (--prom-out)
+  obs::Tracer tracer;      ///< commit-path event trace (--trace-out)
+};
 
 /// Context handed to the run function of one grid point.
 struct RunContext {
@@ -25,6 +36,13 @@ struct RunContext {
   bool smoke = false;               ///< --smoke: trimmed-down parameters
   const Grid* grid = nullptr;
   std::vector<std::size_t> axis;    ///< per-axis value indices
+  /// This run's registry slot; null unless --prom-out was requested.
+  /// Benches snapshot results here (exp::observe / run_steady(ctx,...)).
+  obs::Registry* registry = nullptr;
+  /// This run's tracer slot; null unless --trace-out was requested. Wire
+  /// into ClusterConfig::tracer (exp::prepare does) to record the
+  /// commit-path event stream.
+  obs::Tracer* tracer = nullptr;
 
   /// Value index of the named axis for this run.
   [[nodiscard]] std::size_t at(std::string_view axis_name) const {
@@ -42,6 +60,15 @@ struct RunnerOptions {
   std::size_t threads = 1;    ///< worker threads (clamped to >= 1)
   std::uint64_t seed = 1;     ///< base seed; each run derives its own
   bool smoke = false;
+  /// When non-null, resized to grid.size(); RunContext::registry /
+  /// ::tracer point into slot i for run i (gated by the two flags). The
+  /// runner also auto-registers every scalar metric column of each
+  /// returned row into its slot registry (family eesmr_row_metric,
+  /// label `column`), so even benches that never touch a Cluster expose
+  /// their measurements.
+  std::vector<RunArtifacts>* artifacts = nullptr;
+  bool collect_registry = false;
+  bool collect_trace = false;
 };
 
 /// Execute `fn` over every point of `grid` and return the rows in grid

@@ -142,6 +142,11 @@ Cluster::~Cluster() = default;
 
 Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   if (cfg_.n < 2) throw std::invalid_argument("Cluster: n >= 2 required");
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->open_epoch(std::string(protocol_name(cfg_.protocol)) +
+                            " n=" + std::to_string(cfg_.n) +
+                            " f=" + std::to_string(cfg_.f));
+  }
   const bool baseline = cfg_.protocol == Protocol::kTrustedBaseline;
   const std::size_t total = baseline ? cfg_.n + 1 : cfg_.n;
   // Clients are appended after the protocol nodes; Byzantine clients
@@ -253,6 +258,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   if (!adv.link_faults.empty()) {
     injector_ = std::make_unique<adversary::NetAdversary>(
         adv.link_faults, sched_, sim::derive_seed(cfg_.seed, 0xfa01));
+    injector_->set_tracer(cfg_.tracer);
     net_->set_fault_injector(injector_.get());
   }
 
@@ -271,6 +277,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   base.client_pending_cap = cfg_.client_pending_cap;
   base.channels = cfg_.channels;
   base.verified_cache = cfg_.verified_cache;
+  base.tracer = cfg_.tracer;
   // Subset submission needs the replica request stream in unicast mode:
   // only the contacted replicas hear a request, so the first to pool it
   // forwards to the leader (otherwise a subset missing the leader would

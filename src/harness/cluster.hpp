@@ -20,6 +20,10 @@ class WithholdFilter;
 class ByzantineClient;
 }  // namespace eesmr::adversary
 
+namespace eesmr::obs {
+class Tracer;
+}  // namespace eesmr::obs
+
 namespace eesmr::harness {
 
 enum class Protocol {
@@ -124,6 +128,12 @@ struct ClusterConfig {
   /// Byzantine clients. The Safety/Liveness checkers run on every
   /// cluster regardless; their verdicts land in RunResult.
   adversary::AdversarySpec adversary;
+
+  // -- observability (src/obs/) -------------------------------------------------
+  /// Structured event tracer: the cluster opens one epoch (one Chrome
+  /// trace "process") and routes every replica's and the fault
+  /// injector's events into it. Not owned; nullptr disables tracing.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Cluster {

@@ -1,6 +1,7 @@
 #include "src/harness/metrics.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace eesmr::harness {
 
@@ -14,60 +15,304 @@ double RunResult::adversary_energy_mj() const {
   return total;
 }
 
-RunSummary RunResult::summarize() const {
-  RunSummary s;
-  s.nodes = meters.size();
-  s.safety_ok = safety_ok() && safety_violations == 0;
-  s.min_committed = min_committed();
-  s.max_committed = max_committed();
-  s.view_changes = view_changes;
-  s.transmissions = transmissions;
-  s.bytes_transmitted = bytes_transmitted;
-  s.end_time_s = sim::to_seconds(end_time);
+// ---------------------------------------------------------------------------
+// Registry snapshot: the canonical metric surface of a run
+// ---------------------------------------------------------------------------
 
-  s.total_energy_mj = total_energy_mj();
-  s.energy_per_block_mj = energy_per_block_mj();
+void RunResult::to_registry(obs::Registry& reg,
+                            const obs::Labels& base) const {
+  const auto g = [&](const char* name, const char* help, double v) {
+    reg.set_gauge(name, help, base, v);
+  };
+  const auto c = [&](const char* name, const char* help, double v) {
+    reg.set_counter(name, help, base, v);
+  };
 
-  s.requests_submitted = requests_submitted;
-  s.requests_accepted = requests_accepted;
-  s.request_retransmissions = request_retransmissions;
-  s.requests_dropped = requests_dropped;
-  s.requests_rate_limited = requests_rate_limited;
-  s.request_failovers = request_failovers;
-  s.requests_forwarded = requests_forwarded;
-  s.request_hints_applied = request_hints_applied;
-  s.controller_dedup_saved = controller_dedup_saved;
-  s.controller_dedup_bytes_saved = controller_dedup_bytes_saved;
-  s.accepted_per_sec = accepted_per_sec();
-  s.latency_samples = latency.count();
-  s.latency_p50_ms = sim::to_milliseconds(latency.p50());
-  s.latency_p90_ms = sim::to_milliseconds(latency.p90());
-  s.latency_p99_ms = sim::to_milliseconds(latency.p99());
-  s.latency_mean_ms = latency.mean_ms();
+  // Run-level families, one per RunSummary field, in RunSummary order —
+  // summary_from_registry reads them back by name.
+  g("eesmr_run_nodes", "Metered nodes (protocol nodes + clients)",
+    static_cast<double>(meters.size()));
+  g("eesmr_run_safety_ok",
+    "1 when the final-log cross-check and the in-run SafetyChecker agree "
+    "no conflicting honest commits happened",
+    safety_ok() && safety_violations == 0 ? 1 : 0);
+  g("eesmr_run_min_committed", "Minimum committed blocks over correct nodes",
+    static_cast<double>(min_committed()));
+  g("eesmr_run_max_committed", "Maximum committed blocks over correct nodes",
+    static_cast<double>(max_committed()));
+  c("eesmr_run_view_changes_total", "View changes (max over correct nodes)",
+    static_cast<double>(view_changes));
+  c("eesmr_run_transmissions_total", "Radio send operations, cluster-wide",
+    static_cast<double>(transmissions));
+  c("eesmr_run_bytes_transmitted_total", "Bytes transmitted, cluster-wide",
+    static_cast<double>(bytes_transmitted));
+  g("eesmr_run_end_time_seconds", "Simulated run duration",
+    sim::to_seconds(end_time));
+  g("eesmr_run_total_energy_mj",
+    "Total energy over counted correct nodes (mJ)", total_energy_mj());
+  g("eesmr_run_energy_per_block_mj",
+    "Total energy / min committed blocks (the paper's energy per SMR)",
+    energy_per_block_mj());
 
-  s.state_transfers = state_transfers;
-  s.max_recovery_ms = sim::to_milliseconds(max_recovery_latency);
-  s.max_retained_log = max_retained_log();
-  s.max_dedup_entries = max_dedup_entries();
+  c("eesmr_run_requests_submitted_total", "Client requests submitted",
+    static_cast<double>(requests_submitted));
+  c("eesmr_run_requests_accepted_total",
+    "Client requests accepted (f+1 matching replies)",
+    static_cast<double>(requests_accepted));
+  c("eesmr_run_request_retransmissions_total", "Client retransmissions",
+    static_cast<double>(request_retransmissions));
+  c("eesmr_run_requests_dropped_total", "Mempool-capacity request drops",
+    static_cast<double>(requests_dropped));
+  c("eesmr_run_requests_rate_limited_total",
+    "Per-client pending-cap rejections",
+    static_cast<double>(requests_rate_limited));
+  c("eesmr_run_request_failovers_total",
+    "Client-side submission subset rotations",
+    static_cast<double>(request_failovers));
+  c("eesmr_run_requests_forwarded_total",
+    "Replica-side request forwards to the leader",
+    static_cast<double>(requests_forwarded));
+  c("eesmr_run_request_hints_applied_total",
+    "Reply-metadata leader hints applied by clients",
+    static_cast<double>(request_hints_applied));
+  c("eesmr_run_controller_dedup_saved_total",
+    "Duplicate orderings the trusted controller dedup skipped",
+    static_cast<double>(controller_dedup_saved));
+  c("eesmr_run_controller_dedup_bytes_saved_total",
+    "Downlink command bytes the controller dedup saved",
+    static_cast<double>(controller_dedup_bytes_saved));
+  g("eesmr_run_accepted_per_sec",
+    "Accepted client requests per simulated second (goodput)",
+    accepted_per_sec());
+  g("eesmr_run_latency_samples", "Request latency sample count",
+    static_cast<double>(latency.count()));
+  // Exact nearest-rank quantiles from the raw samples; the bucketed form
+  // of the SAME observations is the histogram family below.
+  g("eesmr_run_latency_p50_ms", "Exact request-latency p50 (ms)",
+    sim::to_milliseconds(latency.p50()));
+  g("eesmr_run_latency_p90_ms", "Exact request-latency p90 (ms)",
+    sim::to_milliseconds(latency.p90()));
+  g("eesmr_run_latency_p99_ms", "Exact request-latency p99 (ms)",
+    sim::to_milliseconds(latency.p99()));
+  g("eesmr_run_latency_mean_ms", "Mean request latency (ms)",
+    latency.mean_ms());
+
+  c("eesmr_run_state_transfers_total", "Completed snapshot catch-ups",
+    static_cast<double>(state_transfers));
+  g("eesmr_run_max_recovery_ms",
+    "Slowest request-to-restore state transfer (ms)",
+    sim::to_milliseconds(max_recovery_latency));
+  g("eesmr_run_max_retained_log",
+    "Largest retained log over correct protocol nodes",
+    static_cast<double>(max_retained_log()));
+  g("eesmr_run_max_dedup_entries",
+    "Largest dedup-set size over correct protocol nodes",
+    static_cast<double>(max_dedup_entries()));
+  std::size_t max_store = 0;
+  std::uint64_t max_ckpts = 0;
   for (std::size_t i = 0; i < footprints.size(); ++i) {
     if (i < correct.size() && correct[i] && i < counted.size() && counted[i]) {
-      s.max_store_blocks = std::max(s.max_store_blocks,
-                                    footprints[i].store_blocks);
-      s.max_checkpoints_taken = std::max(s.max_checkpoints_taken,
-                                         footprints[i].checkpoints_taken);
+      max_store = std::max(max_store, footprints[i].store_blocks);
+      max_ckpts = std::max(max_ckpts, footprints[i].checkpoints_taken);
+    }
+  }
+  g("eesmr_run_max_store_blocks",
+    "Largest block store over counted correct nodes",
+    static_cast<double>(max_store));
+  g("eesmr_run_max_checkpoints_taken",
+    "Most checkpoints taken by a counted correct node",
+    static_cast<double>(max_ckpts));
+
+  c("eesmr_run_safety_violations_total",
+    "Conflicting honest commits the in-run SafetyChecker detected",
+    static_cast<double>(safety_violations));
+  g("eesmr_run_liveness_ok",
+    "1 when the honest commit frontier never stalled past the bound",
+    liveness_ok() ? 1 : 0);
+  g("eesmr_run_max_commit_stall_ms",
+    "Longest honest commit-frontier stall (ms)",
+    sim::to_milliseconds(max_commit_stall));
+  c("eesmr_run_faults_dropped_total", "Injected delivery drops",
+    static_cast<double>(faults_dropped));
+  c("eesmr_run_faults_duplicated_total", "Injected delivery duplicates",
+    static_cast<double>(faults_duplicated));
+  c("eesmr_run_faults_reordered_total", "Injected delivery reorder delays",
+    static_cast<double>(faults_reordered));
+  c("eesmr_run_msgs_withheld_total",
+    "Messages suppressed by Byzantine withhold filters",
+    static_cast<double>(msgs_withheld));
+  c("eesmr_run_byz_requests_sent_total",
+    "Requests flooded by Byzantine clients",
+    static_cast<double>(byz_requests_sent));
+  g("eesmr_run_adversary_energy_mj",
+    "Energy spent by adversarial nodes (mJ)", adversary_energy_mj());
+
+  reg.set_histogram("eesmr_request_latency_ms",
+                    "Submit-to-accept request latency, bucketed (ms)", base,
+                    latency.buckets());
+
+  // Per-node gauges.
+  for (std::size_t i = 0; i < meters.size(); ++i) {
+    obs::Labels labels = base;
+    labels.emplace_back("node", std::to_string(i));
+    reg.set_gauge("eesmr_node_energy_mj", "Per-node total energy (mJ)",
+                  labels, meters[i].total_millijoules());
+  }
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    obs::Labels labels = base;
+    labels.emplace_back("node", std::to_string(i));
+    reg.set_gauge("eesmr_node_committed_blocks",
+                  "Blocks ever committed by the node", labels,
+                  static_cast<double>(committed_at(static_cast<NodeId>(i))));
+    reg.set_gauge("eesmr_node_correct",
+                  "1 when the node is honest and unscripted", labels,
+                  i < correct.size() && correct[i] ? 1 : 0);
+  }
+  for (std::size_t i = 0; i < footprints.size(); ++i) {
+    obs::Labels labels = base;
+    labels.emplace_back("node", std::to_string(i));
+    const ReplicaFootprint& fp = footprints[i];
+    const auto fg = [&](const char* name, const char* help, double v) {
+      reg.set_gauge(name, help, labels, v);
+    };
+    fg("eesmr_footprint_retained_log", "Retained committed-log blocks",
+       static_cast<double>(fp.retained_log));
+    fg("eesmr_footprint_store_blocks", "BlockStore entries",
+       static_cast<double>(fp.store_blocks));
+    fg("eesmr_footprint_executed_entries", "Exactly-once reply cache size",
+       static_cast<double>(fp.executed_entries));
+    fg("eesmr_footprint_mempool_pending", "Pending mempool requests",
+       static_cast<double>(fp.mempool_pending));
+    fg("eesmr_footprint_mempool_committed_keys", "Mempool committed-key set",
+       static_cast<double>(fp.mempool_committed_keys));
+    fg("eesmr_footprint_flood_dedup_tail", "Flood-router dedup tail entries",
+       static_cast<double>(fp.flood_dedup_tail));
+    fg("eesmr_footprint_committed_blocks", "Blocks ever committed",
+       static_cast<double>(fp.committed_blocks));
+    fg("eesmr_footprint_low_water_mark", "Stable-checkpoint truncation height",
+       static_cast<double>(fp.low_water_mark));
+    fg("eesmr_footprint_checkpoints_taken", "Checkpoints taken",
+       static_cast<double>(fp.checkpoints_taken));
+    fg("eesmr_footprint_stable_height", "Highest stable checkpoint",
+       static_cast<double>(fp.stable_height));
+    fg("eesmr_footprint_state_transfers", "Completed snapshot catch-ups",
+       static_cast<double>(fp.state_transfers));
+  }
+
+  // Per-stream radio stats, in stream order, one sample per
+  // (stream, scope). Streams with no received traffic are skipped — the
+  // same condition the BENCH_*.json stream section uses.
+  for (const char* scope : {"all", "counted"}) {
+    for (std::size_t s = 0; s < energy::kNumStreams; ++s) {
+      const auto stream = static_cast<energy::Stream>(s);
+      const energy::StreamStats st = std::string(scope) == "all"
+                                         ? stream_totals_all(stream)
+                                         : stream_totals(stream);
+      if (st.transmissions == 0 && st.bytes_received == 0 &&
+          st.recv_mj == 0) {
+        continue;
+      }
+      obs::Labels labels = base;
+      labels.emplace_back("stream", energy::stream_name(stream));
+      labels.emplace_back("scope", scope);
+      reg.set_gauge("eesmr_stream_send_mj",
+                    "Per-stream radio transmit energy (mJ)", labels,
+                    st.send_mj);
+      reg.set_gauge("eesmr_stream_recv_mj",
+                    "Per-stream radio receive energy (mJ)", labels,
+                    st.recv_mj);
+      reg.set_counter("eesmr_stream_tx_total", "Per-stream send operations",
+                      labels, static_cast<double>(st.transmissions));
+      reg.set_counter("eesmr_stream_bytes_sent_total",
+                      "Per-stream bytes sent", labels,
+                      static_cast<double>(st.bytes_sent));
+      reg.set_counter("eesmr_stream_bytes_received_total",
+                      "Per-stream bytes received", labels,
+                      static_cast<double>(st.bytes_received));
     }
   }
 
-  s.safety_violations = safety_violations;
-  s.liveness_ok = liveness_ok();
-  s.max_commit_stall_ms = sim::to_milliseconds(max_commit_stall);
-  s.faults_dropped = faults_dropped;
-  s.faults_duplicated = faults_duplicated;
-  s.faults_reordered = faults_reordered;
-  s.msgs_withheld = msgs_withheld;
-  s.byz_requests_sent = byz_requests_sent;
-  s.adversary_energy_mj = adversary_energy_mj();
+  // Per-category energy/ops over counted correct nodes.
+  for (std::size_t ci = 0; ci < energy::kNumCategories; ++ci) {
+    const auto cat = static_cast<energy::Category>(ci);
+    double mj = 0;
+    std::uint64_t ops = 0;
+    for (std::size_t i = 0; i < meters.size(); ++i) {
+      if (i < correct.size() && correct[i] && i < counted.size() &&
+          counted[i]) {
+        mj += meters[i].millijoules(cat);
+        ops += meters[i].ops(cat);
+      }
+    }
+    obs::Labels labels = base;
+    labels.emplace_back("category", energy::category_name(cat));
+    reg.set_gauge("eesmr_category_energy_mj",
+                  "Per-category energy over counted correct nodes (mJ)",
+                  labels, mj);
+    reg.set_counter("eesmr_category_ops_total",
+                    "Per-category operations over counted correct nodes",
+                    labels, static_cast<double>(ops));
+  }
+}
+
+RunSummary summary_from_registry(const obs::Registry& reg,
+                                 const obs::Labels& base) {
+  const auto v = [&](const char* name) { return reg.value(name, base); };
+  const auto u = [&](const char* name) {
+    return static_cast<std::uint64_t>(v(name));
+  };
+  RunSummary s;
+  s.nodes = static_cast<std::size_t>(v("eesmr_run_nodes"));
+  s.safety_ok = v("eesmr_run_safety_ok") != 0;
+  s.min_committed = u("eesmr_run_min_committed");
+  s.max_committed = u("eesmr_run_max_committed");
+  s.view_changes = u("eesmr_run_view_changes_total");
+  s.transmissions = u("eesmr_run_transmissions_total");
+  s.bytes_transmitted = u("eesmr_run_bytes_transmitted_total");
+  s.end_time_s = v("eesmr_run_end_time_seconds");
+  s.total_energy_mj = v("eesmr_run_total_energy_mj");
+  s.energy_per_block_mj = v("eesmr_run_energy_per_block_mj");
+  s.requests_submitted = u("eesmr_run_requests_submitted_total");
+  s.requests_accepted = u("eesmr_run_requests_accepted_total");
+  s.request_retransmissions = u("eesmr_run_request_retransmissions_total");
+  s.requests_dropped = u("eesmr_run_requests_dropped_total");
+  s.requests_rate_limited = u("eesmr_run_requests_rate_limited_total");
+  s.request_failovers = u("eesmr_run_request_failovers_total");
+  s.requests_forwarded = u("eesmr_run_requests_forwarded_total");
+  s.request_hints_applied = u("eesmr_run_request_hints_applied_total");
+  s.controller_dedup_saved = u("eesmr_run_controller_dedup_saved_total");
+  s.controller_dedup_bytes_saved =
+      u("eesmr_run_controller_dedup_bytes_saved_total");
+  s.accepted_per_sec = v("eesmr_run_accepted_per_sec");
+  s.latency_samples = u("eesmr_run_latency_samples");
+  s.latency_p50_ms = v("eesmr_run_latency_p50_ms");
+  s.latency_p90_ms = v("eesmr_run_latency_p90_ms");
+  s.latency_p99_ms = v("eesmr_run_latency_p99_ms");
+  s.latency_mean_ms = v("eesmr_run_latency_mean_ms");
+  s.state_transfers = u("eesmr_run_state_transfers_total");
+  s.max_recovery_ms = v("eesmr_run_max_recovery_ms");
+  s.max_retained_log = static_cast<std::size_t>(v("eesmr_run_max_retained_log"));
+  s.max_dedup_entries =
+      static_cast<std::size_t>(v("eesmr_run_max_dedup_entries"));
+  s.max_store_blocks =
+      static_cast<std::size_t>(v("eesmr_run_max_store_blocks"));
+  s.max_checkpoints_taken = u("eesmr_run_max_checkpoints_taken");
+  s.safety_violations = u("eesmr_run_safety_violations_total");
+  s.liveness_ok = v("eesmr_run_liveness_ok") != 0;
+  s.max_commit_stall_ms = v("eesmr_run_max_commit_stall_ms");
+  s.faults_dropped = u("eesmr_run_faults_dropped_total");
+  s.faults_duplicated = u("eesmr_run_faults_duplicated_total");
+  s.faults_reordered = u("eesmr_run_faults_reordered_total");
+  s.msgs_withheld = u("eesmr_run_msgs_withheld_total");
+  s.byz_requests_sent = u("eesmr_run_byz_requests_sent_total");
+  s.adversary_energy_mj = v("eesmr_run_adversary_energy_mj");
   return s;
+}
+
+RunSummary RunResult::summarize() const {
+  obs::Registry reg;
+  to_registry(reg);
+  return summary_from_registry(reg);
 }
 
 }  // namespace eesmr::harness

@@ -6,6 +6,7 @@
 
 #include "src/client/stats.hpp"
 #include "src/energy/meter.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/time.hpp"
 #include "src/smr/block.hpp"
 
@@ -139,9 +140,26 @@ struct RunResult {
   /// Per-node energy / committed blocks of that node.
   [[nodiscard]] double node_energy_per_block_mj(NodeId id) const;
 
-  /// Flatten into the serializable summary record below.
+  /// Register every measurement of this run into `reg` under the
+  /// canonical `eesmr_*` metric families, `base` labels prepended to
+  /// every sample: the flat `eesmr_run_*` families (one per RunSummary
+  /// field), the request-latency histogram, per-node gauges (label
+  /// `node`), per-stream radio stats (labels `stream`, `scope`), and
+  /// per-category energy/ops totals (label `category`). This snapshot is
+  /// the single source the summary and BENCH_*.json records derive from.
+  void to_registry(obs::Registry& reg, const obs::Labels& base = {}) const;
+
+  /// Flatten into the serializable summary record below — derived from a
+  /// registry snapshot (to_registry + summary_from_registry), not
+  /// plumbed field by field.
   [[nodiscard]] struct RunSummary summarize() const;
 };
+
+/// Read a RunSummary back out of a registry populated by
+/// RunResult::to_registry with the same `base` labels. Throws
+/// std::out_of_range when a run-level family is missing.
+[[nodiscard]] struct RunSummary summary_from_registry(
+    const obs::Registry& reg, const obs::Labels& base = {});
 
 /// The flat, serialization-ready digest of a RunResult: every scalar the
 /// paper's figures plot, with times in milliseconds/seconds. This is the

@@ -1,0 +1,172 @@
+#include "src/obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eesmr::obs {
+
+const char* diff_kind_name(DiffKind k) {
+  switch (k) {
+    case DiffKind::kRegression: return "REGRESSION";
+    case DiffKind::kTypeChanged: return "TYPE-CHANGED";
+    case DiffKind::kRemoved: return "REMOVED";
+    case DiffKind::kAdded: return "ADDED";
+  }
+  return "?";
+}
+
+bool DiffReport::ok() const { return failures() == 0; }
+
+std::size_t DiffReport::failures() const {
+  std::size_t n = 0;
+  for (const DiffEntry& e : entries) {
+    if (e.kind != DiffKind::kAdded) ++n;
+  }
+  return n;
+}
+
+std::string DiffReport::text() const {
+  std::string out;
+  for (const DiffEntry& e : entries) {
+    out += diff_kind_name(e.kind);
+    out += " ";
+    out += e.path;
+    if (e.kind == DiffKind::kRegression || e.kind == DiffKind::kTypeChanged) {
+      out += ": " + e.baseline + " -> " + e.current;
+      if (e.tol > 0) {
+        out += " (|rel| " + exp::json_number(e.rel) + " > tol " +
+               exp::json_number(e.tol) + ")";
+      }
+    } else if (e.kind == DiffKind::kRemoved) {
+      out += ": was " + e.baseline;
+    } else {
+      out += ": now " + e.current;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void DiffReport::merge(DiffReport other) {
+  compared += other.compared;
+  entries.insert(entries.end(),
+                 std::make_move_iterator(other.entries.begin()),
+                 std::make_move_iterator(other.entries.end()));
+}
+
+double rel_tol_for(const DiffOptions& opts, const std::string& key) {
+  for (const auto& [name, tol] : opts.metric_rel_tol) {
+    if (name == key) return tol;
+  }
+  return opts.rel_tol;
+}
+
+namespace {
+
+/// Last path segment: the metric/column name tolerance overrides match.
+std::string leaf_key(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
+  const std::size_t bracket = leaf.find('[');
+  if (bracket != std::string::npos) leaf.resize(bracket);
+  return leaf;
+}
+
+std::string render(const exp::Json& v) { return v.dump(); }
+
+void diff_value(const exp::Json& base, const exp::Json& cur,
+                const DiffOptions& opts, const std::string& path,
+                DiffReport& out);
+
+void diff_object(const exp::Json& base, const exp::Json& cur,
+                 const DiffOptions& opts, const std::string& path,
+                 DiffReport& out) {
+  const auto skipped = [&](const std::string& key) {
+    return std::find(opts.ignore.begin(), opts.ignore.end(), key) !=
+           opts.ignore.end();
+  };
+  const std::string prefix = path.empty() ? "" : path + ".";
+  for (const auto& [key, bval] : base.members()) {
+    if (skipped(key)) continue;
+    if (!cur.contains(key)) {
+      out.entries.push_back(
+          {DiffKind::kRemoved, prefix + key, render(bval), "", 0, 0});
+      continue;
+    }
+    diff_value(bval, cur.at(key), opts, prefix + key, out);
+  }
+  for (const auto& [key, cval] : cur.members()) {
+    if (skipped(key) || base.contains(key)) continue;
+    out.entries.push_back(
+        {DiffKind::kAdded, prefix + key, "", render(cval), 0, 0});
+  }
+}
+
+void diff_array(const exp::Json& base, const exp::Json& cur,
+                const DiffOptions& opts, const std::string& path,
+                DiffReport& out) {
+  const std::size_t common = std::min(base.size(), cur.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    diff_value(base.at(i), cur.at(i), opts,
+               path + "[" + std::to_string(i) + "]", out);
+  }
+  for (std::size_t i = common; i < base.size(); ++i) {
+    out.entries.push_back({DiffKind::kRemoved,
+                           path + "[" + std::to_string(i) + "]",
+                           render(base.at(i)), "", 0, 0});
+  }
+  for (std::size_t i = common; i < cur.size(); ++i) {
+    out.entries.push_back({DiffKind::kAdded,
+                           path + "[" + std::to_string(i) + "]", "",
+                           render(cur.at(i)), 0, 0});
+  }
+}
+
+void diff_value(const exp::Json& base, const exp::Json& cur,
+                const DiffOptions& opts, const std::string& path,
+                DiffReport& out) {
+  if (base.type() != cur.type()) {
+    out.entries.push_back(
+        {DiffKind::kTypeChanged, path, render(base), render(cur), 0, 0});
+    return;
+  }
+  switch (base.type()) {
+    case exp::Json::Type::kObject:
+      diff_object(base, cur, opts, path, out);
+      return;
+    case exp::Json::Type::kArray:
+      diff_array(base, cur, opts, path, out);
+      return;
+    case exp::Json::Type::kNumber: {
+      ++out.compared;
+      const double b = base.as_double();
+      const double c = cur.as_double();
+      const double delta = std::fabs(c - b);
+      const double scale = std::max(std::fabs(b), std::fabs(c));
+      const double tol = rel_tol_for(opts, leaf_key(path));
+      if (delta <= std::max(opts.abs_tol, tol * scale)) return;
+      const double rel = scale == 0 ? 0 : delta / scale;
+      out.entries.push_back(
+          {DiffKind::kRegression, path, render(base), render(cur), rel, tol});
+      return;
+    }
+    default: {  // null / bool / string: exact match
+      ++out.compared;
+      if (base == cur) return;
+      out.entries.push_back(
+          {DiffKind::kRegression, path, render(base), render(cur), 0, 0});
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+DiffReport diff_json(const exp::Json& baseline, const exp::Json& current,
+                     const DiffOptions& opts, const std::string& root) {
+  DiffReport out;
+  diff_value(baseline, current, opts, root, out);
+  return out;
+}
+
+}  // namespace eesmr::obs

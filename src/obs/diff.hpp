@@ -1,0 +1,80 @@
+// Trajectory differ: structural comparison of two BENCH_*.json
+// documents (or any two exp::Json values) with per-metric numeric
+// tolerances. This is the library behind tools/bench_diff — the CI
+// regression gate compares a fresh smoke run against the committed
+// baselines under bench/baselines/ and fails the build when a metric
+// moved beyond its tolerance.
+//
+// Semantics:
+//  * numbers pass when |cur − base| <= max(abs_tol, rel_tol · scale)
+//    with scale = max(|base|, |cur|); rel_tol is per-metric (last path
+//    segment) with a global default;
+//  * bools / strings / nulls must match exactly;
+//  * a key present only in the baseline is a REMOVED finding (fails —
+//    a metric silently disappearing is how regressions hide);
+//  * a key present only in the current run is ADDED (reported, passes);
+//  * object keys named in `ignore` are skipped entirely.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/exp/json.hpp"
+
+namespace eesmr::obs {
+
+struct DiffOptions {
+  double rel_tol = 0.02;   ///< default relative tolerance (2%)
+  double abs_tol = 1e-9;   ///< absolute floor (values near zero)
+  /// Per-metric relative-tolerance overrides, matched against the last
+  /// path segment (the metric/column name). First match wins.
+  std::vector<std::pair<std::string, double>> metric_rel_tol;
+  /// Object keys skipped entirely (and their subtrees).
+  std::vector<std::string> ignore;
+};
+
+enum class DiffKind : int {
+  kRegression,   ///< value moved beyond tolerance / scalar mismatch
+  kTypeChanged,  ///< JSON type differs
+  kRemoved,      ///< present in baseline only
+  kAdded,        ///< present in current only (informational)
+};
+
+const char* diff_kind_name(DiffKind k);
+
+struct DiffEntry {
+  DiffKind kind = DiffKind::kRegression;
+  std::string path;      ///< e.g. "sections[0].rows[2].mj_per_block"
+  std::string baseline;  ///< rendered baseline value ("" when added)
+  std::string current;   ///< rendered current value ("" when removed)
+  double rel = 0;        ///< relative delta (numeric regressions)
+  double tol = 0;        ///< the tolerance that was applied
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;
+  std::size_t compared = 0;  ///< leaf values compared
+
+  /// True when nothing fails the gate: no regressions, type changes or
+  /// removed metrics (ADDED entries are informational).
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::size_t failures() const;
+  /// Human-readable findings, one line per entry.
+  [[nodiscard]] std::string text() const;
+  void merge(DiffReport other);
+};
+
+/// Relative tolerance for a metric key under `opts`.
+[[nodiscard]] double rel_tol_for(const DiffOptions& opts,
+                                 const std::string& key);
+
+/// Compare two JSON documents. `root` prefixes every reported path
+/// (directory mode passes the file name).
+[[nodiscard]] DiffReport diff_json(const exp::Json& baseline,
+                                   const exp::Json& current,
+                                   const DiffOptions& opts = {},
+                                   const std::string& root = "");
+
+}  // namespace eesmr::obs

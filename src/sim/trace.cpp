@@ -5,12 +5,19 @@
 namespace eesmr::sim {
 
 Trace::Sink Trace::stderr_sink() {
-  return [](SimTime t, TraceLevel lvl, const std::string& msg) {
+  return [](SimTime t, TraceLevel lvl, const TraceCtx& ctx,
+            const std::string& msg) {
     const char* tag = lvl == TraceLevel::kWarn    ? "WARN "
                       : lvl == TraceLevel::kInfo  ? "INFO "
                                                   : "DEBUG";
-    std::fprintf(stderr, "[%10.3fms] %s %s\n", to_milliseconds(t), tag,
-                 msg.c_str());
+    if (ctx.node >= 0 || ctx.cat) {
+      std::fprintf(stderr, "[%10.3fms] %s [n%lld/%s] %s\n", to_milliseconds(t),
+                   tag, static_cast<long long>(ctx.node),
+                   ctx.cat ? ctx.cat : "-", msg.c_str());
+    } else {
+      std::fprintf(stderr, "[%10.3fms] %s %s\n", to_milliseconds(t), tag,
+                   msg.c_str());
+    }
   };
 }
 

@@ -1,7 +1,10 @@
 // Lightweight structured trace sink for debugging simulation runs.
-// Disabled by default; tests and examples can attach a sink.
+// Disabled by default; tests and examples can attach a sink, and the
+// obs::Tracer event layer mirrors every typed event through one so a
+// plain stderr sink shows the commit path in human-readable lines.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -13,19 +16,33 @@ namespace eesmr::sim {
 /// Severity is deliberately coarse; traces are a debugging aid, not logs.
 enum class TraceLevel { kDebug, kInfo, kWarn };
 
+/// Where an event came from: the emitting node (replica/client id, -1
+/// when not node-scoped) and an optional category tag (e.g. "commit",
+/// "view", "fault").
+struct TraceCtx {
+  std::int64_t node = -1;
+  const char* cat = nullptr;
+};
+
 class Trace {
  public:
-  using Sink = std::function<void(SimTime, TraceLevel, const std::string&)>;
+  using Sink =
+      std::function<void(SimTime, TraceLevel, const TraceCtx&,
+                         const std::string&)>;
 
   /// Attach a sink. Passing nullptr detaches (tracing becomes free).
   void set_sink(Sink sink) { sink_ = std::move(sink); }
   [[nodiscard]] bool enabled() const { return static_cast<bool>(sink_); }
 
   void emit(SimTime t, TraceLevel lvl, const std::string& msg) const {
-    if (sink_) sink_(t, lvl, msg);
+    if (sink_) sink_(t, lvl, TraceCtx{}, msg);
+  }
+  void emit(SimTime t, TraceLevel lvl, const TraceCtx& ctx,
+            const std::string& msg) const {
+    if (sink_) sink_(t, lvl, ctx, msg);
   }
 
-  /// Sink that writes "t=<ms> <msg>" lines to stderr.
+  /// Sink that writes "[<ms>] LEVEL [n<node>/<cat>] <msg>" lines to stderr.
   static Sink stderr_sink();
 
  private:

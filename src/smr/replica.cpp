@@ -55,6 +55,38 @@ void ReplicaBase::charge(energy::Category cat, double mj) {
   if (meter_ != nullptr && cfg_.meter_crypto) meter_->charge(cat, mj);
 }
 
+void ReplicaBase::trace_instant(const char* cat, std::string name,
+                                obs::Tracer::Args args) {
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->instant(sched_.now(), cfg_.id, cat, std::move(name),
+                         std::move(args));
+  }
+}
+
+void ReplicaBase::trace_begin(const char* cat, std::string name,
+                              std::uint64_t id, obs::Tracer::Args args) {
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->async_begin(sched_.now(), cfg_.id, cat, std::move(name), id,
+                             std::move(args));
+  }
+}
+
+void ReplicaBase::trace_mark(const char* cat, std::string name,
+                             std::uint64_t id, obs::Tracer::Args args) {
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->async_instant(sched_.now(), cfg_.id, cat, std::move(name), id,
+                               std::move(args));
+  }
+}
+
+void ReplicaBase::trace_end(const char* cat, std::string name,
+                            std::uint64_t id, obs::Tracer::Args args) {
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->async_end(sched_.now(), cfg_.id, cat, std::move(name), id,
+                           std::move(args));
+  }
+}
+
 Msg ReplicaBase::make_msg(MsgType type, std::uint64_t round, Bytes data) {
   Msg m;
   m.type = type;
@@ -210,6 +242,12 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
       if (req.has_value()) reply_to_client(*req, result);
     }
     executed_cmds_ += b.cmds.size();
+    if (tracing()) {
+      trace_instant("commit", "commit",
+                    {{"height", exp::Json(b.height)},
+                     {"cmds", exp::Json(b.cmds.size())}});
+      trace_end("block", "block", b.height);
+    }
     on_commit(b);
     maybe_checkpoint(b);
   }
@@ -279,6 +317,9 @@ void ReplicaBase::maybe_checkpoint(const Block& b) {
   id.block = b.hash();
   id.digest = crypto::sha256(bytes);
 
+  trace_instant("checkpoint", "checkpoint_taken",
+                {{"height", exp::Json(b.height)}});
+
   checkpoint::CheckpointMsg cp;
   cp.id = id;
   cp.sig = cfg_.keyring->signer(cfg_.id).sign(id.preimage());
@@ -345,6 +386,8 @@ void ReplicaBase::advance_low_water(const checkpoint::CheckpointCert& cert) {
   const std::uint64_t prev_lwm = lwm_height_;
   lwm_height_ = cert.id.height;
   st_served_.clear();  // new stable snapshot: serving budget resets
+  trace_instant("checkpoint", "checkpoint_stable",
+                {{"height", exp::Json(cert.id.height)}});
 
   // Verified-bytes cache GC: an entry recorded at or below the previous
   // low-water mark has sat un-committed for a full checkpoint interval;
@@ -397,7 +440,11 @@ void ReplicaBase::advance_low_water(const checkpoint::CheckpointCert& cert) {
 void ReplicaBase::begin_state_transfer(
     const checkpoint::CheckpointCert& cert) {
   if (st_inflight_ && st_height_ >= cert.id.height) return;
-  if (!st_inflight_) st_started_ = sched_.now();
+  if (!st_inflight_) {
+    st_started_ = sched_.now();
+    trace_begin("recovery", "state_transfer", cert.id.height,
+                {{"height", exp::Json(cert.id.height)}});
+  }
   st_inflight_ = true;
   st_height_ = cert.id.height;
   st_signer_idx_ = 0;
@@ -520,6 +567,9 @@ void ReplicaBase::handle_state_response(const Msg& msg) {
   st_timer_.cancel();
   ++state_transfers_;
   last_recovery_ = sched_.now() - st_started_;
+  trace_end("recovery", "state_transfer", st_height_,
+            {{"height", exp::Json(cert.id.height)},
+             {"ms", exp::Json(sim::to_milliseconds(last_recovery_))}});
 
   on_state_transfer(root);
   // Buffered blocks above the checkpoint may connect now.

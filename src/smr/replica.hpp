@@ -17,6 +17,7 @@
 #include "src/energy/meter.hpp"
 #include "src/net/channel.hpp"
 #include "src/net/flood.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/smr/app.hpp"
 #include "src/smr/chain.hpp"
@@ -65,6 +66,10 @@ struct ReplicaConfig {
   /// Max pooled-but-uncommitted requests per client (0 = unbounded): a
   /// Byzantine client flooding unique req_ids cannot exhaust the pool.
   std::size_t client_pending_cap = 0;
+
+  /// Structured event tracer for the commit path, checkpoints and state
+  /// transfers (src/obs/trace.hpp). Not owned; nullptr disables tracing.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Byzantine outbound interception (src/adversary): consulted for every
@@ -264,6 +269,19 @@ class ReplicaBase : public net::FloodClient {
     (void)msg;
     return true;
   }
+
+  // -- event tracing ---------------------------------------------------------------
+  // Thin forwarders to cfg_.tracer stamped with sched_.now() and this
+  // replica's id; all no-ops when no tracer is attached.
+  [[nodiscard]] bool tracing() const { return cfg_.tracer != nullptr; }
+  void trace_instant(const char* cat, std::string name,
+                     obs::Tracer::Args args = {});
+  void trace_begin(const char* cat, std::string name, std::uint64_t id,
+                   obs::Tracer::Args args = {});
+  void trace_mark(const char* cat, std::string name, std::uint64_t id,
+                  obs::Tracer::Args args = {});
+  void trace_end(const char* cat, std::string name, std::uint64_t id,
+                 obs::Tracer::Args args = {});
 
   sim::Scheduler& sched_;
   net::FloodRouter router_;

@@ -1,0 +1,202 @@
+// Trajectory-differ tests (the library behind tools/bench_diff): a
+// golden baseline/current pair with an injected out-of-tolerance
+// regression fails, in-tolerance jitter passes, and added / removed /
+// type-changed metrics are reported with the right kinds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/exp/json.hpp"
+#include "src/obs/diff.hpp"
+
+namespace eesmr {
+namespace {
+
+using exp::Json;
+using obs::DiffKind;
+using obs::DiffOptions;
+using obs::DiffReport;
+
+// A miniature BENCH_*.json: one section, two rows, mixed leaf types.
+const char* kBaseline = R"({
+  "bench": "fig_golden",
+  "sections": [
+    {
+      "name": "main",
+      "rows": [
+        {
+          "params": {"protocol": "EESMR", "n": 7},
+          "metrics": {"mj_per_block": 100.0, "commits": 24, "safety_ok": true}
+        },
+        {
+          "params": {"protocol": "SyncHS", "n": 7},
+          "metrics": {"mj_per_block": 260.0, "commits": 24, "safety_ok": true}
+        }
+      ]
+    }
+  ]
+})";
+
+Json baseline() { return Json::parse(kBaseline); }
+
+/// Return the golden document with one metric scaled by `factor`.
+Json with_scaled_mj(std::size_t row, double factor) {
+  // Rebuild rather than mutate: Json::at is const-only by design.
+  Json doc = baseline();
+  std::string text = doc.pretty();
+  const double value = row == 0 ? 100.0 : 260.0;
+  const std::string needle = exp::json_number(value);
+  const std::size_t pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), exp::json_number(value * factor));
+  return Json::parse(text);
+}
+
+TEST(BenchDiff, IdenticalDocumentsPass) {
+  const DiffReport r = obs::diff_json(baseline(), baseline(), {}, "golden");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.entries.empty());
+  // Every scalar leaf was actually compared (2 params + 3 metrics per
+  // row, 2 rows, + bench + section name).
+  EXPECT_EQ(r.compared, 12u);
+}
+
+TEST(BenchDiff, InjectedRegressionBeyondToleranceFails) {
+  // +25% on mj_per_block against the default 2% gate (a factor exactly
+  // representable in binary, so the rendered values stay integral).
+  const DiffReport r =
+      obs::diff_json(baseline(), with_scaled_mj(0, 1.25), {}, "golden");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures(), 1u);
+  ASSERT_EQ(r.entries.size(), 1u);
+  const obs::DiffEntry& e = r.entries[0];
+  EXPECT_EQ(e.kind, DiffKind::kRegression);
+  EXPECT_EQ(e.path, "golden.sections[0].rows[0].metrics.mj_per_block");
+  EXPECT_EQ(e.baseline, "100");
+  EXPECT_EQ(e.current, "125");
+  EXPECT_NEAR(e.rel, 25.0 / 125.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.tol, 0.02);
+  // The findings line carries the path and both values.
+  EXPECT_NE(r.text().find("REGRESSION golden.sections[0].rows[0].metrics"
+                          ".mj_per_block: 100 -> 125"),
+            std::string::npos)
+      << r.text();
+}
+
+TEST(BenchDiff, InToleranceJitterPasses) {
+  // +1% stays under the default 2% relative tolerance.
+  const DiffReport r =
+      obs::diff_json(baseline(), with_scaled_mj(1, 1.01), {}, "golden");
+  EXPECT_TRUE(r.ok()) << r.text();
+  EXPECT_TRUE(r.entries.empty());
+}
+
+TEST(BenchDiff, PerMetricToleranceOverride) {
+  DiffOptions opts;
+  opts.metric_rel_tol.emplace_back("mj_per_block", 0.15);
+  // 10% regression passes under the widened per-metric gate...
+  EXPECT_TRUE(
+      obs::diff_json(baseline(), with_scaled_mj(0, 1.10), opts, "g").ok());
+  // ...while other metrics keep the default.
+  EXPECT_DOUBLE_EQ(obs::rel_tol_for(opts, "mj_per_block"), 0.15);
+  EXPECT_DOUBLE_EQ(obs::rel_tol_for(opts, "commits"), 0.02);
+}
+
+TEST(BenchDiff, AbsoluteFloorAdmitsNearZeroNoise) {
+  DiffOptions opts;
+  opts.abs_tol = 1e-3;
+  Json base = Json::parse(R"({"x": 0.0})");
+  Json cur = Json::parse(R"({"x": 0.0005})");
+  // Relative tolerance alone would fail (rel = 1.0); the floor admits it.
+  EXPECT_TRUE(obs::diff_json(base, cur, opts).ok());
+  EXPECT_FALSE(obs::diff_json(base, cur, DiffOptions{}).ok());
+}
+
+TEST(BenchDiff, RemovedMetricFailsAddedIsInformational) {
+  Json base = Json::parse(R"({"metrics": {"a": 1, "b": 2}})");
+  Json cur = Json::parse(R"({"metrics": {"a": 1, "c": 3}})");
+  const DiffReport r = obs::diff_json(base, cur, {}, "golden");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.entries[0].kind, DiffKind::kRemoved);
+  EXPECT_EQ(r.entries[0].path, "golden.metrics.b");
+  EXPECT_EQ(r.entries[1].kind, DiffKind::kAdded);
+  EXPECT_EQ(r.entries[1].path, "golden.metrics.c");
+  // Only the removal gates; the addition is reported but passes.
+  EXPECT_EQ(r.failures(), 1u);
+
+  // Added alone keeps the gate green.
+  const DiffReport add_only =
+      obs::diff_json(Json::parse(R"({"a": 1})"), Json::parse(R"({"a": 1,
+        "new_metric": 7})"));
+  EXPECT_TRUE(add_only.ok());
+  EXPECT_EQ(add_only.entries.size(), 1u);
+}
+
+TEST(BenchDiff, ArrayLengthChangesReported) {
+  Json base = Json::parse(R"({"rows": [1, 2, 3]})");
+  Json shorter = Json::parse(R"({"rows": [1, 2]})");
+  const DiffReport removed = obs::diff_json(base, shorter);
+  EXPECT_FALSE(removed.ok());
+  ASSERT_EQ(removed.entries.size(), 1u);
+  EXPECT_EQ(removed.entries[0].kind, DiffKind::kRemoved);
+  EXPECT_EQ(removed.entries[0].path, "rows[2]");
+
+  const DiffReport added = obs::diff_json(shorter, base);
+  EXPECT_TRUE(added.ok());
+  ASSERT_EQ(added.entries.size(), 1u);
+  EXPECT_EQ(added.entries[0].kind, DiffKind::kAdded);
+}
+
+TEST(BenchDiff, TypeChangeFails) {
+  Json base = Json::parse(R"({"safety_ok": true})");
+  Json cur = Json::parse(R"({"safety_ok": "true"})");
+  const DiffReport r = obs::diff_json(base, cur);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].kind, DiffKind::kTypeChanged);
+}
+
+TEST(BenchDiff, NonNumericLeavesCompareExactly) {
+  Json base = Json::parse(R"({"protocol": "EESMR", "ok": true})");
+  Json flipped = Json::parse(R"({"protocol": "EESMR", "ok": false})");
+  EXPECT_TRUE(obs::diff_json(base, base).ok());
+  const DiffReport r = obs::diff_json(base, flipped);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.entries[0].path, "ok");
+}
+
+TEST(BenchDiff, IgnoredKeysAreSkippedEverywhere) {
+  DiffOptions opts;
+  opts.ignore.push_back("timestamp");
+  Json base = Json::parse(R"({"timestamp": 1, "nested": {"timestamp": 2,
+    "x": 5}})");
+  Json cur = Json::parse(R"({"timestamp": 99, "nested": {"x": 5}})");
+  // The changed top-level value and the removed nested one both sit
+  // under an ignored key.
+  EXPECT_TRUE(obs::diff_json(base, cur, opts).ok());
+  EXPECT_FALSE(obs::diff_json(base, cur, DiffOptions{}).ok());
+}
+
+TEST(BenchDiff, ToleranceKeyMatchesLastPathSegment) {
+  // Array-indexed leaves strip the [i] suffix before the override match.
+  DiffOptions opts;
+  opts.metric_rel_tol.emplace_back("latencies", 0.5);
+  Json base = Json::parse(R"({"latencies": [10.0, 20.0]})");
+  Json cur = Json::parse(R"({"latencies": [13.0, 26.0]})");
+  EXPECT_TRUE(obs::diff_json(base, cur, opts).ok());
+  EXPECT_FALSE(obs::diff_json(base, cur, DiffOptions{}).ok());
+}
+
+TEST(BenchDiff, MergeAccumulatesAcrossFiles) {
+  DiffReport all;
+  all.merge(obs::diff_json(baseline(), with_scaled_mj(0, 1.10), {}, "a.json"));
+  all.merge(obs::diff_json(baseline(), baseline(), {}, "b.json"));
+  EXPECT_EQ(all.compared, 24u);
+  EXPECT_EQ(all.failures(), 1u);
+  EXPECT_FALSE(all.ok());
+  EXPECT_NE(all.text().find("a.json.sections[0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eesmr

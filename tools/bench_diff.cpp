@@ -1,0 +1,165 @@
+// bench_diff: trajectory regression gate over BENCH_*.json output.
+//
+//   bench_diff [options] BASELINE CURRENT
+//
+// BASELINE and CURRENT are either two BENCH_*.json files or two
+// directories of them (matched by file name). Exit code: 0 when every
+// compared metric is within tolerance, 1 on regressions (including
+// metrics or whole files that disappeared), 2 on usage/IO errors.
+//
+//   --rel-tol X      default relative tolerance (default 0.02)
+//   --abs-tol X      absolute floor for near-zero values (default 1e-9)
+//   --tol KEY=X      per-metric relative tolerance (last path segment;
+//                    repeatable), e.g. --tol mj_per_block=0.05
+//   --ignore KEY     skip object key KEY everywhere (repeatable)
+//   --report PATH    additionally write the findings to PATH (the CI
+//                    job uploads this as the bench-smoke diff artifact)
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/json.hpp"
+#include "src/obs/diff.hpp"
+
+namespace fs = std::filesystem;
+using eesmr::exp::Json;
+using eesmr::obs::DiffKind;
+using eesmr::obs::DiffOptions;
+using eesmr::obs::DiffReport;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rel-tol X] [--abs-tol X] [--tol KEY=X]...\n"
+               "          [--ignore KEY]... [--report PATH] BASELINE CURRENT\n"
+               "BASELINE/CURRENT: two BENCH_*.json files or two directories "
+               "of them.\n",
+               argv0);
+  return 2;
+}
+
+Json load(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+std::vector<std::string> json_names(const fs::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".json") {
+      names.push_back(e.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+DiffReport diff_trees(const fs::path& base_dir, const fs::path& cur_dir,
+                      const DiffOptions& opts) {
+  DiffReport all;
+  const std::vector<std::string> base_names = json_names(base_dir);
+  const std::vector<std::string> cur_names = json_names(cur_dir);
+  for (const std::string& name : base_names) {
+    if (!fs::exists(cur_dir / name)) {
+      all.entries.push_back({DiffKind::kRemoved, name, "baseline file", "",
+                             0, 0});
+      continue;
+    }
+    all.merge(eesmr::obs::diff_json(load(base_dir / name),
+                                    load(cur_dir / name), opts, name));
+  }
+  for (const std::string& name : cur_names) {
+    if (!fs::exists(base_dir / name)) {
+      all.entries.push_back({DiffKind::kAdded, name, "", "new file", 0, 0});
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffOptions opts;
+  std::string report_path;
+  std::vector<std::string> positional;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("missing value for " + arg);
+        }
+        return argv[++i];
+      };
+      if (arg == "--rel-tol") {
+        opts.rel_tol = std::stod(value());
+      } else if (arg == "--abs-tol") {
+        opts.abs_tol = std::stod(value());
+      } else if (arg == "--tol") {
+        const std::string v = value();
+        const std::size_t eq = v.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw std::runtime_error("--tol wants KEY=X, got '" + v + "'");
+        }
+        opts.metric_rel_tol.emplace_back(v.substr(0, eq),
+                                         std::stod(v.substr(eq + 1)));
+      } else if (arg == "--ignore") {
+        opts.ignore.push_back(value());
+      } else if (arg == "--report") {
+        report_path = value();
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw std::runtime_error("unknown option " + arg);
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() != 2) return usage(argv[0]);
+
+    const fs::path base = positional[0];
+    const fs::path cur = positional[1];
+    DiffReport report;
+    if (fs::is_directory(base) && fs::is_directory(cur)) {
+      report = diff_trees(base, cur, opts);
+    } else if (fs::is_regular_file(base) && fs::is_regular_file(cur)) {
+      report = eesmr::obs::diff_json(load(base), load(cur), opts,
+                                     base.filename().string());
+    } else {
+      std::fprintf(stderr,
+                   "bench_diff: '%s' and '%s' must both be files or both "
+                   "directories\n",
+                   base.string().c_str(), cur.string().c_str());
+      return 2;
+    }
+
+    std::string summary = report.text();
+    summary += "compared " + std::to_string(report.compared) + " values, " +
+               std::to_string(report.failures()) + " regression(s), " +
+               std::to_string(report.entries.size() - report.failures()) +
+               " addition(s)\n";
+    std::fputs(summary.c_str(), stdout);
+    if (!report_path.empty()) {
+      std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+      out << summary;
+      if (!out) {
+        std::fprintf(stderr, "bench_diff: FAILED to write %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}
