@@ -158,7 +158,7 @@ void ByzantineClient::fire() {
   if (spec_.max_requests > 0 && sent_ >= spec_.max_requests) return;
   router_.broadcast(next_request(), energy::Stream::kRequest);
   ++sent_;
-  sched_.after(std::max<sim::Duration>(1, spec_.interval),
+  sched_.after(std::max<sim::Duration>(1, spec_.interval), "adversary",
                [this] { fire(); });
 }
 

@@ -101,6 +101,10 @@ class ByzantineClient final : public net::FloodClient {
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  /// Still inside the scripted flood budget (0 = floods forever).
+  [[nodiscard]] bool budget_left() const {
+    return spec_.max_requests == 0 || sent_ < spec_.max_requests;
+  }
 
  private:
   void fire();

@@ -61,6 +61,7 @@ void DolevStrongNode::start(const Bytes& value,
                             bool selective) {
   // Decision fires at the end of round f+1.
   sched_.after(static_cast<sim::Duration>(cfg_.f + 2) * cfg_.delta,
+               "round_timer",
                [this] { decide(); });
   if (cfg_.id != cfg_.sender) return;
 
@@ -208,7 +209,7 @@ DolevStrongResult run_dolev_strong(std::size_t n, std::size_t f,
   for (NodeId g : attack.garbage) {
     // Junk every half-round through round f+1.
     for (std::size_t k = 0; k <= 2 * (f + 2); ++k) {
-      sched.after(static_cast<sim::Duration>(k) * (delta / 2),
+      sched.after(static_cast<sim::Duration>(k) * (delta / 2), "round_timer",
                   [node = nodes[g].get(), k] { node->flood_junk(k); });
     }
   }

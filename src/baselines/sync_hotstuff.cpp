@@ -90,6 +90,8 @@ void SyncHsReplica::propose(std::uint64_t height) {
     w.bytes(tip_cert_->encode());
     Msg prop = make_msg(MsgType::kPropose, height, w.take());
     broadcast(prop);
+    prof_flow_block("propose", b, energy::Stream::kProposal,
+                    prop.encode().size());
     if (tracing()) {
       trace_instant("commit", "propose",
                     {{"round", exp::Json(height)},
@@ -183,6 +185,7 @@ void SyncHsReplica::vote_for(const Block& block, const BlockHash& h) {
     trace_instant("commit", "vote", {{"height", exp::Json(block.height)}});
   }
   Msg vote = make_msg(MsgType::kVote, 0, h);
+  prof_flow_block("vote", block, energy::Stream::kVote, vote.encode().size());
   // Disseminated per the vote channel's policy (LocalKcast by default;
   // a Flood or RoutedUnicast sweep plugs in via ReplicaConfig::channels).
   broadcast(vote);
@@ -191,7 +194,8 @@ void SyncHsReplica::vote_for(const Block& block, const BlockHash& h) {
   // 2Δ commit wait (Sync HotStuff's synchronous commit rule).
   if (!commits_disabled_) {
     const auto id =
-        sched_.after(2 * cfg_.delta, [this, h] { commit_timeout(h); });
+        sched_.after(2 * cfg_.delta, "commit_timer",
+                     [this, h] { commit_timeout(h); });
     commit_timers_[hkey(h)] = id;
   }
 }
@@ -224,6 +228,7 @@ void SyncHsReplica::certify(const BlockHash& h) {
   if (b == nullptr) return;
   if (b->height <= certified_height_) return;
   trace_instant("commit", "certify", {{"height", exp::Json(b->height)}});
+  prof_flow_block("certify", *b, energy::Stream::kVote, 0);
   certified_tip_ = h;
   certified_height_ = b->height;
   tip_cert_ = QuorumCert::combine(std::vector<Msg>(
@@ -252,7 +257,7 @@ void SyncHsReplica::cancel_commit_timers() {
 
 void SyncHsReplica::reset_blame_timer(sim::Duration d) {
   if (crashed_) return;
-  blame_timer_.start(d, [this] { send_blame(); });
+  blame_timer_.start(d, "blame_timer", [this] { send_blame(); });
 }
 
 void SyncHsReplica::send_blame() {
@@ -301,7 +306,7 @@ void SyncHsReplica::on_blame_quorum() {
   commits_disabled_ = true;
   blame_timer_.cancel();
   phase_ = Phase::kQuitDelay;
-  sched_.after(cfg_.delta, [this] { quit_view(); });
+  sched_.after(cfg_.delta, "view_change", [this] { quit_view(); });
 }
 
 void SyncHsReplica::quit_view() {
@@ -311,7 +316,7 @@ void SyncHsReplica::quit_view() {
   Msg status = make_msg(MsgType::kStatus, 0, tip_cert_->encode());
   broadcast(status);
   phase_ = Phase::kNewView;
-  sched_.after(2 * cfg_.delta, [this] { enter_new_view(); });
+  sched_.after(2 * cfg_.delta, "view_change", [this] { enter_new_view(); });
 }
 
 void SyncHsReplica::handle_status(const Msg& msg) {
@@ -356,7 +361,7 @@ void SyncHsReplica::enter_new_view() {
   if (proposes_next) {
     // Give straggler status messages a moment, then propose from the
     // highest certified block.
-    sched_.after(2 * cfg_.delta, [this, v = v_cur_] {
+    sched_.after(2 * cfg_.delta, "view_change", [this, v = v_cur_] {
       if (v == v_cur_ && !nv_proposed_) leader_propose_new_view();
     });
   }

@@ -51,7 +51,7 @@ void TrustedController::handle(NodeId /*from*/, const Msg& msg) {
   if (!round_timer_armed_) {
     // Collect submissions for Δ, then order one block.
     round_timer_armed_ = true;
-    sched_.after(cfg_.delta, [this] { order_round(); });
+    sched_.after(cfg_.delta, "round_timer", [this] { order_round(); });
   }
 }
 
@@ -79,7 +79,7 @@ void TrustedController::order_round() {
   for (NodeId i = 0; i + 1 < cfg_.n; ++i) send(i, ordered);
   if (!pending_.empty()) {
     round_timer_armed_ = true;
-    sched_.after(cfg_.delta, [this] { order_round(); });
+    sched_.after(cfg_.delta, "round_timer", [this] { order_round(); });
   }
 }
 
@@ -105,7 +105,7 @@ void TrustedBaselineReplica::submit_round() {
   Msg submit = make_msg(MsgType::kSubmit, 0, w.take());
   send(controller_, submit);
   // Next submission one ordering interval later (2Δ round trip).
-  sched_.after(2 * cfg_.delta, [this] { submit_round(); });
+  sched_.after(2 * cfg_.delta, "round_timer", [this] { submit_round(); });
 }
 
 void TrustedBaselineReplica::handle(NodeId from, const Msg& msg) {

@@ -64,7 +64,7 @@ void Client::schedule_next_arrival() {
   const double gap_s = -std::log(1.0 - rng_.uniform()) / rate;
   const auto gap = std::max<sim::Duration>(
       1, static_cast<sim::Duration>(gap_s * 1e6));
-  sched_.after(gap, [this] {
+  sched_.after(gap, "client_arrival", [this] {
     if (!budget_left()) return;
     submit_one();
     schedule_next_arrival();
@@ -75,10 +75,29 @@ void Client::submit_one() {
   const std::uint64_t req_id = next_req_id_++;
   pending_.emplace(req_id, Pending(sched_.now(), cfg_.f));
   ++submitted_;
+  Bytes wire = build_request(req_id, gen_->next());
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("client", "encode", energy::Stream::kRequest,
+                               wire.size());
+    // Request sampling claims slots in submission order; the flow
+    // begins here and ends at the f+1 accept.
+    if (cfg_.profiler->sample_request(cfg_.id, req_id)) {
+      cfg_.profiler->attribute(cfg_.id, req_id, energy::Stream::kRequest,
+                               wire.size());
+      if (cfg_.tracer != nullptr) {
+        const sim::SimTime ts = sched_.now();
+        cfg_.tracer->complete(ts, cfg_.id, "request", "submit", 1,
+                              {{"client", exp::Json(cfg_.id)},
+                               {"req_id", exp::Json(req_id)}});
+        cfg_.tracer->flow_begin(ts, cfg_.id, "request", "submit",
+                                prof::Profiler::flow_id(cfg_.id, req_id));
+      }
+    }
+  }
   // The channel disseminates per the submission policy and, when a
   // timeout is configured, re-sends (rotating the target subset under
   // TargetedSubset) until complete() on acceptance.
-  channel_->submit(req_id, build_request(req_id, gen_->next()));
+  channel_->submit(req_id, std::move(wire));
 }
 
 Bytes Client::build_request(std::uint64_t req_id, Bytes op) {
@@ -92,6 +111,9 @@ Bytes Client::build_request(std::uint64_t req_id, Bytes op) {
   if (meter_ != nullptr) {
     meter_->charge(energy::Category::kSign,
                    energy::sign_energy_mj(cfg_.keyring->scheme()));
+  }
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_crypto("client", "sign", "request");
   }
 
   smr::Msg m;
@@ -111,6 +133,10 @@ void Client::on_deliver(NodeId, BytesView payload) {
     return;
   }
   if (m.type != smr::MsgType::kReply) return;  // flooded protocol traffic
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("client", "decode", energy::Stream::kReply,
+                               payload.size());
+  }
   if (m.author >= cfg_.n) return;              // only replicas may reply
   const auto rep = smr::ClientReply::decode(m.data);
   if (!rep.has_value()) return;
@@ -124,6 +150,9 @@ void Client::on_deliver(NodeId, BytesView payload) {
   if (meter_ != nullptr) {
     meter_->charge(energy::Category::kVerify,
                    energy::verify_energy_mj(cfg_.keyring->scheme()));
+  }
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_crypto("client", "verify", "reply");
   }
   if (!cfg_.keyring->verify(m.author, m.preimage(), m.sig)) return;
 
@@ -144,6 +173,16 @@ void Client::on_deliver(NodeId, BytesView payload) {
                                ? replies
                                : std::min(min_replies_at_accept_, replies);
   ++accepted_;
+  if (cfg_.profiler != nullptr && cfg_.tracer != nullptr &&
+      cfg_.profiler->is_sampled(cfg_.id, rep->req_id)) {
+    const sim::SimTime ts = sched_.now();
+    cfg_.tracer->complete(ts, cfg_.id, "request", "accept", 1,
+                          {{"client", exp::Json(cfg_.id)},
+                           {"req_id", exp::Json(rep->req_id)},
+                           {"replies", exp::Json(replies)}});
+    cfg_.tracer->flow_end(ts, cfg_.id, "request", "accept",
+                          prof::Profiler::flow_id(cfg_.id, rep->req_id));
+  }
   if (results_.size() < kMaxStoredResults) results_[rep->req_id] = *result;
   channel_->complete(rep->req_id);
   pending_.erase(it);

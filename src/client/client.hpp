@@ -18,6 +18,7 @@
 #include "src/energy/meter.hpp"
 #include "src/net/channel.hpp"
 #include "src/net/flood.hpp"
+#include "src/obs/prof.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/app.hpp"
 #include "src/smr/request.hpp"
@@ -54,6 +55,12 @@ struct ClientConfig {
   /// forwarding. Ignored under flood submission (the leader always
   /// hears a flood anyway).
   bool leader_hints = true;
+
+  /// Deterministic profiler (src/obs/prof.hpp): client-side crypto /
+  /// codec counters and request sampling. Not owned; may be nullptr.
+  prof::Profiler* profiler = nullptr;
+  /// Tracer the sampled-request flow events go to. Not owned.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Client final : public net::FloodClient {
@@ -100,6 +107,12 @@ class Client final : public net::FloodClient {
   /// acceptance time; >= f+1 by the acceptance rule. 0 before any accept.
   [[nodiscard]] std::size_t min_replies_at_accept() const {
     return accepted_ == 0 ? 0 : min_replies_at_accept_;
+  }
+  /// True while this client still generates or awaits load: its budget
+  /// has not run out, or submitted requests are still unaccepted. Drives
+  /// the harness's workload-aware liveness verdicts.
+  [[nodiscard]] bool has_pending_load() const {
+    return budget_left() || !pending_.empty();
   }
 
  private:

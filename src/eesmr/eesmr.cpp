@@ -87,6 +87,8 @@ void EesmrReplica::propose_block(std::uint64_t round) {
 
   Msg prop = make_msg(MsgType::kPropose, round, b.encode());
   broadcast(prop);
+  prof_flow_block("propose", b, energy::Stream::kProposal,
+                  prop.encode().size());
   if (tracing()) {
     trace_instant("commit", "propose",
                   {{"round", exp::Json(round)},
@@ -177,6 +179,9 @@ void EesmrReplica::accept_proposal(const Block& block, const BlockHash& h) {
   b_lck_height_ = block.height;
   accepted_round_ = block.round;
   r_cur_ = block.round + 1;
+  // Accepting IS the vote in EESMR: a flow step with no frame to bill.
+  // Named "vote" so the client-side terminal "accept" stays unique.
+  prof_flow_block("vote", block, energy::Stream::kVote, 0);
   arm_commit_timer(h);  // line 214 ("vote in the head")
   if (opts_.pipeline == 1) {
     // Blocking variant: the round lasts until the commit timer fires; no
@@ -199,7 +204,8 @@ void EesmrReplica::accept_proposal(const Block& block, const BlockHash& h) {
 void EesmrReplica::arm_commit_timer(const BlockHash& h) {
   if (commits_disabled_) return;
   const auto id =
-      sched_.after(4 * cfg_.delta, [this, h] { commit_timeout(h); });
+      sched_.after(4 * cfg_.delta, "commit_timer",
+                   [this, h] { commit_timeout(h); });
   commit_timers_[hkey(h)] = id;
 }
 
@@ -229,7 +235,7 @@ void EesmrReplica::cancel_commit_timers() {
 
 void EesmrReplica::reset_blame_timer(sim::Duration d) {
   if (crashed_) return;
-  blame_timer_.start(d, [this] { send_blame(); });
+  blame_timer_.start(d, "blame_timer", [this] { send_blame(); });
 }
 
 void EesmrReplica::send_blame() {
@@ -330,7 +336,7 @@ void EesmrReplica::on_blame_quorum() {
   commits_disabled_ = true;
   blame_timer_.cancel();
   phase_ = Phase::kQuitDelay;
-  sched_.after(cfg_.delta, [this] { quit_view(); });
+  sched_.after(cfg_.delta, "view_change", [this] { quit_view(); });
 }
 
 void EesmrReplica::handle_blame_qc(const Msg& msg) {
@@ -367,7 +373,7 @@ void EesmrReplica::quit_view() {
   // Certify our own B_com.
   Msg self_certify = make_msg(MsgType::kCertify, 0, committed_tip());
   certify_msgs_.push_back(self_certify);
-  sched_.after(5 * cfg_.delta, [this] { finish_quit_view(); });
+  sched_.after(5 * cfg_.delta, "view_change", [this] { finish_quit_view(); });
 }
 
 void EesmrReplica::handle_commit_update(NodeId from, const Msg& msg) {
@@ -435,7 +441,7 @@ void EesmrReplica::finish_quit_view() {
   // Line 240: broadcast the (possibly adopted) commit QC, wait Δ.
   Msg qc_msg = make_msg(MsgType::kCommitQC, 0, commit_qc_->encode());
   broadcast(qc_msg);
-  sched_.after(cfg_.delta, [this] { enter_new_view(); });
+  sched_.after(cfg_.delta, "view_change", [this] { enter_new_view(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -469,7 +475,7 @@ void EesmrReplica::enter_new_view() {
   if (leader == cfg_.id) {
     status_.emplace(cfg_.id, *commit_qc_);
     // Line 256: wait up to 4Δ to hear commit QCs from f+1 nodes.
-    sched_.after(4 * cfg_.delta, [this, v = v_cur_] {
+    sched_.after(4 * cfg_.delta, "view_change", [this, v = v_cur_] {
       if (v == v_cur_ && phase_ == Phase::kBootstrap1 && !nv_proposed_ &&
           status_.size() >= quorum()) {
         leader_propose_new_view();

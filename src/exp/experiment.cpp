@@ -50,13 +50,16 @@ Options parse_cli(int argc, char** argv, std::uint64_t default_seed) {
       o.prom_out = need_value(i, arg);
     } else if (arg == "--trace-out") {
       o.trace_out = need_value(i, arg);
+    } else if (arg == "--trace-requests") {
+      o.trace_requests =
+          static_cast<std::size_t>(parse_u64(arg, need_value(i, arg)));
     } else if (arg == "--no-json") {
       o.write_json = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--threads N] [--smoke] [--seed S] [--json-out PATH]\n"
           "          [--csv-out PATH] [--no-json] [--prom-out PATH]\n"
-          "          [--trace-out PATH]\n",
+          "          [--trace-out PATH] [--trace-requests K]\n",
           argc > 0 ? argv[0] : "bench");
       std::exit(0);
     } else {
@@ -132,6 +135,7 @@ Report& Experiment::run(std::string section, const Grid& grid,
   ro.threads = threads();
   ro.seed = opts_.seed;
   ro.smoke = opts_.smoke;
+  ro.trace_requests = opts_.trace_requests;
   SectionArtifacts sa;
   sa.section = section;
   const bool collect = !opts_.prom_out.empty() || !opts_.trace_out.empty();

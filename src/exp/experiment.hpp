@@ -20,6 +20,10 @@
 //                  samples labeled {section, run}
 //   --trace-out P  Chrome trace-event JSON of every run's commit-path
 //                  event stream (open in Perfetto / chrome://tracing)
+//   --trace-requests K
+//                  sample K client requests per run and stitch their
+//                  submit→commit→reply lifecycle into the trace as
+//                  Chrome flow events (needs --trace-out to be visible)
 //
 // Determinism contract: with a fixed seed, stdout and the JSON/CSV/
 // Prometheus/trace files are byte-identical at any --threads value.
@@ -44,6 +48,7 @@ struct Options {
   std::string csv_out;      ///< empty = no CSV
   std::string prom_out;     ///< empty = no Prometheus exposition
   std::string trace_out;    ///< empty = no Chrome trace
+  std::size_t trace_requests = 0;  ///< sampled requests per run (flows)
   bool write_json = true;
   std::vector<std::string> extra;  ///< unrecognized args (bench-specific)
 };

@@ -22,6 +22,7 @@ namespace eesmr::exp {
 /// --trace-out). Call before constructing the Cluster.
 inline void prepare(const RunContext& ctx, harness::ClusterConfig& cfg) {
   cfg.tracer = ctx.tracer;
+  cfg.trace_requests = ctx.trace_requests;
 }
 
 /// Snapshot a finished run into this run's registry slot (no-op without

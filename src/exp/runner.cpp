@@ -29,6 +29,7 @@ std::vector<MetricRow> run_matrix(const Grid& grid, const RunFn& fn,
     ctx.index = i;
     ctx.seed = sim::derive_seed(opts.seed, i);
     ctx.smoke = opts.smoke;
+    ctx.trace_requests = opts.trace_requests;
     ctx.grid = &grid;
     ctx.axis = grid.indices(i);
     if (opts.artifacts != nullptr) {

@@ -43,6 +43,9 @@ struct RunContext {
   /// into ClusterConfig::tracer (exp::prepare does) to record the
   /// commit-path event stream.
   obs::Tracer* tracer = nullptr;
+  /// --trace-requests: client requests to sample per run for flow-event
+  /// causal tracing (exp::prepare wires it into the ClusterConfig).
+  std::size_t trace_requests = 0;
 
   /// Value index of the named axis for this run.
   [[nodiscard]] std::size_t at(std::string_view axis_name) const {
@@ -60,6 +63,7 @@ struct RunnerOptions {
   std::size_t threads = 1;    ///< worker threads (clamped to >= 1)
   std::uint64_t seed = 1;     ///< base seed; each run derives its own
   bool smoke = false;
+  std::size_t trace_requests = 0;  ///< per-run sampled requests (flows)
   /// When non-null, resized to grid.size(); RunContext::registry /
   /// ::tracer point into slot i for run i (gated by the two flags). The
   /// runner also auto-registers every scalar metric column of each

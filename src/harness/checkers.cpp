@@ -28,7 +28,8 @@ void SafetyChecker::prune_below(std::uint64_t height) {
   canon_.erase(canon_.begin(), canon_.lower_bound(height));
 }
 
-void LivenessChecker::sample(sim::SimTime now, std::uint64_t frontier) {
+void LivenessChecker::sample(sim::SimTime now, std::uint64_t frontier,
+                             bool load_pending) {
   if (!seen_) {
     seen_ = true;
     frontier_ = frontier;
@@ -38,6 +39,12 @@ void LivenessChecker::sample(sim::SimTime now, std::uint64_t frontier) {
   if (frontier > frontier_) {
     max_closed_ = std::max(max_closed_, now - last_advance_);
     frontier_ = frontier;
+    last_advance_ = now;
+  } else if (!load_pending) {
+    // Idle chain with nothing left to commit: whatever gap was open up
+    // to here was a real wait (fold it in), but from now on the clock
+    // restarts — an idle tail is not a stall.
+    max_closed_ = std::max(max_closed_, now - last_advance_);
     last_advance_ = now;
   }
 }

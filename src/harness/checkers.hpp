@@ -49,12 +49,19 @@ class SafetyChecker {
 class LivenessChecker {
  public:
   /// Record the honest commit frontier at `now`. Call monotonically.
-  void sample(sim::SimTime now, std::uint64_t frontier);
+  /// `load_pending` is the workload-awareness input: pass false while no
+  /// client has offered load waiting to commit (budgets exhausted and
+  /// nothing outstanding) — the open gap up to `now` is then closed and
+  /// the idle tail accrues no stall. A real stall that drains before the
+  /// load runs out still registers in full, because the gap is closed
+  /// *after* folding it into the maximum. Callers without workload
+  /// knowledge keep the old fixed-window behaviour via the default.
+  void sample(sim::SimTime now, std::uint64_t frontier,
+              bool load_pending = true);
 
   /// Longest observed gap between frontier advances, including the
-  /// still-open gap ending at `now`. Note the run's tail counts: a run
-  /// that idles after its workload finishes reads as a stall, so bound
-  /// checks belong on runs that keep load until the end.
+  /// still-open gap ending at `now`. With workload-aware sampling the
+  /// idle tail after the offered load finished does not count.
   [[nodiscard]] sim::Duration max_stall(sim::SimTime now) const;
 
   [[nodiscard]] std::uint64_t frontier() const { return frontier_; }

@@ -278,6 +278,13 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   base.channels = cfg_.channels;
   base.verified_cache = cfg_.verified_cache;
   base.tracer = cfg_.tracer;
+  // The run's deterministic profiler: every replica and client reports
+  // crypto/codec counts into it; sampled requests get flow events.
+  prof_.set_medium(cfg_.medium);
+  prof_.set_tracer(cfg_.tracer);
+  prof_.set_request_samples(cfg_.trace_requests);
+  prof_.set_host_timing(cfg_.host_timing);
+  base.profiler = &prof_;
   // Subset submission needs the replica request stream in unicast mode:
   // only the contacted replicas hear a request, so the first to pool it
   // forwards to the leader (otherwise a subset missing the leader would
@@ -390,6 +397,8 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       cc.retry_after = cfg_.client_retry;
       cc.submit = cfg_.client_submit;
       cc.leader_hints = cfg_.client_leader_hints;
+      cc.profiler = &prof_;
+      cc.tracer = cfg_.tracer;
       if (cc.submit.kind ==
               net::DisseminationPolicy::Kind::kTargetedSubset &&
           cc.submit.timeout <= 0) {
@@ -437,7 +446,7 @@ void Cluster::start() {
     if (!late_[i]) replicas_[i]->start();
   }
   for (const ClusterConfig::LateStart& ls : cfg_.late_starts) {
-    sched_.after(ls.delay, [this, node = ls.node] {
+    sched_.after(ls.delay, "control", [this, node = ls.node] {
       net_->set_node_online(node, true);
       replicas_[node]->set_online(true);
       replicas_[node]->start();
@@ -449,12 +458,13 @@ void Cluster::start() {
   // transfer.
   for (const adversary::AdversarySpec::CrashRecover& cr :
        cfg_.adversary.crashes) {
-    sched_.at(std::max(cr.crash_at, sched_.now()), [this, node = cr.node] {
+    sched_.at(std::max(cr.crash_at, sched_.now()), "control",
+              [this, node = cr.node] {
       net_->set_node_online(node, false);
       replicas_[node]->set_online(false);
     });
     if (cr.recover_at > 0) {
-      sched_.at(std::max(cr.recover_at, sched_.now()),
+      sched_.at(std::max(cr.recover_at, sched_.now()), "control",
                 [this, node = cr.node] {
         net_->set_node_online(node, true);
         replicas_[node]->set_online(true);
@@ -483,7 +493,23 @@ void Cluster::tick_checkers() {
     min_lwm = std::min(min_lwm, replicas_[i]->low_water_mark());
   }
   if (min_lwm != UINT64_MAX && min_lwm > 0) safety_.prune_below(min_lwm);
-  liveness_.sample(sched_.now(), min_committed_correct());
+  liveness_.sample(sched_.now(), min_committed_correct(), load_pending());
+}
+
+bool Cluster::load_pending() const {
+  // Without a client layer the mempool's synthetic filler keeps every
+  // block full — load is pending by construction, keeping the old
+  // fixed-window stall semantics for protocol-only runs.
+  if (clients_.empty() && byz_clients_.empty()) return true;
+  for (const auto& c : clients_) {
+    if (c->has_pending_load()) return true;
+  }
+  // A Byzantine client still inside its flood budget keeps the checker
+  // armed: attack-conformance stall verdicts must cover the whole flood.
+  for (const auto& bc : byz_clients_) {
+    if (bc->budget_left()) return true;
+  }
+  return false;
 }
 
 RunResult Cluster::run_until_commits(std::size_t target_blocks,
@@ -602,6 +628,11 @@ RunResult Cluster::snapshot() const {
     out.msgs_withheld += wf->withheld();
   }
   for (const auto& bc : byz_clients_) out.byz_requests_sent += bc->sent();
+  // Profiler snapshot: replica/client counters accumulated in prof_,
+  // plus the scheduler's per-kind fired-event counts gathered here (the
+  // scheduler is the one component that does not hold a profiler ref).
+  out.prof = prof_.snapshot();
+  out.prof.sched_events = sched_.fired_by_kind();
   return out;
 }
 

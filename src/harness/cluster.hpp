@@ -134,6 +134,13 @@ struct ClusterConfig {
   /// trace "process") and routes every replica's and the fault
   /// injector's events into it. Not owned; nullptr disables tracing.
   obs::Tracer* tracer = nullptr;
+  /// Request-scoped causal tracing: sample this many client requests per
+  /// run and stitch their lifecycle as Chrome flow events (plus
+  /// per-request energy attribution in the profiler snapshot).
+  std::size_t trace_requests = 0;
+  /// Enable host wall-clock prof::Scope timing (non-deterministic;
+  /// benches must force serial execution, like micro_crypto).
+  bool host_timing = false;
 };
 
 class Cluster {
@@ -179,11 +186,16 @@ class Cluster {
   [[nodiscard]] const LivenessChecker& liveness_checker() const {
     return liveness_;
   }
+  /// The run's deterministic profiler (always on; see src/obs/prof.hpp).
+  [[nodiscard]] prof::Profiler& profiler() { return prof_; }
 
  private:
   [[nodiscard]] std::size_t min_committed_correct() const;
   /// Feed the safety/liveness checkers from the honest replicas.
   void tick_checkers();
+  /// Whether any client (honest or Byzantine) still offers load the
+  /// chain has not committed — the LivenessChecker's workload input.
+  [[nodiscard]] bool load_pending() const;
 
   ClusterConfig cfg_;
   sim::Scheduler sched_;
@@ -206,6 +218,8 @@ class Cluster {
   std::vector<std::unique_ptr<adversary::ByzantineClient>> byz_clients_;
   SafetyChecker safety_;
   LivenessChecker liveness_;
+  /// Owned per-run profiler, wired into every replica and client.
+  prof::Profiler prof_;
 };
 
 }  // namespace eesmr::harness

@@ -253,6 +253,10 @@ void RunResult::to_registry(obs::Registry& reg,
                     "Per-category operations over counted correct nodes",
                     labels, static_cast<double>(ops));
   }
+
+  // Deterministic profiler families (eesmr_prof_*). Empty for hand-built
+  // RunResults, so legacy tests see no new families.
+  if (!prof.empty()) prof.to_registry(reg, base);
 }
 
 RunSummary summary_from_registry(const obs::Registry& reg,

@@ -7,6 +7,7 @@
 #include "src/client/stats.hpp"
 #include "src/energy/meter.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/prof.hpp"
 #include "src/sim/time.hpp"
 #include "src/smr/block.hpp"
 
@@ -91,6 +92,13 @@ struct RunResult {
   std::uint64_t msgs_withheld = 0;
   /// Requests flooded by Byzantine clients.
   std::uint64_t byz_requests_sent = 0;
+
+  /// Deterministic profiler snapshot (src/obs/prof.hpp): scheduler
+  /// event-kind counts, per-site crypto op counts, codec byte counts,
+  /// early drops, sampled-request energy attribution, and (opt-in,
+  /// non-deterministic) host wall-clock scopes. Exported into the
+  /// registry as the `eesmr_prof_*` families when non-empty.
+  prof::Snapshot prof;
 
   /// Liveness verdict: the honest commit frontier never stalled past the
   /// configured bound (vacuously true when no bound was set).

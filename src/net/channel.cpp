@@ -92,7 +92,8 @@ void Channel::submit(std::uint64_t id, Bytes payload) {
 }
 
 void Channel::arm(std::uint64_t id, Tracked& t) {
-  t.event = sched_.after(t.timeout, [this, id] { on_timeout(id); });
+  t.event =
+      sched_.after(t.timeout, "channel_timeout", [this, id] { on_timeout(id); });
 }
 
 void Channel::on_timeout(std::uint64_t id) {

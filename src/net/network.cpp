@@ -123,7 +123,7 @@ void Network::transmit_edge(const HyperEdge& edge, BytesView frame,
       ++deliveries_;
       // Re-check at delivery time: the receiver may have gone offline
       // while the frame was in flight.
-      sched_.after(d, [this, sink, to, from = edge.sender,
+      sched_.after(d, "net_deliver", [this, sink, to, from = edge.sender,
                        data = to_bytes(frame)] {
         if (online_[to]) sink->on_packet(from, data);
       });

@@ -160,12 +160,46 @@ void diff_value(const exp::Json& base, const exp::Json& cur,
   }
 }
 
+void enumerate_leaves(const exp::Json& v, const DiffOptions& opts,
+                      const std::string& path, DiffReport& out) {
+  const auto skipped = [&](const std::string& key) {
+    return std::find(opts.ignore.begin(), opts.ignore.end(), key) !=
+           opts.ignore.end();
+  };
+  switch (v.type()) {
+    case exp::Json::Type::kObject: {
+      const std::string prefix = path.empty() ? "" : path + ".";
+      for (const auto& [key, val] : v.members()) {
+        if (skipped(key)) continue;
+        enumerate_leaves(val, opts, prefix + key, out);
+      }
+      return;
+    }
+    case exp::Json::Type::kArray:
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        enumerate_leaves(v.at(i), opts, path + "[" + std::to_string(i) + "]",
+                         out);
+      }
+      return;
+    default:
+      out.entries.push_back({DiffKind::kAdded, path, "", render(v), 0, 0});
+      return;
+  }
+}
+
 }  // namespace
 
 DiffReport diff_json(const exp::Json& baseline, const exp::Json& current,
                      const DiffOptions& opts, const std::string& root) {
   DiffReport out;
   diff_value(baseline, current, opts, root, out);
+  return out;
+}
+
+DiffReport enumerate_added(const exp::Json& current, const DiffOptions& opts,
+                           const std::string& root) {
+  DiffReport out;
+  enumerate_leaves(current, opts, root, out);
   return out;
 }
 

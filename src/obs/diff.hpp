@@ -77,4 +77,13 @@ struct DiffReport {
                                    const DiffOptions& opts = {},
                                    const std::string& root = "");
 
+/// Enumerate every leaf of `current` as an ADDED entry (honouring
+/// DiffOptions::ignore). Directory mode uses this for files with no
+/// baseline counterpart, so a new bench's metrics land in the report
+/// individually — reviewable and ready to become the next baseline —
+/// instead of one opaque "new file" line.
+[[nodiscard]] DiffReport enumerate_added(const exp::Json& current,
+                                         const DiffOptions& opts = {},
+                                         const std::string& root = "");
+
 }  // namespace eesmr::obs

@@ -20,7 +20,13 @@ void Tracer::push(TraceEvent ev) {
     std::string line = ev.name;
     if (ev.ph == 'b') line += " begin";
     if (ev.ph == 'e') line += " end";
-    if (ev.ph != 'i') line += " #" + std::to_string(ev.id);
+    if (ev.ph == 's') line += " flow-begin";
+    if (ev.ph == 't') line += " flow-step";
+    if (ev.ph == 'f') line += " flow-end";
+    if (ev.ph == 'b' || ev.ph == 'n' || ev.ph == 'e' || ev.ph == 's' ||
+        ev.ph == 't' || ev.ph == 'f') {
+      line += " #" + std::to_string(ev.id);
+    }
     for (const auto& [k, v] : ev.args) line += " " + k + "=" + v.dump();
     trace_.emit(ev.ts, sim::TraceLevel::kDebug,
                 sim::TraceCtx{ev.node, ev.cat}, line);
@@ -30,25 +36,55 @@ void Tracer::push(TraceEvent ev) {
 
 void Tracer::instant(sim::SimTime ts, std::int64_t node, const char* cat,
                      std::string name, Args args) {
-  push(TraceEvent{ts, node, epoch_, 'i', 0, std::move(name), cat,
+  push(TraceEvent{ts, node, epoch_, 'i', 0, 0, std::move(name), cat,
                   std::move(args)});
 }
 
 void Tracer::async_begin(sim::SimTime ts, std::int64_t node, const char* cat,
                          std::string name, std::uint64_t id, Args args) {
-  push(TraceEvent{ts, node, epoch_, 'b', id, std::move(name), cat,
+  push(TraceEvent{ts, node, epoch_, 'b', id, 0, std::move(name), cat,
                   std::move(args)});
 }
 
 void Tracer::async_instant(sim::SimTime ts, std::int64_t node, const char* cat,
                            std::string name, std::uint64_t id, Args args) {
-  push(TraceEvent{ts, node, epoch_, 'n', id, std::move(name), cat,
+  push(TraceEvent{ts, node, epoch_, 'n', id, 0, std::move(name), cat,
                   std::move(args)});
 }
 
 void Tracer::async_end(sim::SimTime ts, std::int64_t node, const char* cat,
                        std::string name, std::uint64_t id, Args args) {
-  push(TraceEvent{ts, node, epoch_, 'e', id, std::move(name), cat,
+  push(TraceEvent{ts, node, epoch_, 'e', id, 0, std::move(name), cat,
+                  std::move(args)});
+}
+
+void Tracer::complete(sim::SimTime ts, std::int64_t node, const char* cat,
+                      std::string name, sim::SimTime dur, Args args) {
+  push(TraceEvent{ts, node, epoch_, 'X', 0, dur, std::move(name), cat,
+                  std::move(args)});
+}
+
+void Tracer::counter(sim::SimTime ts, std::int64_t node, const char* cat,
+                     std::string name, Args args) {
+  push(TraceEvent{ts, node, epoch_, 'C', 0, 0, std::move(name), cat,
+                  std::move(args)});
+}
+
+void Tracer::flow_begin(sim::SimTime ts, std::int64_t node, const char* cat,
+                        std::string name, std::uint64_t id, Args args) {
+  push(TraceEvent{ts, node, epoch_, 's', id, 0, std::move(name), cat,
+                  std::move(args)});
+}
+
+void Tracer::flow_step(sim::SimTime ts, std::int64_t node, const char* cat,
+                       std::string name, std::uint64_t id, Args args) {
+  push(TraceEvent{ts, node, epoch_, 't', id, 0, std::move(name), cat,
+                  std::move(args)});
+}
+
+void Tracer::flow_end(sim::SimTime ts, std::int64_t node, const char* cat,
+                      std::string name, std::uint64_t id, Args args) {
+  push(TraceEvent{ts, node, epoch_, 'f', id, 0, std::move(name), cat,
                   std::move(args)});
 }
 
@@ -79,10 +115,16 @@ int Tracer::append_chrome(exp::Json& trace_events, int first_pid,
     j.set("ts", static_cast<long long>(ev.ts));
     j.set("pid", first_pid + static_cast<int>(ev.epoch));
     j.set("tid", static_cast<long long>(ev.node < 0 ? 0 : ev.node));
-    if (ev.ph != 'i') {
-      j.set("id", static_cast<unsigned long long>(ev.id));
-    } else {
+    if (ev.ph == 'i') {
       j.set("s", "t");  // instant scope: thread
+    } else if (ev.ph == 'X') {
+      j.set("dur", static_cast<long long>(ev.dur));
+    } else if (ev.ph == 's' || ev.ph == 't' || ev.ph == 'f') {
+      j.set("id", static_cast<unsigned long long>(ev.id));
+      // Bind flow termination to the enclosing slice, not the next one.
+      if (ev.ph == 'f') j.set("bp", "e");
+    } else if (ev.ph != 'C') {
+      j.set("id", static_cast<unsigned long long>(ev.id));
     }
     if (!ev.args.empty()) {
       exp::Json args = exp::Json::object();

@@ -25,13 +25,15 @@
 namespace eesmr::obs {
 
 /// One Chrome trace event. `ph` is the Chrome phase: 'i' instant,
-/// 'b'/'n'/'e' async begin/instant/end.
+/// 'b'/'n'/'e' async begin/instant/end, 'X' complete (with `dur`),
+/// 'C' counter, 's'/'t'/'f' flow start/step/end.
 struct TraceEvent {
   sim::SimTime ts = 0;
   std::int64_t node = -1;  ///< Chrome tid; -1 for epoch-scoped events
   std::uint32_t epoch = 0;
   char ph = 'i';
-  std::uint64_t id = 0;  ///< async span id (block height, view number)
+  std::uint64_t id = 0;  ///< async span / flow id (block height, view, request)
+  sim::SimTime dur = 0;  ///< duration, 'X' events only
   std::string name;
   const char* cat = "sim";
   std::vector<std::pair<std::string, exp::Json>> args;
@@ -54,6 +56,27 @@ class Tracer {
                      std::string name, std::uint64_t id, Args args = {});
   void async_end(sim::SimTime ts, std::int64_t node, const char* cat,
                  std::string name, std::uint64_t id, Args args = {});
+
+  /// Complete event ('X'): a slice [ts, ts+dur) on one thread. Flow
+  /// arrows need enclosing slices to attach to, so lifecycle points of a
+  /// traced request emit a short complete event as the anchor.
+  void complete(sim::SimTime ts, std::int64_t node, const char* cat,
+                std::string name, sim::SimTime dur, Args args = {});
+
+  /// Counter event ('C'): each arg becomes one series of a counter track
+  /// named `name` (used for host-timing tracks next to the sim spans).
+  void counter(sim::SimTime ts, std::int64_t node, const char* cat,
+               std::string name, Args args);
+
+  /// Flow events ('s'/'t'/'f'): arrows stitching one causal chain (one
+  /// sampled client request) across threads. All three share {cat, id};
+  /// each binds to the enclosing slice at (node, ts).
+  void flow_begin(sim::SimTime ts, std::int64_t node, const char* cat,
+                  std::string name, std::uint64_t id, Args args = {});
+  void flow_step(sim::SimTime ts, std::int64_t node, const char* cat,
+                 std::string name, std::uint64_t id, Args args = {});
+  void flow_end(sim::SimTime ts, std::int64_t node, const char* cat,
+                std::string name, std::uint64_t id, Args args = {});
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

@@ -1,5 +1,6 @@
 #include "src/sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -7,21 +8,59 @@
 namespace eesmr::sim {
 
 EventId Scheduler::at(SimTime when, std::function<void()> fn) {
+  return at(when, "other", std::move(fn));
+}
+
+EventId Scheduler::at(SimTime when, const char* kind,
+                      std::function<void()> fn) {
   if (when < now_) {
     throw std::invalid_argument("Scheduler::at: time in the past");
   }
   EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  queue_.push(Event{when, id, kind, std::move(fn)});
   live_.insert(id);
   return id;
 }
 
 EventId Scheduler::after(Duration delay, std::function<void()> fn) {
-  return at(now_ + delay, std::move(fn));
+  return at(now_ + delay, "other", std::move(fn));
+}
+
+EventId Scheduler::after(Duration delay, const char* kind,
+                         std::function<void()> fn) {
+  return at(now_ + delay, kind, std::move(fn));
 }
 
 bool Scheduler::cancel(EventId id) {
   return live_.erase(id) > 0;
+}
+
+void Scheduler::count_fired(const char* kind) {
+  for (auto& [tag, count] : fired_kinds_) {
+    if (tag == kind) {
+      ++count;
+      return;
+    }
+  }
+  fired_kinds_.push_back({kind, 1});
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Scheduler::fired_by_kind()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [tag, count] : fired_kinds_) {
+    bool merged = false;
+    for (auto& [name, total] : out) {
+      if (name == tag) {
+        total += count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back({tag, count});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool Scheduler::fire_next() {
@@ -32,6 +71,7 @@ bool Scheduler::fire_next() {
     assert(ev.when >= now_);
     now_ = ev.when;
     ++processed_;
+    count_fired(ev.kind);
     ev.fn();
     return true;
   }
@@ -60,10 +100,14 @@ std::size_t Scheduler::run_until(SimTime until) {
 }
 
 void Timer::start(Duration delay, std::function<void()> fn) {
+  start(delay, "timer", std::move(fn));
+}
+
+void Timer::start(Duration delay, const char* kind, std::function<void()> fn) {
   cancel();
   deadline_ = sched_->now() + delay;
   // Wrap so the timer disarms itself when it fires.
-  id_ = sched_->after(delay, [this, fn = std::move(fn)] {
+  id_ = sched_->after(delay, kind, [this, fn = std::move(fn)] {
     id_ = kInvalidEvent;
     fn();
   });

@@ -9,6 +9,7 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -25,11 +26,16 @@ class Scheduler {
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  /// Schedule `fn` at absolute time `when` (must be >= now()). `kind` is
+  /// a static profiling tag (e.g. "net_deliver", "timer"); counted per
+  /// kind when the event fires. Must point at storage that outlives the
+  /// scheduler (string literals).
   EventId at(SimTime when, std::function<void()> fn);
+  EventId at(SimTime when, const char* kind, std::function<void()> fn);
 
   /// Schedule `fn` after `delay` from now.
   EventId after(Duration delay, std::function<void()> fn);
+  EventId after(Duration delay, const char* kind, std::function<void()> fn);
 
   /// Cancel a pending event. Cancelling an already-fired, already-
   /// cancelled or invalid id is a no-op. Returns true if the event was
@@ -48,10 +54,17 @@ class Scheduler {
   [[nodiscard]] std::size_t pending() const { return live_.size(); }
   [[nodiscard]] std::size_t processed() const { return processed_; }
 
+  /// Events fired so far, by kind tag, sorted by kind name (tags merged
+  /// by value, so the same literal from different TUs still aggregates).
+  /// The counts sum to processed().
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  fired_by_kind() const;
+
  private:
   struct Event {
     SimTime when;
     EventId id;
+    const char* kind;
     std::function<void()> fn;
   };
   struct Later {
@@ -62,10 +75,15 @@ class Scheduler {
   };
 
   bool fire_next();
+  void count_fired(const char* kind);
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
   std::size_t processed_ = 0;
+  /// Fired-event counts per kind tag. Scanned linearly by pointer
+  /// identity first (a handful of distinct literals), falling back to a
+  /// string compare for same-text tags from different TUs.
+  std::vector<std::pair<const char*, std::uint64_t>> fired_kinds_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   /// Ids scheduled but not yet fired or cancelled. Cancelled entries stay
   /// in queue_ (lazy deletion) and are skipped when popped.
@@ -81,8 +99,10 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
   ~Timer() { cancel(); }
 
-  /// (Re)arm the timer: cancels any pending firing first.
+  /// (Re)arm the timer: cancels any pending firing first. The optional
+  /// kind tags the event for Scheduler::fired_by_kind().
   void start(Duration delay, std::function<void()> fn);
+  void start(Duration delay, const char* kind, std::function<void()> fn);
   void cancel();
   [[nodiscard]] bool armed() const { return id_ != kInvalidEvent; }
   /// Absolute expiry time; only meaningful while armed().

@@ -19,6 +19,47 @@ constexpr std::size_t kMaxSyncBlocks = 64;
 /// snapshot transfer over block-by-block chain sync. In-flight lag in
 /// the blocking variants is 1-2 blocks, so 8 never triggers spuriously.
 constexpr std::uint64_t kStateTransferGap = 8;
+
+/// Garbage-flood early drop: after this many consecutive failed request
+/// verifications from one client the filter engages...
+constexpr std::uint32_t kBadSigThreshold = 3;
+/// ...and only every kBadSigRecheck'th frame still reaches the metered
+/// verify (deterministic sampling: reproducible runs, and a client that
+/// turns honest again is re-admitted within a bounded number of frames).
+constexpr std::uint64_t kBadSigRecheck = 16;
+
+/// Profiler call-site tag for a message type's crypto work.
+const char* site_of(MsgType t) {
+  switch (t) {
+    case MsgType::kPropose:
+    case MsgType::kNewViewProposal:
+      return "proposal";
+    case MsgType::kVote:
+    case MsgType::kVoteMsg:
+    case MsgType::kCertify:
+      return "vote";
+    case MsgType::kBlame:
+    case MsgType::kBlameQC:
+    case MsgType::kCommitUpdate:
+    case MsgType::kCommitQC:
+    case MsgType::kStatus:
+      return "view_change";
+    case MsgType::kSyncRequest:
+    case MsgType::kSyncResponse:
+      return "sync";
+    case MsgType::kRequest:
+      return "request";
+    case MsgType::kReply:
+      return "reply";
+    case MsgType::kCheckpoint:
+      return "checkpoint";
+    case MsgType::kStateRequest:
+    case MsgType::kStateResponse:
+      return "state_transfer";
+    default:
+      return "other";
+  }
+}
 }  // namespace
 
 ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
@@ -87,6 +128,59 @@ void ReplicaBase::trace_end(const char* cat, std::string name,
   }
 }
 
+void ReplicaBase::prof_crypto(const char* op, const char* site) {
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_crypto("replica", op, site);
+  }
+}
+
+void ReplicaBase::prof_flow(const char* name, NodeId client,
+                            std::uint64_t req_id) {
+  prof::Profiler* p = cfg_.profiler;
+  if (p == nullptr || cfg_.tracer == nullptr || !p->tracing_requests()) return;
+  if (!p->is_sampled(client, req_id)) return;
+  const sim::SimTime ts = sched_.now();
+  // The 1us complete slice anchors the flow arrow (chrome://tracing only
+  // draws flow bindings into enclosing slices).
+  cfg_.tracer->complete(ts, cfg_.id, "request", name, 1,
+                        {{"client", exp::Json(client)},
+                         {"req_id", exp::Json(req_id)}});
+  cfg_.tracer->flow_step(ts, cfg_.id, "request", name,
+                         prof::Profiler::flow_id(client, req_id));
+}
+
+void ReplicaBase::prof_flow_block(const char* name, const Block& b,
+                                  energy::Stream s, std::size_t frame_bytes) {
+  prof::Profiler* p = cfg_.profiler;
+  if (p == nullptr || !p->tracing_requests() || b.cmds.empty()) return;
+  auto cached = prof_block_cache_.find(hkey(b.hash()));
+  if (cached == prof_block_cache_.end()) {
+    std::vector<std::pair<NodeId, std::uint64_t>> sampled;
+    for (const Command& cmd : b.cmds) {
+      const auto req = ClientRequest::decode(cmd.data);
+      if (req.has_value() && p->is_sampled(req->client, req->req_id)) {
+        sampled.push_back({req->client, req->req_id});
+      }
+    }
+    cached = prof_block_cache_.emplace(hkey(b.hash()), std::move(sampled))
+                 .first;
+  }
+  for (const auto& [client, req_id] : cached->second) {
+    prof_flow(name, client, req_id);
+    if (frame_bytes > 0) {
+      p->attribute(client, req_id, s, frame_bytes, 1, b.cmds.size());
+    }
+  }
+}
+
+void ReplicaBase::prof_flow_hash(const char* name, const BlockHash& h,
+                                 energy::Stream s, std::size_t frame_bytes) {
+  prof::Profiler* p = cfg_.profiler;
+  if (p == nullptr || !p->tracing_requests()) return;
+  const Block* b = store_.get(h);
+  if (b != nullptr) prof_flow_block(name, *b, s, frame_bytes);
+}
+
 Msg ReplicaBase::make_msg(MsgType type, std::uint64_t round, Bytes data) {
   Msg m;
   m.type = type;
@@ -97,6 +191,7 @@ Msg ReplicaBase::make_msg(MsgType type, std::uint64_t round, Bytes data) {
   m.sig = cfg_.keyring->signer(cfg_.id).sign(m.preimage());
   charge(energy::Category::kSign,
          energy::sign_energy_mj(cfg_.keyring->scheme()));
+  prof_crypto("sign", site_of(type));
   return m;
 }
 
@@ -104,6 +199,7 @@ bool ReplicaBase::verify_msg(const Msg& m) {
   if (m.author >= cfg_.n) return false;
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
+  prof_crypto("verify", site_of(m.type));
   return cfg_.keyring->verify(m.author, m.preimage(), m.sig);
 }
 
@@ -112,6 +208,7 @@ bool ReplicaBase::verify_qc(const QuorumCert& qc, std::size_t quorum_size) {
   for (std::size_t i = 0; i < qc.sigs.size(); ++i) {
     charge(energy::Category::kVerify,
            energy::verify_energy_mj(cfg_.keyring->scheme()));
+    prof_crypto("verify", "vote");
   }
   return qc.verify(*cfg_.keyring, quorum_size);
 }
@@ -121,6 +218,7 @@ bool ReplicaBase::verify_checkpoint_cert(
   for (std::size_t i = 0; i < cert.sigs.size(); ++i) {
     charge(energy::Category::kVerify,
            energy::verify_energy_mj(cfg_.keyring->scheme()));
+    prof_crypto("verify", "checkpoint");
   }
   return cert.verify(*cfg_.keyring, quorum(), cfg_.n);
 }
@@ -128,17 +226,28 @@ bool ReplicaBase::verify_checkpoint_cert(
 BlockHash ReplicaBase::hash_block(const Block& b) {
   const Bytes enc = b.encode();
   charge(energy::Category::kHash, energy::hash_energy_mj(enc.size()));
+  prof_crypto("hash", "block");
   return crypto::sha256(enc);
 }
 
 void ReplicaBase::broadcast(const Msg& m) {
   if (outbound_ != nullptr && !outbound_->allow(m, kNoNode)) return;
-  channel(stream_of(m.type)).disseminate(m.encode());
+  const Bytes wire = m.encode();
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("replica", "encode", stream_of(m.type),
+                               wire.size());
+  }
+  channel(stream_of(m.type)).disseminate(wire);
 }
 
 void ReplicaBase::send(NodeId to, const Msg& m) {
   if (outbound_ != nullptr && !outbound_->allow(m, to)) return;
-  channel(stream_of(m.type)).send_to(to, m.encode());
+  const Bytes wire = m.encode();
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("replica", "encode", stream_of(m.type),
+                               wire.size());
+  }
+  channel(stream_of(m.type)).send_to(to, wire);
 }
 
 bool ReplicaBase::integrate_block(const Block& block, NodeId origin) {
@@ -155,6 +264,7 @@ bool ReplicaBase::integrate_block(const Block& block, NodeId origin) {
 void ReplicaBase::on_chain_connected(const Block&) {}
 
 void ReplicaBase::commit_chain(const BlockHash& h) {
+  const prof::Scope scope(cfg_.profiler, "replica.commit_chain");
   if (committed_.count(hkey(h)) > 0 || h == genesis_hash()) return;
   const Block* target = store_.get(h);
   if (target == nullptr) {
@@ -219,6 +329,7 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
           } else {
             charge(energy::Category::kVerify,
                    energy::verify_energy_mj(cfg_.keyring->scheme()));
+            prof_crypto("verify", "request");
             valid = req->verify(*cfg_.keyring);
           }
         }
@@ -239,7 +350,10 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
         result = app_->apply(cmd);
       }
       if (app_ != nullptr) results_.push_back(result);
-      if (req.has_value()) reply_to_client(*req, result);
+      if (req.has_value()) {
+        prof_flow("commit", req->client, req->req_id);
+        reply_to_client(*req, result);
+      }
     }
     executed_cmds_ += b.cmds.size();
     if (tracing()) {
@@ -311,6 +425,7 @@ void ReplicaBase::maybe_checkpoint(const Block& b) {
   }
   Bytes bytes = payload.encode();
   charge(energy::Category::kHash, energy::hash_energy_mj(bytes.size()));
+  prof_crypto("hash", "checkpoint");
 
   checkpoint::CheckpointId id;
   id.height = b.height;
@@ -325,6 +440,7 @@ void ReplicaBase::maybe_checkpoint(const Block& b) {
   cp.sig = cfg_.keyring->signer(cfg_.id).sign(id.preimage());
   charge(energy::Category::kSign,
          energy::sign_energy_mj(cfg_.keyring->scheme()));
+  prof_crypto("sign", "checkpoint");
   ckpt_.record_local(id, std::move(bytes), b);
 
   // The flooded message carries the dedicated checkpoint signature; the
@@ -354,6 +470,7 @@ void ReplicaBase::handle_checkpoint(const Msg& msg) {
   if (cp.id.height <= ckpt_.stable_height()) return;
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
+  prof_crypto("verify", "checkpoint");
   if (!cfg_.keyring->verify(msg.author, cp.id.preimage(), cp.sig)) return;
   if (const auto cert = ckpt_.add_signature(msg.author, cp.id, cp.sig)) {
     on_stable_checkpoint(*cert);
@@ -471,7 +588,8 @@ void ReplicaBase::send_state_request() {
   w.u64(st_height_);
   Msg req = make_msg(MsgType::kStateRequest, r_cur_, w.take());
   send(target, req);
-  st_timer_.start(4 * cfg_.delta, [this] { send_state_request(); });
+  st_timer_.start(4 * cfg_.delta, "state_transfer_timer",
+                  [this] { send_state_request(); });
 }
 
 void ReplicaBase::handle_state_request(NodeId from, const Msg& msg) {
@@ -526,6 +644,7 @@ void ReplicaBase::handle_state_response(const Msg& msg) {
   if (hash_block(root) != cert.id.block) return;
   charge(energy::Category::kHash,
          energy::hash_energy_mj(payload_bytes.size()));
+  prof_crypto("hash", "state_transfer");
   if (crypto::sha256(payload_bytes) != cert.id.digest) return;
   if (app_ != nullptr) {
     try {
@@ -607,10 +726,28 @@ void ReplicaBase::handle_request(const Msg& m) {
       ++client_cap_drops_;
       return;
     }
+    // Garbage-flood early drop: a client whose last kBadSigThreshold
+    // requests all failed verification is almost certainly flooding
+    // garbage signatures. Admit only every kBadSigRecheck'th frame to
+    // the metered verify (so an honest-again client recovers) and
+    // reject the rest before any energy is charged.
+    const auto bs = bad_sigs_.find(req->client);
+    if (bs != bad_sigs_.end() && bs->second >= kBadSigThreshold) {
+      if (++flood_seen_[req->client] % kBadSigRecheck != 0) {
+        ++early_drops_;
+        if (cfg_.profiler != nullptr) cfg_.profiler->count_early_drop();
+        return;
+      }
+    }
   }
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
-  if (!req->verify(*cfg_.keyring)) return;
+  prof_crypto("verify", "request");
+  if (!req->verify(*cfg_.keyring)) {
+    ++bad_sigs_[req->client];
+    return;
+  }
+  bad_sigs_.erase(req->client);
   // Retransmit of an already-committed request: replay the stored
   // result instead of re-pooling (the original reply may have been
   // lost on a faulty routing path).
@@ -619,6 +756,7 @@ void ReplicaBase::handle_request(const Msg& m) {
     return;
   }
   if (mempool_.submit(Command{m.data})) {
+    prof_flow("pooled", req->client, req->req_id);
     // The signature in these exact bytes just verified; remember the
     // digest so the commit path can skip the re-check (single-use,
     // lwm-GC'd).
@@ -655,6 +793,12 @@ void ReplicaBase::reply_to_client(const ClientRequest& req,
   // signature, so lying is confined to the f Byzantine repliers.
   rep.leader = leader_of(v_cur_);
   Msg m = make_msg(MsgType::kReply, r_cur_, rep.encode());
+  if (cfg_.profiler != nullptr &&
+      cfg_.profiler->is_sampled(req.client, req.req_id)) {
+    prof_flow("reply", req.client, req.req_id);
+    cfg_.profiler->attribute(req.client, req.req_id, energy::Stream::kReply,
+                             m.encode().size());
+  }
   send(req.client, m);
 }
 
@@ -664,11 +808,16 @@ void ReplicaBase::reply_to_client(const ClientRequest& req,
 
 void ReplicaBase::on_deliver(NodeId origin, BytesView payload) {
   if (!online_) return;  // crashed / not yet joined: hears nothing
+  const prof::Scope scope(cfg_.profiler, "replica.on_deliver");
   Msg m;
   try {
     m = Msg::decode(payload);
   } catch (const SerdeError&) {
     return;  // malformed: drop
+  }
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("replica", "decode", stream_of(m.type),
+                               payload.size());
   }
   if (m.type == MsgType::kSyncRequest || m.type == MsgType::kSyncResponse) {
     handle_sync(origin, m);

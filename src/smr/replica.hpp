@@ -17,6 +17,7 @@
 #include "src/energy/meter.hpp"
 #include "src/net/channel.hpp"
 #include "src/net/flood.hpp"
+#include "src/obs/prof.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/smr/app.hpp"
@@ -70,6 +71,11 @@ struct ReplicaConfig {
   /// Structured event tracer for the commit path, checkpoints and state
   /// transfers (src/obs/trace.hpp). Not owned; nullptr disables tracing.
   obs::Tracer* tracer = nullptr;
+
+  /// Deterministic profiler (src/obs/prof.hpp): per-site crypto op
+  /// counts, per-stream codec bytes, early-drop counting and
+  /// request-scoped flow tracing. Not owned; nullptr disables profiling.
+  prof::Profiler* profiler = nullptr;
 };
 
 /// Byzantine outbound interception (src/adversary): consulted for every
@@ -149,6 +155,9 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] std::uint64_t requests_forwarded() const {
     return requests_forwarded_;
   }
+  /// Known-bad flood frames rejected before the metered signature
+  /// verification (the garbage-flood early-drop filter).
+  [[nodiscard]] std::uint64_t early_drops() const { return early_drops_; }
   /// Sparse flood-router dedup entries currently held (seen-window
   /// tails; bounded even under adversarial duplication/reordering).
   [[nodiscard]] std::size_t flood_dedup_entries() const {
@@ -283,6 +292,23 @@ class ReplicaBase : public net::FloodClient {
   void trace_end(const char* cat, std::string name, std::uint64_t id,
                  obs::Tracer::Args args = {});
 
+  // -- profiling -------------------------------------------------------------------
+  // cfg_.profiler forwarders; all no-ops without a profiler attached.
+  [[nodiscard]] prof::Profiler* profiler() const { return cfg_.profiler; }
+  /// Count one crypto op against this replica at `site`.
+  void prof_crypto(const char* op, const char* site);
+  /// Emit a flow step (with its anchoring slice) for one sampled request.
+  void prof_flow(const char* name, NodeId client, std::uint64_t req_id);
+  /// Flow steps + frame-share energy attribution for every sampled
+  /// request carried by `b`: each sampled command gets `1/|cmds|` of the
+  /// `frame_bytes` frame on stream `s` (frame_bytes 0 = flow step only).
+  void prof_flow_block(const char* name, const Block& b, energy::Stream s,
+                       std::size_t frame_bytes);
+  /// Same, for call sites that only hold the block hash (vote/certify);
+  /// resolves through the store and is a no-op for unknown blocks.
+  void prof_flow_hash(const char* name, const BlockHash& h, energy::Stream s,
+                      std::size_t frame_bytes);
+
   sim::Scheduler& sched_;
   net::FloodRouter router_;
   ReplicaConfig cfg_;
@@ -384,6 +410,20 @@ class ReplicaBase : public net::FloodClient {
   std::map<crypto::Sha256Digest, std::uint64_t> verified_;
   std::uint64_t verified_hits_ = 0;
   std::uint64_t requests_forwarded_ = 0;
+
+  // -- garbage-flood early drop --------------------------------------------------
+  /// Consecutive failed request-signature verifications per client; at
+  /// kBadSigThreshold the early-drop filter engages for that client.
+  std::map<NodeId, std::uint32_t> bad_sigs_;
+  /// Frames seen from a throttled client (drives the deterministic
+  /// 1-in-kBadSigRecheck re-admission sampling).
+  std::map<NodeId, std::uint64_t> flood_seen_;
+  std::uint64_t early_drops_ = 0;
+
+  /// Sampled requests per block (keyed by block hash), so vote/commit
+  /// flow hooks do not re-decode every command on every call.
+  std::map<std::string, std::vector<std::pair<NodeId, std::uint64_t>>>
+      prof_block_cache_;
 
   checkpoint::CheckpointManager ckpt_;
   std::uint64_t executed_cmds_ = 0;  ///< cumulative committed commands

@@ -133,6 +133,37 @@ TEST(BenchDiff, RemovedMetricFailsAddedIsInformational) {
   EXPECT_EQ(add_only.entries.size(), 1u);
 }
 
+TEST(BenchDiff, EnumerateAddedListsEveryLeafOfANewFile) {
+  // Directory mode uses this for files with no baseline counterpart: the
+  // report must enumerate the new file's metrics individually, not emit
+  // one opaque "new file" line.
+  const DiffReport r =
+      obs::enumerate_added(baseline(), {}, "BENCH_new_bench.json");
+  EXPECT_TRUE(r.ok());  // additions are informational
+  // 1 bench name + per row (2 params + 3 metrics) * 2 rows + section name.
+  EXPECT_EQ(r.entries.size(), 12u);
+  for (const auto& e : r.entries) {
+    EXPECT_EQ(e.kind, DiffKind::kAdded);
+    EXPECT_TRUE(e.path.rfind("BENCH_new_bench.json.", 0) == 0) << e.path;
+    EXPECT_FALSE(e.current.empty()) << e.path;
+  }
+  EXPECT_EQ(r.entries[0].path, "BENCH_new_bench.json.bench");
+  EXPECT_EQ(r.entries[0].current, "\"fig_golden\"");
+  // Leaf paths carry full section/row addressing, ready to be compared
+  // once the file is promoted to a baseline.
+  EXPECT_EQ(r.entries[2].path,
+            "BENCH_new_bench.json.sections[0].rows[0].params.protocol");
+
+  // The ignore list prunes subtrees here exactly as in diff_json.
+  DiffOptions opts;
+  opts.ignore.push_back("params");
+  const DiffReport pruned = obs::enumerate_added(baseline(), opts, "f");
+  for (const auto& e : pruned.entries) {
+    EXPECT_EQ(e.path.find(".params."), std::string::npos) << e.path;
+  }
+  EXPECT_EQ(pruned.entries.size(), 8u);
+}
+
 TEST(BenchDiff, ArrayLengthChangesReported) {
   Json base = Json::parse(R"({"rows": [1, 2, 3]})");
   Json shorter = Json::parse(R"({"rows": [1, 2]})");

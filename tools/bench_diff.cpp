@@ -78,7 +78,9 @@ DiffReport diff_trees(const fs::path& base_dir, const fs::path& cur_dir,
   }
   for (const std::string& name : cur_names) {
     if (!fs::exists(base_dir / name)) {
-      all.entries.push_back({DiffKind::kAdded, name, "", "new file", 0, 0});
+      // Enumerate the new file's leaves instead of one opaque "new
+      // file" line: the additions are reviewable metric by metric.
+      all.merge(eesmr::obs::enumerate_added(load(cur_dir / name), opts, name));
     }
   }
   return all;
