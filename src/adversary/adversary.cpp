@@ -192,6 +192,8 @@ const char* attack_name(AttackKind a) {
       return "garbage_client_flood";
     case AttackKind::kReplayClientFlood:
       return "replay_client_flood";
+    case AttackKind::kChaseLeader:
+      return "chase_leader";
   }
   return "?";
 }
@@ -210,6 +212,7 @@ const std::vector<AttackKind>& all_attacks() {
       AttackKind::kFaultyLinkDrop,
       AttackKind::kGarbageClientFlood,
       AttackKind::kReplayClientFlood,
+      AttackKind::kChaseLeader,
   };
   return kAll;
 }
@@ -304,13 +307,26 @@ void apply_attack(harness::ClusterConfig& cfg, AttackKind attack) {
       adv.clients.push_back(bc);
       return;
     }
+    case AttackKind::kChaseLeader: {
+      // Adaptive crash following the leader: the harness re-targets the
+      // current-view leader every period. One victim at a time (within
+      // every protocol's f >= 1 crash budget); the period leaves room
+      // for the view change plus a stretch of commits before the chase
+      // catches up with the new leader.
+      adv.chase_leader.period = sim::milliseconds(400);
+      adv.chase_leader.from_time = sim::milliseconds(300);
+      return;
+    }
   }
 }
 
 bool expect_liveness(harness::Protocol /*protocol*/, AttackKind attack) {
-  // EESMR and Sync HotStuff both claim liveness at their f budget under
-  // every attack in the matrix; only the deliberately over-budget crash
-  // exceeds any documented tolerance. (Dolev-Strong cells assert
+  // Every SMR protocol in the matrix — EESMR, Sync HotStuff, PBFT at
+  // n=3f+1 and MinBFT at n=2f+1 — claims liveness at its f budget under
+  // every attack, including the adaptive chase-the-leader crash (one
+  // victim at a time; view changes route around it and victims catch up
+  // by chain sync or state transfer). Only the deliberately over-budget
+  // crash exceeds any documented tolerance. (Dolev-Strong cells assert
   // termination directly in run_dolev_strong_attack.)
   return attack != AttackKind::kOverBudgetCrash;
 }
@@ -326,6 +342,7 @@ DolevStrongVerdict run_dolev_strong_attack(std::size_t n, std::size_t f,
     case AttackKind::kCrash:
     case AttackKind::kCrashRecover:    // one-shot BA: crash == no recovery
     case AttackKind::kWithholdProposals:  // a silent sender withholds all
+    case AttackKind::kChaseLeader:  // one-shot BA: chasing == sender crash
       a.crash = {0};
       break;
     case AttackKind::kOverBudgetCrash:

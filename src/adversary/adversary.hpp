@@ -142,6 +142,7 @@ enum class AttackKind {
   kFaultyLinkDrop,       ///< 50% loss on everything f faulty nodes send
   kGarbageClientFlood,   ///< invalid-signature request flood
   kReplayClientFlood,    ///< (client, req_id) replay flood
+  kChaseLeader,          ///< adaptive crash following the current leader
 };
 
 const char* attack_name(AttackKind a);

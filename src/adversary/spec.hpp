@@ -71,6 +71,21 @@ struct AdversarySpec {
   };
   std::vector<CrashRecover> crashes;
 
+  /// Adaptive "chase the leader" crash schedule: every `period` the
+  /// harness looks up the CURRENT view leader (max view over the online
+  /// replicas, mapped through leader_of), takes it off the air, and
+  /// restores the previous victim — at most one replica down at any
+  /// instant, so the schedule stays inside an f >= 1 crash budget while
+  /// the adversary adaptively follows every view change. Victims are
+  /// honest (crash-only): they recover and catch up via chain sync /
+  /// state transfer, so no node is excluded from correctness accounting.
+  struct ChaseLeader {
+    sim::Duration period = 0;     ///< 0 = disabled
+    sim::SimTime from_time = 0;   ///< first victim taken at this time
+    sim::SimTime until_time = 0;  ///< 0 = chase until the end of the run
+  };
+  ChaseLeader chase_leader;
+
   /// Byzantine client attached as an extra non-relay leaf after the
   /// honest clients. kGarbageFlood submits requests with fresh req_ids
   /// and corrupted signatures (each costs every replica one metered
@@ -99,7 +114,7 @@ struct AdversarySpec {
 
   [[nodiscard]] bool empty() const {
     return link_faults.empty() && withholds.empty() && crashes.empty() &&
-           clients.empty() && mark_faulty.empty();
+           clients.empty() && mark_faulty.empty() && chase_leader.period == 0;
   }
 };
 

@@ -243,6 +243,10 @@ void SyncHsReplica::certify(const BlockHash& h) {
 void SyncHsReplica::commit_timeout(const BlockHash& h) {
   commit_timers_.erase(hkey(h));
   if (commits_disabled_) return;
+  // An offline replica (crash/recover, chase-the-leader) must not commit
+  // on a timer armed before it went down: equivocation evidence or a view
+  // change may have passed it by, so the commit could be a private fork.
+  if (!online()) return;
   commit_chain(h);
 }
 
@@ -258,6 +262,11 @@ void SyncHsReplica::cancel_commit_timers() {
 void SyncHsReplica::reset_blame_timer(sim::Duration d) {
   if (crashed_) return;
   blame_timer_.start(d, "blame_timer", [this] { send_blame(); });
+}
+
+void SyncHsReplica::on_restart() {
+  if (crashed_ || !started_) return;
+  reset_blame_timer(6 * cfg_.delta);
 }
 
 void SyncHsReplica::send_blame() {

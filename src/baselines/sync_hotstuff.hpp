@@ -71,6 +71,7 @@ class SyncHsReplica final : public smr::ReplicaBase {
   void on_chain_connected(const smr::Block& block) override;
   void on_low_water(const smr::Block& root) override;
   void on_state_transfer(const smr::Block& root) override;
+  void on_restart() override;
 
  private:
   enum class Phase { kSteady, kQuitDelay, kNewView };

@@ -17,6 +17,12 @@ namespace {
 std::string hkey(const BlockHash& h) {
   return std::string(h.begin(), h.end());
 }
+
+/// Round gap beyond which try_accept re-anchors on a live proposal
+/// instead of buffering (deep-lag catch-up without checkpoints). Kept
+/// above any gap ordinary pipelining or within-Δ reordering can produce
+/// so the in-order acceptance discipline is untouched in steady state.
+constexpr std::uint64_t kFastForwardMinGap = 4;
 }  // namespace
 
 EesmrReplica::EesmrReplica(net::Network& net, smr::ReplicaConfig cfg,
@@ -146,7 +152,35 @@ void EesmrReplica::try_accept(const Msg& msg, NodeId origin) {
   }
   if (phase_ != Phase::kSteady || commits_disabled_) return;
   if (msg.round != accepted_round_ + 1) {
-    if (msg.round > accepted_round_ + 1) buffer_future(msg);
+    if (msg.round > accepted_round_ + 1) {
+      // Round fast-forward: a deeply-lagged replica (crash/recover
+      // without checkpoints) would otherwise buffer the live rounds
+      // forever — the gap in front of it only grows. When the gap is
+      // past what pipelining/reordering can produce and the proposal's
+      // full ancestry is integrated AND extends our lock, re-anchor on
+      // it directly; the skipped blocks commit transitively with it.
+      // (A too-small gap, or a missing ancestry, falls back to the
+      // buffer/chain-sync path: in-order delivery stays untouched.)
+      if (msg.round > accepted_round_ + 1 + kFastForwardMinGap &&
+          commit_timers_.size() < opts_.pipeline) {
+        Block ff;
+        try {
+          ff = Block::decode(msg.data);
+        } catch (const SerdeError&) {
+          return;
+        }
+        const BlockHash ffh = ff.hash();
+        if (!integrate_block(ff, origin)) {
+          retry_.push_back(msg);  // chain sync fetches the gap
+          return;
+        }
+        if (store_.extends(ffh, b_lck_)) {
+          accept_proposal(ff, ffh);
+          return;
+        }
+      }
+      buffer_future(msg);
+    }
     return;  // old round: the equivocation check already ran
   }
   // Blocking variant: at most `pipeline` un-committed accepted proposals
@@ -211,6 +245,10 @@ void EesmrReplica::arm_commit_timer(const BlockHash& h) {
 
 void EesmrReplica::commit_timeout(const BlockHash& h) {
   commit_timers_.erase(hkey(h));
+  // An offline replica (crash/recover, chase-the-leader) must not commit
+  // on a timer armed before it went down: equivocation evidence or a view
+  // change may have passed it by, so the commit could be a private fork.
+  if (!online()) return;
   commit_chain(h);
   if (phase_ == Phase::kSteady) {
     // Entering the wait for the next round: arm the 4Δ no-progress timer
@@ -239,13 +277,48 @@ void EesmrReplica::reset_blame_timer(sim::Duration d) {
 }
 
 void EesmrReplica::send_blame() {
-  if (blamed_ || crashed_) return;
-  blamed_ = true;
+  if (crashed_ || !online()) return;
+  // Blame escalation: a signed blame for view v' > v_cur_ is evidence
+  // that some replica already reached v' (its signature is verified on
+  // dispatch). A replica whose own timer expires joins the highest such
+  // view instead of blaming its stale local view — otherwise replicas
+  // scattered across views by repeated leader crashes each blame alone
+  // and no view ever collects the f+1 blames it needs.
+  std::uint64_t target = v_cur_;
+  for (const auto& [view, bucket] : blames_by_view_) {
+    if (!bucket.empty()) target = std::max(target, view);
+  }
+  // One blame per (replica, view): re-arm and wait for the quorum (or
+  // for higher-view evidence to escalate to).
+  const auto bucket = blames_by_view_.find(target);
+  if (bucket != blames_by_view_.end() && bucket->second.count(cfg_.id) > 0) {
+    reset_blame_timer(8 * cfg_.delta);
+    return;
+  }
+  if (target == v_cur_) {
+    if (blamed_) {
+      reset_blame_timer(8 * cfg_.delta);
+      return;
+    }
+    blamed_ = true;
+  }
   ++blames_sent_;
-  trace_instant("view", "blame", {{"view", exp::Json(v_cur_)}});
-  Msg blame = make_msg(MsgType::kBlame, 0, {});
+  trace_instant("view", "blame", {{"view", exp::Json(v_cur_)},
+                                  {"target", exp::Json(target)}});
+  Msg blame;
+  blame.type = MsgType::kBlame;
+  blame.view = target;
+  blame.round = 0;
+  blame.author = cfg_.id;
+  blame.sig = cfg_.keyring->signer(cfg_.id).sign(blame.preimage());
+  if (meter_ != nullptr && cfg_.meter_crypto) {
+    meter_->charge(energy::Category::kSign,
+                   energy::sign_energy_mj(cfg_.keyring->scheme()));
+  }
+  prof_crypto("sign", "view_change");
   broadcast(blame);
   handle_blame(blame);  // count our own blame
+  reset_blame_timer(8 * cfg_.delta);
 }
 
 void EesmrReplica::record_proposal_hash(std::uint64_t round,
@@ -271,18 +344,57 @@ bool EesmrReplica::can_start_view_change() const {
 }
 
 void EesmrReplica::handle_blame(const Msg& msg) {
-  if (msg.view != v_cur_ || msg.round != 0 || !msg.data.empty()) return;
-  if (!blamers_.insert(msg.author).second) return;
-  blame_msgs_.push_back(msg);
-  if (blamers_.size() >= quorum() && can_start_view_change()) {
+  if (msg.view < v_cur_ || msg.round != 0 || !msg.data.empty()) return;
+  if (!blames_by_view_[msg.view].emplace(msg.author, msg).second) return;
+  maybe_join_blame_quorum();
+}
+
+void EesmrReplica::maybe_join_blame_quorum() {
+  if (!can_start_view_change()) return;
+  // Highest view with f+1 blames wins: at least one correct replica is
+  // behind any such quorum, so joining it (even across skipped views)
+  // is safe — and the only way a deeply lagged replica regains the view
+  // synchrony the Δ-model otherwise assumes.
+  for (auto it = blames_by_view_.rbegin(); it != blames_by_view_.rend();
+       ++it) {
+    if (it->first < v_cur_ || it->second.size() < quorum()) continue;
+    if (it->first > v_cur_) adopt_view(it->first);
     // Line 227: build the blame QC and broadcast it.
-    const QuorumCert qc = QuorumCert::combine(std::vector<Msg>(
-        blame_msgs_.begin(),
-        blame_msgs_.begin() + static_cast<std::ptrdiff_t>(quorum())));
+    std::vector<Msg> blames;
+    blames.reserve(quorum());
+    for (const auto& [author, m] : it->second) {
+      blames.push_back(m);
+      if (blames.size() == quorum()) break;
+    }
+    const QuorumCert qc = QuorumCert::combine(blames);
     Msg qc_msg = make_msg(MsgType::kBlameQC, 0, qc.encode());
     broadcast(qc_msg);
     on_blame_quorum();
+    return;
   }
+}
+
+void EesmrReplica::adopt_view(std::uint64_t view) {
+  // Jump straight into `view`'s view change (f+1 blames or a blame QC
+  // prove the cluster reached it). Per-view state of the skipped views
+  // is void; the QuitView/status exchange ahead rebuilds everything
+  // that matters from the commit certificates.
+  trace_instant("view", "adopt_view", {{"from", exp::Json(v_cur_)},
+                                       {"view", exp::Json(view)}});
+  v_cur_ = view;
+  phase_ = Phase::kSteady;
+  seen_.clear();
+  blamed_ = false;
+  blame_qc_seen_ = false;
+  certify_msgs_.clear();
+  status_.clear();
+  nv_proposed_ = false;
+  nv_block_.reset();
+  nv_votes_.clear();
+  round2_sent_ = false;
+  cancel_commit_timers();
+  blames_by_view_.erase(blames_by_view_.begin(),
+                        blames_by_view_.lower_bound(v_cur_));
 }
 
 void EesmrReplica::handle_equiv_proof(const Msg& msg) {
@@ -340,19 +452,18 @@ void EesmrReplica::on_blame_quorum() {
 }
 
 void EesmrReplica::handle_blame_qc(const Msg& msg) {
-  if (msg.view != v_cur_) {
-    if (msg.view > v_cur_) buffer_future(msg);
-    return;
-  }
-  if (!can_start_view_change()) return;
+  if (msg.view < v_cur_ || !can_start_view_change()) return;
   QuorumCert qc;
   try {
     qc = QuorumCert::decode(msg.data);
   } catch (const SerdeError&) {
     return;
   }
-  if (qc.type != MsgType::kBlame || qc.view != v_cur_) return;
+  if (qc.type != MsgType::kBlame || qc.view != msg.view) return;
   if (!verify_qc(qc, quorum())) return;
+  // A valid QC for a higher view is transferable evidence on its own: a
+  // lagged replica adopts that view and joins the quit in flight.
+  if (msg.view > v_cur_) adopt_view(msg.view);
   blame_qc_seen_ = true;
   on_blame_quorum();
 }
@@ -458,8 +569,8 @@ void EesmrReplica::enter_new_view() {
   phase_ = Phase::kBootstrap1;
   // Reset per-view state.
   seen_.clear();
-  blame_msgs_.clear();
-  blamers_.clear();
+  blames_by_view_.erase(blames_by_view_.begin(),
+                        blames_by_view_.lower_bound(v_cur_));
   blamed_ = false;
   blame_qc_seen_ = false;
   commits_disabled_ = false;
@@ -488,6 +599,9 @@ void EesmrReplica::enter_new_view() {
   }
   reset_blame_timer(8 * cfg_.delta);  // line 266
   drain_buffered();
+  // A higher view's blame quorum may have completed while we were busy
+  // quitting this one; join it now rather than timing out into it.
+  maybe_join_blame_quorum();
 }
 
 void EesmrReplica::handle_status(const Msg& msg) {
@@ -731,6 +845,11 @@ void EesmrReplica::on_state_transfer(const Block& root) {
   commits_disabled_ = false;
   reset_blame_timer(8 * cfg_.delta);
   drain_buffered();
+}
+
+void EesmrReplica::on_restart() {
+  if (crashed_ || !started_) return;
+  reset_blame_timer(8 * cfg_.delta);
 }
 
 bool EesmrReplica::requires_signature_check(const Msg& msg) const {

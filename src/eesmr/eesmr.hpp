@@ -85,6 +85,7 @@ class EesmrReplica final : public smr::ReplicaBase {
   void on_chain_connected(const smr::Block& block) override;
   void on_low_water(const smr::Block& root) override;
   void on_state_transfer(const smr::Block& root) override;
+  void on_restart() override;
   [[nodiscard]] bool requires_signature_check(
       const smr::Msg& msg) const override;
 
@@ -108,6 +109,12 @@ class EesmrReplica final : public smr::ReplicaBase {
   // -- blame / equivocation -----------------------------------------------------
   void send_blame();
   void handle_blame(const smr::Msg& msg);
+  /// Act on the highest view (>= v_cur_) holding f+1 blames: adopt it
+  /// if it is ahead of us, then build/broadcast the blame QC and quit.
+  void maybe_join_blame_quorum();
+  /// Jump to `view` (> v_cur_) on f+1-blame / blame-QC evidence and
+  /// reset all per-view state, ready to join that view's view change.
+  void adopt_view(std::uint64_t view);
   void handle_equiv_proof(const smr::Msg& msg);
   void record_proposal_hash(std::uint64_t round, const smr::BlockHash& h,
                             const smr::Msg& msg);
@@ -162,9 +169,9 @@ class EesmrReplica final : public smr::ReplicaBase {
   sim::Timer blame_timer_;
   std::map<std::string, sim::EventId> commit_timers_;
 
-  // Blame state for the current view.
-  std::vector<smr::Msg> blame_msgs_;
-  std::set<NodeId> blamers_;
+  /// Signed blames per view, for views >= v_cur_ (evidence for blame
+  /// escalation and cross-view joins; stale views are pruned on entry).
+  std::map<std::uint64_t, std::map<NodeId, smr::Msg>> blames_by_view_;
   bool blamed_ = false;
   bool blame_qc_seen_ = false;
   /// Set after an equivocation proof or blame quorum in this view: no

@@ -138,6 +138,17 @@ double mac_energy_mj(std::size_t bytes) {
          static_cast<double>(sha256_blocks(bytes) + 3);
 }
 
+double attest_energy_mj(crypto::SchemeId scheme) {
+  // Counter increment + signature inside the enclave, plus the boundary
+  // crossing. The signature dominates; the increment rides on the call
+  // overhead constant.
+  return sign_energy_mj(scheme) + kAttestCallOverheadMj;
+}
+
+double verify_attest_energy_mj(crypto::SchemeId scheme) {
+  return verify_energy_mj(scheme) + kAttestCallOverheadMj;
+}
+
 std::size_t ble_adv_packets(std::size_t bytes) {
   return std::max<std::size_t>(1, (bytes + kBleAdvPayload - 1) / kBleAdvPayload);
 }

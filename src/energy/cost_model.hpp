@@ -48,6 +48,22 @@ double hash_energy_mj(std::size_t bytes);
 /// (Table 2 reports 0.19 J for short messages).
 double mac_energy_mj(std::size_t bytes);
 
+// -- Trusted-component costs (src/trusted) -----------------------------------
+// A simulated enclave attestation (monotonic-counter UI, UNIQUE/USIG style)
+// costs one counter increment plus one signature inside the trusted
+// component; verifying one costs a signature verification plus the
+// fixed-format counter check. The enclave boundary crossing adds a small
+// constant on top of the raw crypto.
+
+/// Fixed enclave-call overhead (mJ) added to every attestation / check.
+constexpr double kAttestCallOverheadMj = 0.05;
+
+/// Energy (mJ) to produce one attestation under `scheme`.
+double attest_energy_mj(crypto::SchemeId scheme);
+
+/// Energy (mJ) to verify one attestation under `scheme`.
+double verify_attest_energy_mj(crypto::SchemeId scheme);
+
 // -- BLE advertisement (k-cast) model (§5.4, Fig 2a/2b) ----------------------
 
 /// BLE GAP advertisement payload limit the paper measured (25 bytes).

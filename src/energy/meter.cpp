@@ -19,6 +19,8 @@ const char* category_name(Category c) {
       return "hash";
     case Category::kMac:
       return "mac";
+    case Category::kAttest:
+      return "attest";
   }
   return "?";
 }
@@ -120,11 +122,12 @@ std::string Meter::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "total=%.2fmJ send=%.2f recv=%.2f sign=%.2f verify=%.2f "
-                "hash=%.2f mac=%.2f",
+                "hash=%.2f mac=%.2f attest=%.2f",
                 total_millijoules(), millijoules(Category::kSend),
                 millijoules(Category::kRecv), millijoules(Category::kSign),
                 millijoules(Category::kVerify), millijoules(Category::kHash),
-                millijoules(Category::kMac));
+                millijoules(Category::kMac),
+                millijoules(Category::kAttest));
   return buf;
 }
 

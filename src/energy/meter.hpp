@@ -23,8 +23,9 @@ enum class Category : std::uint8_t {
   kVerify,  ///< digital-signature verification
   kHash,    ///< hashing (block ids, chaining)
   kMac,     ///< HMAC computations
+  kAttest,  ///< trusted-component attestations (monotonic-counter UI)
 };
-constexpr std::size_t kNumCategories = 6;
+constexpr std::size_t kNumCategories = 7;
 
 const char* category_name(Category c);
 

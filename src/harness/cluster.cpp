@@ -18,6 +18,10 @@ const char* protocol_name(Protocol p) {
       return "OptSync";
     case Protocol::kTrustedBaseline:
       return "TrustedBaseline";
+    case Protocol::kPbft:
+      return "PBFT";
+    case Protocol::kMinBft:
+      return "MinBFT";
   }
   return "?";
 }
@@ -339,6 +343,44 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
             *net_, rc, so, sbyz, &meters_[i]));
         break;
       }
+      case Protocol::kPbft: {
+        baselines::PbftByzantineConfig pbyz;
+        const protocol::ByzantineConfig byz = fault_for(i);
+        switch (byz.mode) {
+          case protocol::ByzantineMode::kHonest:
+            pbyz.mode = baselines::PbftByzantineMode::kHonest;
+            break;
+          case protocol::ByzantineMode::kCrash:
+            pbyz.mode = baselines::PbftByzantineMode::kCrash;
+            break;
+          default:
+            pbyz.mode = baselines::PbftByzantineMode::kEquivocate;
+            break;
+        }
+        pbyz.trigger_height = byz.trigger_round;
+        replicas_.push_back(std::make_unique<baselines::PbftReplica>(
+            *net_, rc, pbyz, &meters_[i]));
+        break;
+      }
+      case Protocol::kMinBft: {
+        baselines::MinBftByzantineConfig mbyz;
+        const protocol::ByzantineConfig byz = fault_for(i);
+        switch (byz.mode) {
+          case protocol::ByzantineMode::kHonest:
+            mbyz.mode = baselines::MinBftByzantineMode::kHonest;
+            break;
+          case protocol::ByzantineMode::kCrash:
+            mbyz.mode = baselines::MinBftByzantineMode::kCrash;
+            break;
+          default:
+            mbyz.mode = baselines::MinBftByzantineMode::kEquivocate;
+            break;
+        }
+        mbyz.trigger_height = byz.trigger_round;
+        replicas_.push_back(std::make_unique<baselines::MinBftReplica>(
+            *net_, rc, mbyz, &meters_[i]));
+        break;
+      }
       case Protocol::kTrustedBaseline: {
         if (i == cfg_.n) {
           // The control node's energy is not counted (mains-powered).
@@ -473,6 +515,43 @@ void Cluster::start() {
   }
   for (auto& c : clients_) c->start();
   for (auto& bc : byz_clients_) bc->start();
+  // Adaptive chase-the-leader schedule: first victim at from_time (the
+  // tick itself re-arms every period).
+  if (cfg_.adversary.chase_leader.period > 0) {
+    sched_.at(std::max(cfg_.adversary.chase_leader.from_time, sched_.now()),
+              "adversary", [this] { chase_leader_tick(); });
+  }
+}
+
+void Cluster::chase_leader_tick() {
+  const adversary::AdversarySpec::ChaseLeader& cl = cfg_.adversary.chase_leader;
+  const auto restore = [this] {
+    if (chase_victim_ == kNoNode) return;
+    net_->set_node_online(chase_victim_, true);
+    replicas_[chase_victim_]->set_online(true);
+    chase_victim_ = kNoNode;
+  };
+  if (cl.until_time != 0 && sched_.now() >= cl.until_time) {
+    restore();
+    return;
+  }
+  restore();
+  // The leader the cluster is currently converging on: the highest view
+  // any online replica reached, mapped through the shared rotation.
+  std::uint64_t view = 0;
+  for (const auto& r : replicas_) {
+    if (r->online()) view = std::max(view, r->current_view());
+  }
+  const NodeId victim = static_cast<NodeId>(view % replicas_.size());
+  net_->set_node_online(victim, false);
+  replicas_[victim]->set_online(false);
+  chase_victim_ = victim;
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->instant(sched_.now(), static_cast<std::int64_t>(victim),
+                         "fault", "chase_leader",
+                         {{"view", exp::Json(view)}});
+  }
+  sched_.after(cl.period, "adversary", [this] { chase_leader_tick(); });
 }
 
 std::size_t Cluster::min_committed_correct() const {

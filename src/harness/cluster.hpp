@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/adversary/spec.hpp"
+#include "src/baselines/minbft.hpp"
+#include "src/baselines/pbft.hpp"
 #include "src/baselines/sync_hotstuff.hpp"
 #include "src/baselines/trusted_baseline.hpp"
 #include "src/client/client.hpp"
@@ -31,6 +33,11 @@ enum class Protocol {
   kSyncHotStuff,
   kOptSync,
   kTrustedBaseline,
+  /// Classic partially-synchronous PBFT at n=3f+1 (vote quorum 2f+1).
+  kPbft,
+  /// MinBFT at n=2f+1: trusted monotonic counters (src/trusted) replace
+  /// agreement signatures; quorum f+1.
+  kMinBft,
 };
 
 const char* protocol_name(Protocol p);
@@ -191,6 +198,9 @@ class Cluster {
 
  private:
   [[nodiscard]] std::size_t min_committed_correct() const;
+  /// One step of the adaptive chase-the-leader schedule: restore the
+  /// previous victim, crash the current-view leader, re-arm.
+  void chase_leader_tick();
   /// Feed the safety/liveness checkers from the honest replicas.
   void tick_checkers();
   /// Whether any client (honest or Byzantine) still offers load the
@@ -210,6 +220,8 @@ class Cluster {
   std::vector<bool> counted_;
   std::vector<bool> late_;
   bool started_ = false;
+  /// Replica currently held down by the chase-the-leader schedule.
+  NodeId chase_victim_ = kNoNode;
 
   // Adversary wiring (src/adversary; owned here, installed on the
   // network / replicas at construction time).

@@ -49,6 +49,14 @@ const char* msg_type_name(MsgType t) {
       return "StateRequest";
     case MsgType::kStateResponse:
       return "StateResponse";
+    case MsgType::kPrepare:
+      return "Prepare";
+    case MsgType::kCommit:
+      return "Commit";
+    case MsgType::kViewChange:
+      return "ViewChange";
+    case MsgType::kNewView:
+      return "NewView";
   }
   return "?";
 }
@@ -62,6 +70,8 @@ energy::Stream stream_of(MsgType t) {
     case MsgType::kVote:
     case MsgType::kVoteMsg:
     case MsgType::kCertify:
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
       return energy::Stream::kVote;
     case MsgType::kBlame:
     case MsgType::kBlameQC:
@@ -69,6 +79,8 @@ energy::Stream stream_of(MsgType t) {
     case MsgType::kCommitQC:
     case MsgType::kStatus:
     case MsgType::kEquivProof:
+    case MsgType::kViewChange:
+    case MsgType::kNewView:
       return energy::Stream::kControl;
     case MsgType::kSyncRequest:
     case MsgType::kSyncResponse:

@@ -54,6 +54,13 @@ enum class MsgType : std::uint8_t {
   kCheckpoint = 18,
   kStateRequest = 19,
   kStateResponse = 20,
+  // PBFT / MinBFT vocabulary (src/baselines/pbft, src/baselines/minbft).
+  // kPropose doubles as pre-prepare / UI-attested prepare; these carry
+  // the agreement rounds and the view-change protocol.
+  kPrepare = 21,
+  kCommit = 22,
+  kViewChange = 23,
+  kNewView = 24,
 };
 
 const char* msg_type_name(MsgType t);

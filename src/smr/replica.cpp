@@ -37,12 +37,16 @@ const char* site_of(MsgType t) {
     case MsgType::kVote:
     case MsgType::kVoteMsg:
     case MsgType::kCertify:
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
       return "vote";
     case MsgType::kBlame:
     case MsgType::kBlameQC:
     case MsgType::kCommitUpdate:
     case MsgType::kCommitQC:
     case MsgType::kStatus:
+    case MsgType::kViewChange:
+    case MsgType::kNewView:
       return "view_change";
     case MsgType::kSyncRequest:
     case MsgType::kSyncResponse:
@@ -220,7 +224,9 @@ bool ReplicaBase::verify_checkpoint_cert(
            energy::verify_energy_mj(cfg_.keyring->scheme()));
     prof_crypto("verify", "checkpoint");
   }
-  return cert.verify(*cfg_.keyring, quorum(), cfg_.n);
+  // Checkpoint quorum is always f+1 (one correct attester suffices),
+  // independent of the protocol's vote quorum (cfg_.quorum).
+  return cert.verify(*cfg_.keyring, cfg_.f + 1, cfg_.n);
 }
 
 BlockHash ReplicaBase::hash_block(const Block& b) {
@@ -255,6 +261,7 @@ bool ReplicaBase::integrate_block(const Block& block, NodeId origin) {
   store_.add_orphan(block);
   // Request the missing ancestry once per parent hash.
   if (sync_requested_.insert(hkey(block.parent)).second) {
+    if (sync_started_ == 0) sync_started_ = sched_.now();
     Msg req = make_msg(MsgType::kSyncRequest, r_cur_, block.parent);
     send(origin, req);
   }
@@ -379,6 +386,7 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
 void ReplicaBase::on_commit(const Block&) {}
 void ReplicaBase::on_low_water(const Block&) {}
 void ReplicaBase::on_state_transfer(const Block&) {}
+void ReplicaBase::on_restart() {}
 
 // ---------------------------------------------------------------------------
 // Checkpointing (src/checkpoint/): snapshot, stabilize, truncate
@@ -606,6 +614,15 @@ void ReplicaBase::handle_state_request(NodeId from, const Msg& msg) {
   const Block* block = ckpt_.block_for(height);
   const auto& cert = ckpt_.stable_cert();
   if (payload == nullptr || block == nullptr || !cert.has_value()) return;
+  serve_checkpoint(from);
+}
+
+void ReplicaBase::serve_checkpoint(NodeId from) {
+  const auto& cert = ckpt_.stable_cert();
+  if (!cert.has_value()) return;
+  const Bytes* payload = ckpt_.payload_for(cert->id.height);
+  const Block* block = ckpt_.block_for(cert->id.height);
+  if (payload == nullptr || block == nullptr) return;
   // Serve each peer at most once per stable checkpoint: snapshots are
   // the largest frames in the system, and a Byzantine requester must not
   // drain our transmit energy.
@@ -619,7 +636,6 @@ void ReplicaBase::handle_state_request(NodeId from, const Msg& msg) {
 }
 
 void ReplicaBase::handle_state_response(const Msg& msg) {
-  if (!st_inflight_) return;
   if (!verify_msg(msg)) return;
   checkpoint::CheckpointCert cert;
   Block root;
@@ -637,8 +653,20 @@ void ReplicaBase::handle_state_response(const Msg& msg) {
   }
   // The certificate is the authority: f+1 replicas signed this exact
   // (height, block, digest). Verify it, then check the block and the
-  // snapshot bytes against it.
+  // snapshot bytes against it. An unsolicited response (a sync peer
+  // noticed we asked for history it truncated — chain sync provably
+  // cannot close that gap) is safe to adopt whenever it is ahead of our
+  // commits: the checkpointed state is final.
   if (cert.id.height <= committed_height_) return;
+  if (!st_inflight_) {
+    // An unsolicited snapshot is always an answer to a kSyncRequest we
+    // sent: the recovery began when chain sync did, not on receipt.
+    st_started_ = sync_started_ != 0 ? sync_started_ : sched_.now();
+    trace_begin("recovery", "state_transfer", cert.id.height,
+                {{"height", exp::Json(cert.id.height)}});
+    st_inflight_ = true;
+    st_height_ = cert.id.height;
+  }
   if (!verify_checkpoint_cert(cert)) return;
   if (root.height != cert.id.height) return;
   if (hash_block(root) != cert.id.block) return;
@@ -680,6 +708,7 @@ void ReplicaBase::handle_state_response(const Msg& msg) {
   lwm_height_ = cert.id.height;
   ckpt_.install_stable(cert, std::move(payload_bytes), root);
   sync_requested_.clear();
+  sync_started_ = 0;
   st_served_.clear();
 
   st_inflight_ = false;
@@ -853,7 +882,16 @@ void ReplicaBase::handle_sync(NodeId from, const Msg& msg) {
     // and up to kMaxSyncBlocks of its ancestors (deepest first).
     const BlockHash& want = msg.data;
     const Block* b = store_.get(want);
-    if (b == nullptr) return;
+    if (b == nullptr) {
+      // A request for history we truncated below the stable checkpoint:
+      // the asker is lagged past what chain sync can serve. Send the
+      // checkpoint snapshot instead — the f+1-signed certificate inside
+      // is self-authenticating, so the receiver needs no prior knowledge
+      // of the cert (it may have missed every one-shot checkpoint vote
+      // while crashed).
+      serve_checkpoint(from);
+      return;
+    }
     Writer w;
     std::vector<Bytes> chain;
     const Block* cur = b;
@@ -890,8 +928,11 @@ void ReplicaBase::handle_sync(NodeId from, const Msg& msg) {
   const auto deepest = store_.deepest_orphan();
   if (deepest.has_value() && !store_.contains(deepest->parent) &&
       sync_requested_.insert(hkey(deepest->parent)).second) {
+    if (sync_started_ == 0) sync_started_ = sched_.now();
     Msg req = make_msg(MsgType::kSyncRequest, r_cur_, deepest->parent);
     send(from, req);
+  } else if (!deepest.has_value()) {
+    sync_started_ = 0;  // chains met: this sync episode is over
   }
 }
 

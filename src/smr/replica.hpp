@@ -32,6 +32,11 @@ struct ReplicaConfig {
   NodeId id = 0;
   std::size_t n = 4;
   std::size_t f = 1;
+  /// Vote/commit quorum size. 0 resolves to the synchronous-model default
+  /// f+1; partially-synchronous backends (PBFT) set 2f+1, trusted-component
+  /// backends (MinBFT) keep f+1 at n=2f+1. Checkpoint certificates always
+  /// need f+1 signatures (one correct attester) regardless of this value.
+  std::size_t quorum = 0;
   /// End-to-end Δ: upper bound on correct-sender message delivery,
   /// including flooding across the partially connected graph.
   sim::Duration delta = sim::milliseconds(50);
@@ -166,8 +171,15 @@ class ReplicaBase : public net::FloodClient {
 
   /// Harness hook: while offline every delivery is dropped (a crashed /
   /// not-yet-spawned replica). Going online again models recovery; the
-  /// replica then catches up by chain sync or state transfer.
-  void set_online(bool online) { online_ = online; }
+  /// replica then catches up by chain sync or state transfer. The
+  /// offline→online edge fires on_restart() so protocols re-arm timers
+  /// that lapsed while down (a timeout that fires offline is swallowed
+  /// and would otherwise never re-schedule itself).
+  void set_online(bool online) {
+    const bool was = online_;
+    online_ = online;
+    if (online && !was) on_restart();
+  }
   [[nodiscard]] bool online() const { return online_; }
 
   /// Install (or clear) a Byzantine outbound filter. Not owned; must
@@ -210,7 +222,9 @@ class ReplicaBase : public net::FloodClient {
   [[nodiscard]] bool verify_qc(const QuorumCert& qc, std::size_t quorum_size);
   /// Hash a block, charging hash energy.
   [[nodiscard]] BlockHash hash_block(const Block& b);
-  [[nodiscard]] std::size_t quorum() const { return cfg_.f + 1; }
+  [[nodiscard]] std::size_t quorum() const {
+    return cfg_.quorum != 0 ? cfg_.quorum : cfg_.f + 1;
+  }
 
   // -- communication ---------------------------------------------------------------
   // All protocol traffic goes through typed channels: one per
@@ -256,6 +270,10 @@ class ReplicaBase : public net::FloodClient {
   /// Called after a completed state transfer re-rooted the chain at
   /// `root`. Protocols re-anchor their locks / certified tips here.
   virtual void on_state_transfer(const Block& root);
+  /// Called on the offline→online edge (crash recovery). Protocols
+  /// re-arm their progress/blame timers here: a timeout that fired
+  /// while offline was swallowed and never re-scheduled itself.
+  virtual void on_restart();
 
   // -- client request/reply path ----------------------------------------------------
   /// Verify and pool a client-submitted kRequest (authors live above the
@@ -336,6 +354,10 @@ class ReplicaBase : public net::FloodClient {
   void maybe_checkpoint(const Block& b);
   void handle_checkpoint(const Msg& msg);
   void handle_state_request(NodeId from, const Msg& msg);
+  /// Send the current stable checkpoint snapshot to `from` (once per
+  /// stable checkpoint): the state-transfer reply, also used to answer
+  /// sync requests for history truncated below the low-water mark.
+  void serve_checkpoint(NodeId from);
   void handle_state_response(const Msg& msg);
   /// React to a newly-stable checkpoint: truncate if we hold the state,
   /// or start a state transfer if we are a full interval behind.
@@ -355,6 +377,9 @@ class ReplicaBase : public net::FloodClient {
   BlockHash committed_tip_;
   std::uint64_t committed_height_ = 0;
   std::set<std::string> sync_requested_;
+  /// When the current chain-sync episode began (0 = none outstanding);
+  /// the recovery clock for snapshot pushes answering a sync request.
+  sim::SimTime sync_started_ = 0;
   StateMachine* app_ = nullptr;
   OutboundPolicy* outbound_ = nullptr;
   bool tolerate_fork_ = false;

@@ -1,0 +1,268 @@
+// Trusted-component tier invariants (src/trusted): the monotonic counter
+// never reuses a value (not even across crash/recover), attestations bind
+// node+counter+digest under a domain-separated signature, the receiver-side
+// tracker tells replays from counter-reuse attacks, and every trusted op
+// is charged to energy::Category::kAttest / profiled under "trusted".
+#include "src/trusted/trusted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/prof.hpp"
+
+namespace eesmr::trusted {
+namespace {
+
+std::shared_ptr<const crypto::Keyring> test_ring() {
+  return crypto::Keyring::simulated(crypto::SchemeId::kRsa1024, 4, 7);
+}
+
+Bytes digest(const std::string& s) { return to_bytes(s); }
+
+TEST(TrustedCounter, CounterIsStrictlyMonotonic) {
+  TrustedCounter tc(test_ring(), 0);
+  EXPECT_EQ(tc.value(), 0u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    const Attestation a = tc.attest(digest("block-" + std::to_string(i)));
+    EXPECT_EQ(a.counter, i);
+    EXPECT_EQ(tc.value(), i);
+  }
+}
+
+TEST(TrustedCounter, AttestationsVerifyAndBindTheirFields) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 2);
+  const Attestation a = tc.attest(digest("payload"));
+  EXPECT_TRUE(verify_attestation(*ring, a));
+
+  Attestation wrong_digest = a;
+  wrong_digest.digest = digest("other");
+  EXPECT_FALSE(verify_attestation(*ring, wrong_digest));
+
+  Attestation wrong_counter = a;
+  wrong_counter.counter = a.counter + 1;
+  EXPECT_FALSE(verify_attestation(*ring, wrong_counter));
+
+  Attestation wrong_node = a;
+  wrong_node.node = 3;
+  EXPECT_FALSE(verify_attestation(*ring, wrong_node));
+
+  Attestation zero = a;
+  zero.counter = 0;  // value 0 never exists (first attest returns 1)
+  EXPECT_FALSE(verify_attestation(*ring, zero));
+
+  Attestation outside = a;
+  outside.node = 99;
+  EXPECT_FALSE(verify_attestation(*ring, outside));
+}
+
+TEST(TrustedCounter, SerdeRoundTrip) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 1);
+  const Attestation a = tc.attest(digest("wire"));
+  const Attestation b = Attestation::decode(a.encode());
+  EXPECT_EQ(b.node, a.node);
+  EXPECT_EQ(b.counter, a.counter);
+  EXPECT_EQ(b.digest, a.digest);
+  EXPECT_EQ(b.sig, a.sig);
+  EXPECT_TRUE(verify_attestation(*ring, b));
+}
+
+// Crash/recover: counter state survives through seal/unseal and a stale
+// sealed blob can never roll the counter back (rollback resistance) — so
+// a crash cannot mint a second attestation for an already-used value.
+TEST(TrustedCounter, SurvivesCrashRecoverWithoutReuse) {
+  auto ring = test_ring();
+  TrustedCounter before(ring, 0);
+  for (int i = 0; i < 5; ++i) (void)before.attest(digest("pre-crash"));
+  const SealedCounter sealed = before.seal();
+  EXPECT_EQ(sealed.counter, 5u);
+
+  // "Reboot": a fresh enclave instance adopting the sealed state resumes
+  // strictly above every value used before the crash.
+  TrustedCounter after(ring, 0);
+  after.unseal(sealed);
+  const Attestation a = after.attest(digest("post-crash"));
+  EXPECT_EQ(a.counter, 6u);
+}
+
+TEST(TrustedCounter, StaleSealedBlobCannotRollBack) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  (void)tc.attest(digest("one"));
+  const SealedCounter stale = tc.seal();  // counter = 1
+  for (int i = 0; i < 4; ++i) (void)tc.attest(digest("more"));
+  EXPECT_EQ(tc.value(), 5u);
+  tc.unseal(stale);  // replayed old blob: must be a no-op
+  EXPECT_EQ(tc.value(), 5u);
+  EXPECT_EQ(tc.attest(digest("next")).counter, 6u);
+}
+
+TEST(TrustedCounter, UnsealRejectsWrongNode) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  SealedCounter other;
+  other.node = 1;
+  other.counter = 10;
+  EXPECT_THROW(tc.unseal(other), std::invalid_argument);
+}
+
+TEST(TrustedCounter, ChargesAttestEnergyAndProfilerSites) {
+  auto ring = test_ring();
+  energy::Meter meter;
+  prof::Profiler prof;
+  TrustedCounter tc(ring, 0, &meter, &prof);
+  const Attestation a = tc.attest(digest("metered"));
+  EXPECT_GT(meter.millijoules(energy::Category::kAttest), 0.0);
+  const double after_attest = meter.millijoules(energy::Category::kAttest);
+  EXPECT_TRUE(verify_attestation(*ring, a, &meter, &prof, "vote"));
+  EXPECT_GT(meter.millijoules(energy::Category::kAttest), after_attest);
+  // The cost model prices one in-enclave signature plus call overhead.
+  EXPECT_DOUBLE_EQ(after_attest,
+                   energy::attest_energy_mj(ring->scheme()));
+  const auto snap = prof.snapshot();
+  std::uint64_t attests = 0;
+  std::uint64_t verifies = 0;
+  for (const auto& [key, count] : snap.crypto_ops) {
+    if (key[0] != "trusted") continue;
+    if (key[1] == "attest") attests += count;
+    if (key[1] == "verify") verifies += count;
+  }
+  EXPECT_EQ(attests, 1u);
+  EXPECT_EQ(verifies, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// AttestationTracker: contiguity, replay vs reuse, deep-lag jumps
+// ---------------------------------------------------------------------------
+
+TEST(AttestationTracker, AcceptsContiguousAndHoldsGaps) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  const Attestation a1 = tc.attest(digest("a"));
+  const Attestation a2 = tc.attest(digest("b"));
+  const Attestation a3 = tc.attest(digest("c"));
+
+  AttestationTracker tr;
+  EXPECT_EQ(tr.observe(a1), AttestationTracker::Verdict::kAccept);
+  // Out of order: value 3 before 2 is held, not accepted and not lost.
+  EXPECT_EQ(tr.observe(a3), AttestationTracker::Verdict::kHold);
+  EXPECT_EQ(tr.last(0), 1u);
+  EXPECT_EQ(tr.observe(a2), AttestationTracker::Verdict::kAccept);
+  EXPECT_EQ(tr.observe(a3), AttestationTracker::Verdict::kAccept);
+  EXPECT_EQ(tr.last(0), 3u);
+}
+
+TEST(AttestationTracker, ReplayOfAcceptedValueIsFlaggedNotFatal) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  const Attestation a = tc.attest(digest("x"));
+  AttestationTracker tr;
+  EXPECT_EQ(tr.observe(a), AttestationTracker::Verdict::kAccept);
+  EXPECT_EQ(tr.observe(a), AttestationTracker::Verdict::kReplay);
+  EXPECT_EQ(tr.replays(), 1u);
+  EXPECT_EQ(tr.reuse_detected(), 0u);
+}
+
+// A Byzantine host that somehow signs a second payload under an
+// already-used counter value (impossible through TrustedCounter — this
+// forges the bytes directly) is caught as counter reuse: the equivocation
+// the n=2f+1 design must make impossible.
+TEST(AttestationTracker, CounterReuseIsDetected) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  const Attestation honest = tc.attest(digest("first"));
+  Attestation forged = honest;
+  forged.digest = digest("second");
+  forged.sig = ring->signer(0).sign(forged.preimage());
+
+  AttestationTracker tr;
+  EXPECT_EQ(tr.observe(honest), AttestationTracker::Verdict::kAccept);
+  EXPECT_EQ(tr.observe(forged), AttestationTracker::Verdict::kReuse);
+  EXPECT_EQ(tr.reuse_detected(), 1u);
+  // The accepted sequence is unchanged: the fork never happened.
+  EXPECT_EQ(tr.last(0), 1u);
+}
+
+TEST(AttestationTracker, StructuralNoReuseThroughTheApi) {
+  // The only attestation mint is attest(), and it increments first:
+  // two calls can never share a counter value, whatever the digests.
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  const Attestation a = tc.attest(digest("same"));
+  const Attestation b = tc.attest(digest("same"));
+  EXPECT_NE(a.counter, b.counter);
+}
+
+TEST(AttestationTracker, MaxGapJumpRebaselinesDeepLag) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  Attestation first = tc.attest(digest("v1"));
+  Attestation skipped;
+  for (int i = 0; i < 99; ++i) skipped = tc.attest(digest("skipped"));
+  const Attestation live = tc.attest(digest("live"));  // counter 101
+
+  AttestationTracker tr;
+  tr.set_max_gap(64);
+  EXPECT_EQ(tr.observe(first), AttestationTracker::Verdict::kAccept);
+  // 101 is more than max_gap ahead: adopt it as the new baseline instead
+  // of holding forever (deep-lag escape hatch).
+  EXPECT_EQ(tr.observe(live), AttestationTracker::Verdict::kAccept);
+  EXPECT_EQ(tr.last(0), 101u);
+  // The skipped values are now permanently unacceptable — a replay of
+  // value 100 is a dupe at best, never a late acceptance.
+  EXPECT_NE(tr.observe(skipped), AttestationTracker::Verdict::kAccept);
+}
+
+TEST(AttestationTracker, SkipToAbandonsGapWithoutReacceptingValues) {
+  // Receiver-policy recovery for gaps that will never fill (the missing
+  // frames were dropped, not delayed): skip_to moves the frontier so the
+  // held value becomes acceptable, while the skipped values stay
+  // permanently unacceptable.
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  const Attestation a1 = tc.attest(digest("a"));
+  const Attestation a2 = tc.attest(digest("lost"));
+  const Attestation a3 = tc.attest(digest("lost-too"));
+  const Attestation a4 = tc.attest(digest("held"));
+
+  AttestationTracker tr;
+  EXPECT_EQ(tr.observe(a1), AttestationTracker::Verdict::kAccept);
+  EXPECT_EQ(tr.observe(a4), AttestationTracker::Verdict::kHold);
+  tr.skip_to(0, a4.counter);
+  EXPECT_EQ(tr.gap_skips(), 1u);
+  EXPECT_EQ(tr.observe(a4), AttestationTracker::Verdict::kAccept);
+  // The skipped values can never be accepted after the fact.
+  EXPECT_NE(tr.observe(a2), AttestationTracker::Verdict::kAccept);
+  EXPECT_NE(tr.observe(a3), AttestationTracker::Verdict::kAccept);
+  // skip_to never moves the frontier backwards.
+  tr.skip_to(0, a2.counter);
+  EXPECT_EQ(tr.last(0), a4.counter);
+  EXPECT_EQ(tr.gap_skips(), 1u);
+}
+
+TEST(AttestationTracker, ForgetWindowKeepsReuseDetectionNearFrontier) {
+  auto ring = test_ring();
+  TrustedCounter tc(ring, 0);
+  std::vector<Attestation> atts;
+  for (int i = 0; i < 10; ++i) {
+    atts.push_back(tc.attest(digest("v" + std::to_string(i))));
+  }
+  AttestationTracker tr;
+  for (const Attestation& a : atts) {
+    EXPECT_EQ(tr.observe(a), AttestationTracker::Verdict::kAccept);
+  }
+  tr.forget_window(2);  // keep digest memory for values 9 and 10 only
+  Attestation forged = atts[9];  // counter 10, inside the window
+  forged.digest = digest("forged");
+  forged.sig = ring->signer(0).sign(forged.preimage());
+  EXPECT_EQ(tr.observe(forged), AttestationTracker::Verdict::kReuse);
+  // Below the window the digest memory is gone: an old value degrades to
+  // a replay verdict (it can never be accepted, so safety holds).
+  Attestation old_forged = atts[0];
+  old_forged.digest = digest("forged-old");
+  old_forged.sig = ring->signer(0).sign(old_forged.preimage());
+  EXPECT_EQ(tr.observe(old_forged), AttestationTracker::Verdict::kReplay);
+}
+
+}  // namespace
+}  // namespace eesmr::trusted
