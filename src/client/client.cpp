@@ -154,7 +154,20 @@ void Client::on_deliver(NodeId, BytesView payload) {
   if (cfg_.profiler != nullptr) {
     cfg_.profiler->count_crypto("client", "verify", "reply");
   }
-  if (!cfg_.keyring->verify(m.author, m.preimage(), m.sig)) return;
+  // Join the speculative pipeline (kReply frames are speculated at
+  // transmit time); the energy/profiler charge above is unconditional,
+  // so accounting is identical whether the physical check ran here, on
+  // a worker, or for an earlier receiver of the same frame.
+  bool sig_ok;
+  if (cfg_.pipeline != nullptr) {
+    const Bytes preimage = m.preimage();
+    sig_ok = cfg_.pipeline->join(
+        crypto::verify_key(m.author, preimage, m.sig),
+        [&] { return cfg_.keyring->verify(m.author, preimage, m.sig); });
+  } else {
+    sig_ok = cfg_.keyring->verify(m.author, m.preimage(), m.sig);
+  }
+  if (!sig_ok) return;
 
   // The verified reply names the replier's current leader: steer the
   // next submissions there (TargetedSubset only; see Channel::prefer).

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace eesmr {
@@ -13,6 +15,28 @@ using Bytes = std::vector<std::uint8_t>;
 
 /// Non-owning read-only view over bytes.
 using BytesView = std::span<const std::uint8_t>;
+
+/// Refcounted immutable byte buffer. The zero-copy currency of the
+/// network layer: a frame is materialized once at the sender and every
+/// scheduled delivery — including flood re-forwards — captures a
+/// refcount instead of copying the payload. Immutability is what makes
+/// sharing safe: no holder may mutate the buffer after publication.
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+/// Take ownership of `b` as an immutable shared buffer.
+inline SharedBytes share_bytes(Bytes&& b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+/// Copy a view into a fresh immutable shared buffer.
+inline SharedBytes share_bytes(BytesView v) {
+  return std::make_shared<const Bytes>(v.begin(), v.end());
+}
+
+/// View over a shared buffer (empty view for null).
+inline BytesView view_of(const SharedBytes& s) {
+  return s ? BytesView(*s) : BytesView{};
+}
 
 /// Build an owned buffer from a view.
 inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }

@@ -124,6 +124,18 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+BytesView Reader::bytes_view() {
+  std::uint32_t n = u32();
+  return raw_view(n);
+}
+
+BytesView Reader::raw_view(std::size_t n) {
+  need(n);
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 void Reader::expect_done() const {
   if (!done()) {
     throw SerdeError("trailing bytes: " + std::to_string(remaining()));

@@ -37,6 +37,10 @@ class Writer {
   /// Raw bytes without a length prefix (caller knows the framing).
   void raw(BytesView v);
 
+  /// Drop the contents but keep the allocation, so a long-lived Writer
+  /// amortizes buffer growth across encodes on the hot path.
+  void clear() { buf_.clear(); }
+
   [[nodiscard]] const Bytes& buffer() const { return buf_; }
   [[nodiscard]] Bytes take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -61,6 +65,13 @@ class Reader {
   std::string str();
   /// Read exactly n raw bytes.
   Bytes raw(std::size_t n);
+
+  /// Zero-copy variants: subspans into the underlying buffer instead of
+  /// owned copies. Valid only while the backing storage outlives the
+  /// view — deliver-path code that keeps the frame alive (SharedBytes)
+  /// or consumes the view before returning should prefer these.
+  BytesView bytes_view();
+  BytesView raw_view(std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool done() const { return remaining() == 0; }

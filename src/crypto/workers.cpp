@@ -1,0 +1,189 @@
+#include "src/crypto/workers.hpp"
+
+#include <utility>
+
+namespace eesmr::crypto {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+    // Drop pending jobs: nobody joins after the pipeline is torn down,
+    // and every job owns its entry via shared_ptr, so this is safe.
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+VerifyPipeline::VerifyPipeline(std::size_t workers) {
+  if (workers > 0) pool_ = std::make_unique<WorkerPool>(workers);
+}
+
+VerifyPipeline::~VerifyPipeline() = default;
+
+std::size_t VerifyPipeline::workers() const {
+  return pool_ ? pool_->size() : 0;
+}
+
+void VerifyPipeline::speculate(std::string key, VerifyFn fn) {
+  if (entries_.count(key) != 0) return;
+  ++stats_.speculated;
+  Rec rec;
+  rec.entry = std::make_shared<Entry>();
+  if (pool_) {
+    auto e = rec.entry;
+    pool_->submit([e, fn = std::move(fn)] {
+      bool r = fn();  // pure; runs outside the lock
+      {
+        std::lock_guard<std::mutex> lk(e->m);
+        e->result = r;
+        e->done = true;
+      }
+      e->cv.notify_all();
+    });
+  } else {
+    rec.entry->lazy = std::move(fn);
+  }
+  insert(std::move(key), std::move(rec));
+}
+
+bool VerifyPipeline::resolve(Entry& e) const {
+  std::unique_lock<std::mutex> lk(e.m);
+  if (e.done) return e.result;
+  if (e.lazy) {
+    // workers == 0, or the pool dropped the job during teardown: run
+    // the deferred closure now, at the deterministic join point. No
+    // other thread touches a lazy entry, but we keep the lock pattern
+    // uniform (the closure itself is pure and needs no lock).
+    VerifyFn fn = std::move(e.lazy);
+    e.lazy = nullptr;
+    lk.unlock();
+    bool r = fn();
+    lk.lock();
+    e.result = r;
+    e.done = true;
+    return r;
+  }
+  e.cv.wait(lk, [&e] { return e.done; });
+  return e.result;
+}
+
+bool VerifyPipeline::join(const std::string& key, const VerifyFn& fn) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.join_hits;
+    it->second.joined = true;
+    return resolve(*it->second.entry);
+  }
+  // Unseen key: verify inline, then publish so the other receivers of
+  // the same frame hit the cache — this is the cross-node memoization
+  // that pays off even at --workers 0.
+  ++stats_.join_misses;
+  bool r = fn();
+  Rec rec;
+  rec.entry = std::make_shared<Entry>();
+  rec.entry->done = true;
+  rec.entry->result = r;
+  rec.joined = true;
+  insert(key, std::move(rec));
+  return r;
+}
+
+bool VerifyPipeline::try_join(const std::string& key, bool* result) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  ++stats_.join_hits;
+  it->second.joined = true;
+  *result = resolve(*it->second.entry);
+  return true;
+}
+
+void VerifyPipeline::publish(const std::string& key, bool result) {
+  ++stats_.join_misses;
+  if (entries_.count(key) != 0) return;
+  Rec rec;
+  rec.entry = std::make_shared<Entry>();
+  rec.entry->done = true;
+  rec.entry->result = result;
+  rec.joined = true;
+  insert(key, std::move(rec));
+}
+
+std::vector<char> VerifyPipeline::verify_batch(
+    const std::vector<VerifyFn>& fns) {
+  ++stats_.batches;
+  stats_.batch_items += fns.size();
+  std::vector<char> out(fns.size(), 0);
+  if (pool_ && fns.size() > 1) {
+    struct Batch {
+      std::mutex m;
+      std::condition_variable cv;
+      std::size_t remaining;
+    };
+    auto b = std::make_shared<Batch>();
+    b->remaining = fns.size();
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      pool_->submit([b, &out, i, &fn = fns[i]] {
+        bool r = fn();
+        std::lock_guard<std::mutex> lk(b->m);
+        out[i] = r ? 1 : 0;
+        if (--b->remaining == 0) b->cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lk(b->m);
+    b->cv.wait(lk, [&b] { return b->remaining == 0; });
+  } else {
+    for (std::size_t i = 0; i < fns.size(); ++i) out[i] = fns[i]() ? 1 : 0;
+  }
+  for (char ok : out) {
+    if (!ok) {
+      ++stats_.batch_fallbacks;
+      break;
+    }
+  }
+  return out;
+}
+
+void VerifyPipeline::insert(std::string key, Rec rec) {
+  fifo_.push_back(key);
+  entries_.emplace(std::move(key), std::move(rec));
+  while (entries_.size() > kMaxEntries) {
+    auto it = entries_.find(fifo_.front());
+    fifo_.pop_front();
+    if (it == entries_.end()) continue;
+    if (!it->second.joined) ++stats_.wasted;
+    entries_.erase(it);
+  }
+}
+
+}  // namespace eesmr::crypto

@@ -1,0 +1,186 @@
+// Deterministic parallel crypto pipeline.
+//
+// The simulator is single-threaded and crypto-dominated: signature and
+// attestation verifications run inline inside sim::Scheduler events. This
+// module moves the *physical execution* of those verifications onto a
+// fixed-size worker pool without moving any *decision* off the sim
+// thread, so every output stays byte-identical to a serial run.
+//
+// The determinism contract, in one sentence: a verification result is a
+// pure function of (author, preimage, signature), so WHERE and WHEN it
+// physically executes cannot change WHAT the simulation observes.
+//
+// Mechanics:
+//  * speculate(key, fn) — called on the sim thread when a frame is
+//    transmitted. Registers a verification that receivers will likely
+//    need. With workers > 0 the closure is enqueued immediately, so the
+//    host-side verify overlaps the frame's simulated in-flight latency.
+//    With workers == 0 the closure is parked and runs lazily at the
+//    first join — same counters, same results, zero threads.
+//  * join(key, fn) — called on the sim thread when a replica actually
+//    verifies. A registered key is a hit (wait for / lazily run the
+//    speculated closure — one physical verify serves every receiver of
+//    the frame); an unknown key is a miss (run fn inline, then publish
+//    the result so later receivers of the same frame still hit).
+//  * verify_batch(fns) — fan a certificate tally's per-signature checks
+//    across the pool and collect all results. Any failure is counted as
+//    a fallback: the caller gets per-item verdicts and proceeds exactly
+//    as the individual path would.
+//
+// Every counter in PipelineStats is updated only on the sim thread, in
+// scheduler event order, as a function of sim events alone — never of
+// pool size or thread timing. That is what makes the stats (and thus
+// --prom-out / BENCH_*.json) identical at any --workers N. The number of
+// closures that physically executed DOES depend on the mode (speculated
+// work a serial run never pays for) and is deliberately not exported.
+//
+// Energy accounting is untouched by this module: replicas charge
+// Category::kVerify per modeled verification exactly as before. The pool
+// changes host wall-clock, not the simulation's energy model.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.hpp"
+
+namespace eesmr::crypto {
+
+/// Canonical cache key of one (author, preimage, signature) verification.
+/// Used by both the transmit-time speculator and every join point, so a
+/// frame speculated at the sender resolves the checks of all receivers.
+/// Raw concatenation, not a hash: for simulated keys a SHA-256 over the
+/// preimage costs as much as the verify it would save.
+inline std::string verify_key(std::uint32_t author, BytesView preimage,
+                              BytesView sig) {
+  std::string k;
+  k.reserve(8 + preimage.size() + sig.size());
+  for (int i = 0; i < 4; ++i) {
+    k.push_back(static_cast<char>(author >> (8 * i)));
+  }
+  const auto plen = static_cast<std::uint32_t>(preimage.size());
+  for (int i = 0; i < 4; ++i) {
+    k.push_back(static_cast<char>(plen >> (8 * i)));
+  }
+  k.append(preimage.begin(), preimage.end());
+  k.append(sig.begin(), sig.end());
+  return k;
+}
+
+/// A pure verification closure: must depend only on its captures and
+/// touch no shared mutable state (Keyring/Verifier are const).
+using VerifyFn = std::function<bool()>;
+
+/// Deterministic pipeline counters. All fields are functions of the
+/// sim-thread event sequence only, hence identical at any worker count.
+struct PipelineStats {
+  std::uint64_t speculated = 0;       ///< verifications registered at transmit
+  std::uint64_t join_hits = 0;        ///< joins served by a registered entry
+  std::uint64_t join_misses = 0;      ///< joins that ran inline and published
+  std::uint64_t wasted = 0;           ///< entries evicted without any join
+  std::uint64_t batches = 0;          ///< verify_batch calls
+  std::uint64_t batch_items = 0;      ///< signatures across all batches
+  std::uint64_t batch_fallbacks = 0;  ///< batches with >=1 failed signature
+};
+
+/// Fixed-size worker pool running opaque jobs. Plain FIFO queue; the
+/// pipeline is its only client.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void submit(std::function<void()> job);
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Speculative verification cache + batch fan-out. One instance per
+/// Cluster, shared by all replicas. All public methods MUST be called
+/// from the sim thread; only the worker pool touches entries
+/// concurrently, through their internal mutex.
+class VerifyPipeline {
+ public:
+  /// workers == 0: no threads are created and every closure runs
+  /// inline on the sim thread at the deterministic join point.
+  explicit VerifyPipeline(std::size_t workers);
+  ~VerifyPipeline();
+  VerifyPipeline(const VerifyPipeline&) = delete;
+  VerifyPipeline& operator=(const VerifyPipeline&) = delete;
+
+  /// Register a verification likely needed by upcoming deliveries.
+  /// Duplicate keys (flood re-forwards of a seen frame) are ignored.
+  void speculate(std::string key, VerifyFn fn);
+
+  /// Resolve a verification at its deterministic decision point.
+  /// Returns the same bool the closure would return inline.
+  bool join(const std::string& key, const VerifyFn& fn);
+
+  /// Resolve only if `key` is already registered (speculated earlier, or
+  /// published by a previous join/batch); never inserts. Counts a join
+  /// hit on success. Lets certificate tallies split their signatures
+  /// into already-known checks and a residue worth batching.
+  bool try_join(const std::string& key, bool* result);
+
+  /// Publish a verdict the caller computed itself (one item of a batch)
+  /// so later joins on the same key hit. Counted as a join miss — the
+  /// physical work happened at this decision point.
+  void publish(const std::string& key, bool result);
+
+  /// Verify a certificate's signatures as one batch. Returns per-item
+  /// verdicts (1 = valid). A batch containing any invalid signature is
+  /// counted as a fallback; the caller handles items individually from
+  /// the verdict vector, matching the serial path's behavior.
+  std::vector<char> verify_batch(const std::vector<VerifyFn>& fns);
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t workers() const;
+
+ private:
+  struct Entry {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool result = false;
+    VerifyFn lazy;  // workers == 0: deferred closure, run at first join
+  };
+  struct Rec {
+    std::shared_ptr<Entry> entry;
+    bool joined = false;  // sim-thread only
+  };
+
+ public:
+  /// Speculation cache bound. Eviction is FIFO by insertion order —
+  /// driven purely by sim-thread inserts, hence deterministic.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+ private:
+
+  bool resolve(Entry& e) const;
+  void insert(std::string key, Rec rec);
+
+  std::unique_ptr<WorkerPool> pool_;  // null when workers == 0
+  std::unordered_map<std::string, Rec> entries_;
+  std::deque<std::string> fifo_;
+  PipelineStats stats_;
+};
+
+}  // namespace eesmr::crypto

@@ -12,6 +12,7 @@
 #include "src/baselines/sync_hotstuff.hpp"
 #include "src/baselines/trusted_baseline.hpp"
 #include "src/client/client.hpp"
+#include "src/crypto/workers.hpp"
 #include "src/eesmr/eesmr.hpp"
 #include "src/harness/checkers.hpp"
 #include "src/harness/metrics.hpp"
@@ -148,6 +149,13 @@ struct ClusterConfig {
   /// Enable host wall-clock prof::Scope timing (non-deterministic;
   /// benches must force serial execution, like micro_crypto).
   bool host_timing = false;
+
+  // -- parallel crypto pipeline (src/crypto/workers.hpp) ------------------------
+  /// Verification worker threads for the speculative crypto pipeline.
+  /// 0 = inline lazy pipeline (no threads; speculation still memoizes
+  /// cross-node verifies). Any value yields byte-identical outputs: the
+  /// pool moves physical execution off the sim thread, never decisions.
+  std::size_t crypto_workers = 0;
 };
 
 class Cluster {
@@ -207,11 +215,18 @@ class Cluster {
   /// chain has not committed — the LivenessChecker's workload input.
   [[nodiscard]] bool load_pending() const;
 
+  /// Install the transmit-time speculation hook on net_ (parses flood
+  /// frames, registers eligible outer-signature verifies with pipeline_).
+  void install_speculation_hook();
+
   ClusterConfig cfg_;
   sim::Scheduler sched_;
   sim::Duration delta_ = 0;
   std::vector<energy::Meter> meters_;
   std::unique_ptr<net::Network> net_;
+  /// Speculative verification pipeline shared by all replicas and
+  /// clients (always present; workers come from cfg_.crypto_workers).
+  std::unique_ptr<crypto::VerifyPipeline> pipeline_;
   std::shared_ptr<crypto::Keyring> keyring_;
   std::vector<std::unique_ptr<smr::ReplicaBase>> replicas_;
   std::vector<std::unique_ptr<smr::KvStore>> apps_;

@@ -38,27 +38,29 @@ std::size_t FloodRouter::dedup_tail_entries() const {
   return total;
 }
 
-Bytes FloodRouter::make_frame(NodeId dest, std::uint8_t flags,
-                              energy::Stream stream, BytesView payload) {
-  Writer w;
+SharedBytes FloodRouter::make_frame(NodeId dest, std::uint8_t flags,
+                                    energy::Stream stream,
+                                    BytesView payload) {
+  frame_writer_.clear();
+  Writer& w = frame_writer_;
   w.u32(self_);
   w.u64(next_seq_++);
   w.u32(dest);
   w.u8(flags);
   w.u8(static_cast<std::uint8_t>(stream));
   w.raw(payload);
-  return w.take();
+  return share_bytes(BytesView(w.buffer()));
 }
 
 void FloodRouter::broadcast(BytesView payload, energy::Stream stream) {
-  const Bytes frame = make_frame(kNoNode, 0, stream, payload);
+  const SharedBytes frame = make_frame(kNoNode, 0, stream, payload);
   // Mark our own frame as seen so echoes are not re-forwarded.
   seen_[self_].insert(next_seq_ - 1);
   net_.transmit(self_, frame, stream);
 }
 
 void FloodRouter::broadcast_local(BytesView payload, energy::Stream stream) {
-  const Bytes frame = make_frame(kNoNode, kNoForward, stream, payload);
+  const SharedBytes frame = make_frame(kNoNode, kNoForward, stream, payload);
   seen_[self_].insert(next_seq_ - 1);
   net_.transmit(self_, frame, stream);
 }
@@ -70,7 +72,7 @@ void FloodRouter::send_to(NodeId dest, BytesView payload,
     if (client_ != nullptr) client_->on_deliver(self_, payload);
     return;
   }
-  const Bytes frame = make_frame(dest, 0, stream, payload);
+  const SharedBytes frame = make_frame(dest, 0, stream, payload);
   seen_[self_].insert(next_seq_ - 1);
   net_.transmit_towards(self_, dest, frame, stream);
 }
@@ -78,26 +80,30 @@ void FloodRouter::send_to(NodeId dest, BytesView payload,
 void FloodRouter::broadcast_on_edges(const std::vector<std::size_t>& edge_sel,
                                      BytesView payload,
                                      energy::Stream stream) {
-  const Bytes frame = make_frame(kNoNode, 0, stream, payload);
+  const SharedBytes frame = make_frame(kNoNode, 0, stream, payload);
   seen_[self_].insert(next_seq_ - 1);
   net_.transmit_on(self_, edge_sel, frame, stream);
 }
 
-void FloodRouter::on_packet(NodeId link_sender, BytesView frame) {
+void FloodRouter::on_packet(NodeId link_sender, const SharedBytes& frame) {
   NodeId origin;
   std::uint64_t seq;
   NodeId dest;
   std::uint8_t flags;
   std::uint8_t stream_raw;
-  Bytes payload;
+  BytesView payload;
   try {
-    Reader r(frame);
+    Reader r(view_of(frame));
     origin = r.u32();
     seq = r.u64();
     dest = r.u32();
     flags = r.u8();
     stream_raw = r.u8();
-    payload = r.raw(r.remaining());
+    // Zero-copy: the payload stays a view into the shared frame, which
+    // is alive for the duration of this call. This replaces an owned
+    // copy made for every received packet, duplicates included.
+    payload = r.raw_view(r.remaining());
+    net_.note_copy_saved(payload.size());
   } catch (const SerdeError&) {
     return;  // malformed frame: drop
   }

@@ -24,6 +24,7 @@
 
 #include "src/common/bytes.hpp"
 #include "src/common/ids.hpp"
+#include "src/common/serde.hpp"
 #include "src/net/network.hpp"
 
 namespace eesmr::net {
@@ -89,7 +90,7 @@ class FloodRouter final : public PacketSink {
   void set_forwarding(bool enabled) { forwarding_ = enabled; }
 
   // PacketSink:
-  void on_packet(NodeId link_sender, BytesView frame) override;
+  void on_packet(NodeId link_sender, const SharedBytes& frame) override;
 
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] Network& network() { return net_; }
@@ -106,8 +107,8 @@ class FloodRouter final : public PacketSink {
   /// Frame flags.
   static constexpr std::uint8_t kNoForward = 0x01;
 
-  Bytes make_frame(NodeId dest, std::uint8_t flags, energy::Stream stream,
-                   BytesView payload);
+  SharedBytes make_frame(NodeId dest, std::uint8_t flags,
+                         energy::Stream stream, BytesView payload);
 
   Network& net_;
   NodeId self_;
@@ -115,6 +116,10 @@ class FloodRouter final : public PacketSink {
   std::uint64_t next_seq_ = 1;
   bool forwarding_ = true;
   std::unordered_map<NodeId, SeenWindow> seen_;
+  /// Reused frame encoder: clear() keeps the allocation, so framing does
+  /// one right-sized copy into the shared buffer instead of re-growing a
+  /// fresh Writer per frame.
+  Writer frame_writer_;
 };
 
 }  // namespace eesmr::net

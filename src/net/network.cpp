@@ -100,38 +100,44 @@ void Network::charge_energy(const HyperEdge& edge, std::size_t bytes,
   }
 }
 
-void Network::transmit_edge(const HyperEdge& edge, BytesView frame,
+void Network::transmit_edge(const HyperEdge& edge, const SharedBytes& frame,
                             energy::Stream stream) {
   if (!online_[edge.sender]) return;  // a crashed radio sends nothing
+  const std::size_t frame_size = frame ? frame->size() : 0;
   ++transmissions_;
-  bytes_tx_ += frame.size();
-  charge_energy(edge, frame.size(), stream);
+  bytes_tx_ += frame_size;
+  charge_energy(edge, frame_size, stream);
   for (NodeId to : edge.receivers) {
     PacketSink* sink = sinks_[to];
     if (sink == nullptr || !online_[to]) continue;
     FaultVerdict fv;
     if (injector_ != nullptr) {
-      fv = injector_->on_delivery(edge.sender, to, stream, frame.size());
+      fv = injector_->on_delivery(edge.sender, to, stream, frame_size);
     }
     if (fv.drop) continue;  // corrupted past recovery; recv energy stays
     for (std::uint32_t copy = 0; copy <= fv.duplicates; ++copy) {
       // Each copy draws its own hop delay, so duplicates interleave with
       // (and reorder against) the surrounding traffic. extra_delay is
       // added unclamped: the injector may exceed the hop bound.
-      sim::Duration d = policy_->delay(edge.sender, to, frame.size());
+      sim::Duration d = policy_->delay(edge.sender, to, frame_size);
       d = std::clamp<sim::Duration>(d, 1, config_.hop_bound) + fv.extra_delay;
       ++deliveries_;
+      // The delivery captures a refcount on the immutable frame instead
+      // of the former per-delivery to_bytes copy.
+      bytes_copy_saved_ += frame_size;
       // Re-check at delivery time: the receiver may have gone offline
       // while the frame was in flight.
-      sched_.after(d, "net_deliver", [this, sink, to, from = edge.sender,
-                       data = to_bytes(frame)] {
-        if (online_[to]) sink->on_packet(from, data);
+      sched_.after(d, "net_deliver",
+                   [this, sink, to, from = edge.sender, frame] {
+        if (online_[to]) sink->on_packet(from, frame);
       });
     }
   }
 }
 
-void Network::transmit(NodeId from, BytesView frame, energy::Stream stream) {
+void Network::transmit(NodeId from, const SharedBytes& frame,
+                       energy::Stream stream) {
+  if (transmit_hook_) transmit_hook_(view_of(frame));
   for (std::size_t idx : graph_.out_edges(from)) {
     const HyperEdge& edge = graph_.edges()[idx];
     // Skip edges whose receivers are all non-relay leaves: broadcasts
@@ -152,15 +158,18 @@ void Network::transmit(NodeId from, BytesView frame, energy::Stream stream) {
 
 void Network::transmit_on(NodeId from,
                           const std::vector<std::size_t>& edge_sel,
-                          BytesView frame, energy::Stream stream) {
+                          const SharedBytes& frame, energy::Stream stream) {
+  if (transmit_hook_) transmit_hook_(view_of(frame));
   const auto& out = graph_.out_edges(from);
   for (std::size_t pos : edge_sel) {
     transmit_edge(graph_.edges()[out.at(pos)], frame, stream);
   }
 }
 
-void Network::transmit_towards(NodeId from, NodeId dest, BytesView frame,
+void Network::transmit_towards(NodeId from, NodeId dest,
+                               const SharedBytes& frame,
                                energy::Stream stream) {
+  if (transmit_hook_) transmit_hook_(view_of(frame));
   const std::size_t mine = hops(from, dest);
   for (std::size_t idx : graph_.out_edges(from)) {
     const HyperEdge& edge = graph_.edges()[idx];
@@ -181,6 +190,7 @@ void Network::reset_stats() {
   transmissions_ = 0;
   deliveries_ = 0;
   bytes_tx_ = 0;
+  bytes_copy_saved_ = 0;
 }
 
 }  // namespace eesmr::net

@@ -27,8 +27,10 @@ class PacketSink {
  public:
   virtual ~PacketSink() = default;
   /// `link_sender` is the physical transmitter of the frame (not
-  /// necessarily the originator of the protocol message).
-  virtual void on_packet(NodeId link_sender, BytesView frame) = 0;
+  /// necessarily the originator of the protocol message). The frame is
+  /// a refcounted immutable buffer: a sink that re-forwards keeps the
+  /// refcount instead of copying.
+  virtual void on_packet(NodeId link_sender, const SharedBytes& frame) = 0;
 };
 
 /// Chooses the delivery delay of each (edge, receiver, frame). A correct
@@ -128,18 +130,45 @@ class Network {
   /// at least one relay receiver (broadcast = flood fabric; edges to
   /// non-relay leaves only carry directed frames). `stream` attributes
   /// the radio energy of this transmission to a channel class.
-  void transmit(NodeId from, BytesView frame,
+  ///
+  /// The SharedBytes overloads are the zero-copy path: every scheduled
+  /// delivery captures a refcount on the one frame buffer instead of
+  /// copying it. The BytesView overloads materialize the frame once and
+  /// forward to them.
+  void transmit(NodeId from, const SharedBytes& frame,
                 energy::Stream stream = energy::Stream::kOther);
+  void transmit(NodeId from, BytesView frame,
+                energy::Stream stream = energy::Stream::kOther) {
+    transmit(from, share_bytes(frame), stream);
+  }
   /// Transmit only on the given subset of `from`'s out-edges (Byzantine
   /// selective sending). Indices are positions into out_edges(from).
   void transmit_on(NodeId from, const std::vector<std::size_t>& edge_sel,
-                   BytesView frame,
+                   const SharedBytes& frame,
                    energy::Stream stream = energy::Stream::kOther);
+  void transmit_on(NodeId from, const std::vector<std::size_t>& edge_sel,
+                   BytesView frame,
+                   energy::Stream stream = energy::Stream::kOther) {
+    transmit_on(from, edge_sel, share_bytes(frame), stream);
+  }
   /// Transmit only on out-edges that make progress towards `dest`
   /// (at least one receiver strictly closer than `from`). The unicast-
   /// routing hop primitive.
-  void transmit_towards(NodeId from, NodeId dest, BytesView frame,
+  void transmit_towards(NodeId from, NodeId dest, const SharedBytes& frame,
                         energy::Stream stream = energy::Stream::kOther);
+  void transmit_towards(NodeId from, NodeId dest, BytesView frame,
+                        energy::Stream stream = energy::Stream::kOther) {
+    transmit_towards(from, dest, share_bytes(frame), stream);
+  }
+
+  /// Observe every frame as it enters the fabric, on the sim thread, in
+  /// event order, before any delivery of it is scheduled. Installed by
+  /// the harness to speculate signature verifications while the frame is
+  /// in simulated flight (crypto::VerifyPipeline). Re-forwarded frames
+  /// fire the hook again; observers are expected to dedup.
+  void set_transmit_hook(std::function<void(BytesView)> hook) {
+    transmit_hook_ = std::move(hook);
+  }
 
   [[nodiscard]] const Hypergraph& graph() const { return graph_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
@@ -154,10 +183,18 @@ class Network {
   [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t bytes_transmitted() const { return bytes_tx_; }
+  /// Bytes the zero-copy path did NOT copy: one full frame per scheduled
+  /// delivery (the old per-delivery to_bytes) plus whatever sinks report
+  /// via note_copy_saved (the flood router's per-packet payload copy).
+  /// Deterministic — a pure function of the delivery schedule.
+  [[nodiscard]] std::uint64_t bytes_copy_saved() const {
+    return bytes_copy_saved_;
+  }
+  void note_copy_saved(std::uint64_t bytes) { bytes_copy_saved_ += bytes; }
   void reset_stats();
 
  private:
-  void transmit_edge(const HyperEdge& edge, BytesView frame,
+  void transmit_edge(const HyperEdge& edge, const SharedBytes& frame,
                      energy::Stream stream);
   void charge_energy(const HyperEdge& edge, std::size_t bytes,
                      energy::Stream stream);
@@ -174,9 +211,12 @@ class Network {
   std::vector<bool> online_;
   std::vector<std::vector<std::size_t>> hop_matrix_;
 
+  std::function<void(BytesView)> transmit_hook_;
+
   std::uint64_t transmissions_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t bytes_tx_ = 0;
+  std::uint64_t bytes_copy_saved_ = 0;
 };
 
 }  // namespace eesmr::net

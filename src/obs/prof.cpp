@@ -6,7 +6,8 @@ namespace eesmr::prof {
 
 bool Snapshot::empty() const {
   return sched_events.empty() && crypto_ops.empty() && codec_bytes.empty() &&
-         early_drops == 0 && host_scopes.empty() && requests.empty();
+         early_drops == 0 && !pipeline.any() && host_scopes.empty() &&
+         requests.empty();
 }
 
 void Snapshot::to_registry(obs::Registry& reg, const obs::Labels& base) const {
@@ -39,6 +40,39 @@ void Snapshot::to_registry(obs::Registry& reg, const obs::Labels& base) const {
   reg.set_counter("eesmr_prof_early_drops_total",
                   "Known-bad flood frames rejected before a metered verify",
                   base, static_cast<double>(early_drops));
+  // Pipeline families only when a cluster run recorded them, so
+  // hand-built snapshots keep their exposition unchanged. Deterministic
+  // at any --workers N by construction.
+  if (pipeline.any()) {
+    const std::pair<const char*, std::uint64_t> spec[] = {
+        {"speculated", pipeline.speculated},
+        {"join_hit", pipeline.join_hits},
+        {"join_miss", pipeline.join_misses},
+        {"wasted", pipeline.wasted}};
+    for (const auto& [event, v] : spec) {
+      reg.set_counter("eesmr_prof_spec_verify_total",
+                      "Speculative verification pipeline events "
+                      "(identical at any --workers N)",
+                      with({{"event", event}}), static_cast<double>(v));
+    }
+    const std::pair<const char*, std::uint64_t> batch[] = {
+        {"batches", pipeline.batches},
+        {"items", pipeline.batch_items},
+        {"fallbacks", pipeline.batch_fallbacks}};
+    for (const auto& [event, v] : batch) {
+      reg.set_counter("eesmr_prof_batch_verify_total",
+                      "Certificate-tally batch verification events",
+                      with({{"event", event}}), static_cast<double>(v));
+    }
+    reg.set_counter("eesmr_prof_sig_cache_hits_total",
+                    "Metered tally re-verifications skipped by the "
+                    "verified-signature cache",
+                    base, static_cast<double>(pipeline.sig_cache_hits));
+    reg.set_counter("eesmr_prof_bytes_copy_saved_total",
+                    "Frame and payload bytes the zero-copy network path "
+                    "did not copy",
+                    base, static_cast<double>(pipeline.bytes_copy_saved));
+  }
   // Host families only when host timing actually ran: their absence is
   // the zero-overhead guarantee the tests pin.
   for (const auto& [label, s] : host_scopes) {

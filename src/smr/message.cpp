@@ -110,13 +110,17 @@ Bytes Msg::preimage() const {
 
 Bytes Msg::encode() const {
   Writer w;
+  encode_into(w);
+  return w.take();
+}
+
+void Msg::encode_into(Writer& w) const {
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(view);
   w.u64(round);
   w.u32(author);
   w.bytes(data);
   w.bytes(sig);
-  return w.take();
 }
 
 Msg Msg::decode(BytesView bytes) {
@@ -164,16 +168,20 @@ QuorumCert QuorumCert::decode(BytesView bytes) {
   return qc;
 }
 
+Bytes QuorumCert::preimage() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(view);
+  w.u64(round);
+  w.bytes(data);
+  return w.take();
+}
+
 bool QuorumCert::verify(const crypto::Keyring& keyring,
                         std::size_t quorum) const {
   if (sigs.size() < quorum) return false;
   std::set<NodeId> authors;
-  Msg probe;
-  probe.type = type;
-  probe.view = view;
-  probe.round = round;
-  probe.data = data;
-  const Bytes preimage = probe.preimage();
+  const Bytes preimage = this->preimage();
   for (const auto& [author, sig] : sigs) {
     if (!authors.insert(author).second) return false;  // duplicate author
     if (!keyring.verify(author, preimage, sig)) return false;

@@ -15,6 +15,7 @@
 
 #include "src/common/bytes.hpp"
 #include "src/common/ids.hpp"
+#include "src/common/serde.hpp"
 #include "src/crypto/signer.hpp"
 #include "src/energy/meter.hpp"
 
@@ -81,8 +82,14 @@ struct Msg {
   /// Bytes the signature covers.
   [[nodiscard]] Bytes preimage() const;
   [[nodiscard]] Bytes encode() const;
+  /// Append the wire encoding to `w` — the zero-allocation variant for
+  /// hot paths that reuse a cleared Writer across encodes.
+  void encode_into(Writer& w) const;
   static Msg decode(BytesView bytes);
-  [[nodiscard]] std::size_t wire_size() const { return encode().size(); }
+  /// Exact wire size, computed arithmetically (no encode-and-discard).
+  [[nodiscard]] std::size_t wire_size() const {
+    return 1 + 8 + 8 + 4 + (4 + data.size()) + (4 + sig.size());
+  }
 };
 
 /// f+1 signatures on the same (type, view, round, data) — the paper's QC
@@ -96,6 +103,12 @@ struct QuorumCert {
 
   [[nodiscard]] Bytes encode() const;
   static QuorumCert decode(BytesView bytes);
+
+  /// The preimage each contained signature covers (a Msg preimage with
+  /// this cert's type/view/round/data). Exposed so verifiers can check
+  /// signatures individually — against a cache or as a batch — without
+  /// rebuilding a probe Msg.
+  [[nodiscard]] Bytes preimage() const;
 
   /// All signatures valid, authors distinct, and count >= quorum.
   [[nodiscard]] bool verify(const crypto::Keyring& keyring,

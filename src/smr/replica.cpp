@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
 
 #include "src/common/serde.hpp"
 #include "src/crypto/sha256.hpp"
@@ -63,6 +64,28 @@ const char* site_of(MsgType t) {
     default:
       return "other";
   }
+}
+
+/// True for message types whose signatures later reappear inside
+/// certificates (quorum certs collect votes and view-change evidence),
+/// i.e. the ones worth remembering in the verified-signature cache.
+bool certificate_bound(MsgType t) {
+  const char* site = site_of(t);
+  return std::string_view(site) == "vote" ||
+         std::string_view(site) == "view_change";
+}
+
+/// Verified-signature cache key: digest of (author, preimage, sig), so
+/// an entry costs 32 bytes regardless of payload size. Like the
+/// verified-bytes cache, the digest is a data-structure detail (a real
+/// node would index by pointer) and is not charged to the meter.
+crypto::Sha256Digest sig_digest(NodeId author, BytesView preimage,
+                                BytesView sig) {
+  Writer w;
+  w.u32(author);
+  w.bytes(preimage);
+  w.raw(sig);
+  return crypto::Sha256::hash(w.buffer());
 }
 }  // namespace
 
@@ -204,29 +227,132 @@ bool ReplicaBase::verify_msg(const Msg& m) {
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
   prof_crypto("verify", site_of(m.type));
-  return cfg_.keyring->verify(m.author, m.preimage(), m.sig);
+  const Bytes preimage = m.preimage();
+  bool ok;
+  if (cfg_.pipeline != nullptr) {
+    // Resolve through the pipeline: a frame speculated at transmit time
+    // (or verified by this node via an earlier join) is a cache hit and
+    // costs no host-side crypto here. The metered charge above is the
+    // simulation's energy model and is unchanged either way.
+    ok = cfg_.pipeline->join(
+        crypto::verify_key(m.author, preimage, m.sig),
+        [&] { return cfg_.keyring->verify(m.author, preimage, m.sig); });
+  } else {
+    ok = cfg_.keyring->verify(m.author, preimage, m.sig);
+  }
+  if (ok && cfg_.verified_cache && certificate_bound(m.type)) {
+    sig_verified_.emplace(sig_digest(m.author, preimage, m.sig),
+                          committed_height_);
+  }
+  return ok;
+}
+
+bool ReplicaBase::check_sigs(
+    const Bytes& preimage, const std::vector<std::pair<NodeId, Bytes>>& sigs,
+    const std::vector<std::size_t>& idx) {
+  if (cfg_.pipeline == nullptr) {
+    for (std::size_t i : idx) {
+      if (!cfg_.keyring->verify(sigs[i].first, preimage, sigs[i].second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Split into checks the speculation cache already answers (the
+  // original vote frames carried the same (author, preimage, sig)
+  // triples) and a residue worth batching across the pool.
+  std::vector<std::size_t> unknown;
+  bool all_ok = true;
+  for (std::size_t i : idx) {
+    bool r = false;
+    if (cfg_.pipeline->try_join(
+            crypto::verify_key(sigs[i].first, preimage, sigs[i].second),
+            &r)) {
+      all_ok = all_ok && r;
+    } else {
+      unknown.push_back(i);
+    }
+  }
+  if (!unknown.empty()) {
+    std::vector<crypto::VerifyFn> fns;
+    fns.reserve(unknown.size());
+    for (std::size_t i : unknown) {
+      fns.push_back([this, &preimage, &sigs, i] {
+        return cfg_.keyring->verify(sigs[i].first, preimage, sigs[i].second);
+      });
+    }
+    // Batch with fallback-to-individual: the per-item verdicts pinpoint
+    // any forged signature, so a failed batch degrades to exactly the
+    // serial path's per-signature decision, not a retry.
+    const std::vector<char> verdicts = cfg_.pipeline->verify_batch(fns);
+    for (std::size_t j = 0; j < unknown.size(); ++j) {
+      const std::size_t i = unknown[j];
+      cfg_.pipeline->publish(
+          crypto::verify_key(sigs[i].first, preimage, sigs[i].second),
+          verdicts[j] != 0);
+      all_ok = all_ok && verdicts[j] != 0;
+    }
+  }
+  return all_ok;
 }
 
 bool ReplicaBase::verify_qc(const QuorumCert& qc, std::size_t quorum_size) {
-  // Each contained signature costs one verification.
+  const Bytes preimage = qc.preimage();
+  // Accounting first, exactly as the serial path charged: one metered
+  // verification per contained signature — minus the signatures this
+  // node already verified individually when the votes arrived, which
+  // the verified-signature cache answers for free at tally time.
+  std::vector<std::size_t> uncached;
+  uncached.reserve(qc.sigs.size());
   for (std::size_t i = 0; i < qc.sigs.size(); ++i) {
+    if (cfg_.verified_cache &&
+        sig_verified_.count(sig_digest(qc.sigs[i].first, preimage,
+                                       qc.sigs[i].second)) > 0) {
+      ++sig_cache_hits_;
+      continue;
+    }
     charge(energy::Category::kVerify,
            energy::verify_energy_mj(cfg_.keyring->scheme()));
     prof_crypto("verify", "vote");
+    uncached.push_back(i);
   }
-  return qc.verify(*cfg_.keyring, quorum_size);
+  // Validity (mirrors QuorumCert::verify): count, distinct authors, then
+  // the not-yet-verified signatures, batched at this natural fan-in.
+  if (qc.sigs.size() < quorum_size) return false;
+  std::set<NodeId> authors;
+  for (const auto& [author, sig] : qc.sigs) {
+    if (!authors.insert(author).second) return false;  // duplicate author
+  }
+  return check_sigs(preimage, qc.sigs, uncached);
 }
 
 bool ReplicaBase::verify_checkpoint_cert(
     const checkpoint::CheckpointCert& cert) {
+  const Bytes preimage = cert.id.preimage();
+  std::vector<std::size_t> uncached;
+  uncached.reserve(cert.sigs.size());
   for (std::size_t i = 0; i < cert.sigs.size(); ++i) {
+    if (cfg_.verified_cache &&
+        sig_verified_.count(sig_digest(cert.sigs[i].first, preimage,
+                                       cert.sigs[i].second)) > 0) {
+      ++sig_cache_hits_;
+      continue;
+    }
     charge(energy::Category::kVerify,
            energy::verify_energy_mj(cfg_.keyring->scheme()));
     prof_crypto("verify", "checkpoint");
+    uncached.push_back(i);
   }
   // Checkpoint quorum is always f+1 (one correct attester suffices),
-  // independent of the protocol's vote quorum (cfg_.quorum).
-  return cert.verify(*cfg_.keyring, cfg_.f + 1, cfg_.n);
+  // independent of the protocol's vote quorum (cfg_.quorum). Validity
+  // mirrors CheckpointCert::verify: only replicas attest state.
+  if (cert.sigs.size() < cfg_.f + 1) return false;
+  std::set<NodeId> authors;
+  for (const auto& [author, sig] : cert.sigs) {
+    if (author >= cfg_.n) return false;
+    if (!authors.insert(author).second) return false;
+  }
+  return check_sigs(preimage, cert.sigs, uncached);
 }
 
 BlockHash ReplicaBase::hash_block(const Block& b) {
@@ -238,7 +364,9 @@ BlockHash ReplicaBase::hash_block(const Block& b) {
 
 void ReplicaBase::broadcast(const Msg& m) {
   if (outbound_ != nullptr && !outbound_->allow(m, kNoNode)) return;
-  const Bytes wire = m.encode();
+  wire_writer_.clear();  // reuse the allocation across encodes
+  m.encode_into(wire_writer_);
+  const Bytes& wire = wire_writer_.buffer();
   if (cfg_.profiler != nullptr) {
     cfg_.profiler->count_codec("replica", "encode", stream_of(m.type),
                                wire.size());
@@ -248,7 +376,9 @@ void ReplicaBase::broadcast(const Msg& m) {
 
 void ReplicaBase::send(NodeId to, const Msg& m) {
   if (outbound_ != nullptr && !outbound_->allow(m, to)) return;
-  const Bytes wire = m.encode();
+  wire_writer_.clear();
+  m.encode_into(wire_writer_);
+  const Bytes& wire = wire_writer_.buffer();
   if (cfg_.profiler != nullptr) {
     cfg_.profiler->count_codec("replica", "encode", stream_of(m.type),
                                wire.size());
@@ -337,7 +467,13 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
             charge(energy::Category::kVerify,
                    energy::verify_energy_mj(cfg_.keyring->scheme()));
             prof_crypto("verify", "request");
-            valid = req->verify(*cfg_.keyring);
+            if (cfg_.pipeline != nullptr) {
+              valid = cfg_.pipeline->join(
+                  crypto::verify_key(req->client, req->preimage(), req->sig),
+                  [&] { return req->verify(*cfg_.keyring); });
+            } else {
+              valid = req->verify(*cfg_.keyring);
+            }
           }
         }
         if (!valid) {
@@ -479,7 +615,22 @@ void ReplicaBase::handle_checkpoint(const Msg& msg) {
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
   prof_crypto("verify", "checkpoint");
-  if (!cfg_.keyring->verify(msg.author, cp.id.preimage(), cp.sig)) return;
+  const Bytes preimage = cp.id.preimage();
+  bool ok;
+  if (cfg_.pipeline != nullptr) {
+    ok = cfg_.pipeline->join(
+        crypto::verify_key(msg.author, preimage, cp.sig),
+        [&] { return cfg_.keyring->verify(msg.author, preimage, cp.sig); });
+  } else {
+    ok = cfg_.keyring->verify(msg.author, preimage, cp.sig);
+  }
+  if (!ok) return;
+  // Remember the attestation: a checkpoint certificate tallied later
+  // (state transfer, snapshot push) re-carries this exact signature.
+  if (cfg_.verified_cache) {
+    sig_verified_.emplace(sig_digest(msg.author, preimage, cp.sig),
+                          committed_height_);
+  }
   if (const auto cert = ckpt_.add_signature(msg.author, cp.id, cp.sig)) {
     on_stable_checkpoint(*cert);
   }
@@ -520,6 +671,15 @@ void ReplicaBase::advance_low_water(const checkpoint::CheckpointCert& cert) {
   for (auto it = verified_.begin(); it != verified_.end();) {
     if (it->second <= prev_lwm) {
       it = verified_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Same rule for the verified-signature cache: certificates re-carrying
+  // a vote or attestation that old have left the protocol's horizon.
+  for (auto it = sig_verified_.begin(); it != sig_verified_.end();) {
+    if (it->second <= prev_lwm) {
+      it = sig_verified_.erase(it);
     } else {
       ++it;
     }
@@ -772,7 +932,17 @@ void ReplicaBase::handle_request(const Msg& m) {
   charge(energy::Category::kVerify,
          energy::verify_energy_mj(cfg_.keyring->scheme()));
   prof_crypto("verify", "request");
-  if (!req->verify(*cfg_.keyring)) {
+  bool sig_ok;
+  if (cfg_.pipeline != nullptr) {
+    // Every replica pools the same flooded request: one physical check
+    // of the embedded client signature serves the whole cluster.
+    sig_ok = cfg_.pipeline->join(
+        crypto::verify_key(req->client, req->preimage(), req->sig),
+        [&] { return req->verify(*cfg_.keyring); });
+  } else {
+    sig_ok = req->verify(*cfg_.keyring);
+  }
+  if (!sig_ok) {
     ++bad_sigs_[req->client];
     return;
   }
@@ -826,7 +996,7 @@ void ReplicaBase::reply_to_client(const ClientRequest& req,
       cfg_.profiler->is_sampled(req.client, req.req_id)) {
     prof_flow("reply", req.client, req.req_id);
     cfg_.profiler->attribute(req.client, req.req_id, energy::Stream::kReply,
-                             m.encode().size());
+                             m.wire_size());
   }
   send(req.client, m);
 }

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "src/checkpoint/checkpoint.hpp"
+#include "src/common/serde.hpp"
 #include "src/crypto/sha256.hpp"
+#include "src/crypto/workers.hpp"
 #include "src/energy/cost_model.hpp"
 #include "src/energy/meter.hpp"
 #include "src/net/channel.hpp"
@@ -59,7 +61,18 @@ struct ReplicaConfig {
   /// Remember request signatures verified at pool time and skip the
   /// commit-time re-verification (halves the honest-path kVerify cost).
   /// Entries are single-use and GC'd as the low-water mark advances.
+  /// Also gates the verified-signature cache: vote and checkpoint
+  /// signatures verified individually on arrival are never re-verified
+  /// (or re-charged) when the same signature surfaces inside a quorum /
+  /// checkpoint certificate tally on this node.
   bool verified_cache = true;
+
+  /// Shared speculative verification pipeline (crypto::VerifyPipeline,
+  /// one per cluster). Not owned; nullptr keeps every verification
+  /// inline. Changes where signature checks physically execute, never
+  /// their results or the energy accounting — outputs are byte-identical
+  /// with or without it, at any worker count.
+  crypto::VerifyPipeline* pipeline = nullptr;
 
   // -- checkpointing & admission control (src/checkpoint/) -------------------
   /// Committed commands per stable checkpoint (0 = checkpointing off).
@@ -154,6 +167,14 @@ class ReplicaBase : public net::FloodClient {
   }
   [[nodiscard]] std::uint64_t verified_cache_hits() const {
     return verified_hits_;
+  }
+  /// Verified-signature cache (votes / checkpoint attestations): live
+  /// entries and metered re-verifications skipped at certificate tallies.
+  [[nodiscard]] std::size_t sig_cache_entries() const {
+    return sig_verified_.size();
+  }
+  [[nodiscard]] std::uint64_t sig_cache_hits() const {
+    return sig_cache_hits_;
   }
   /// Client requests forwarded to the leader (unicast-style request
   /// streams only).
@@ -341,6 +362,15 @@ class ReplicaBase : public net::FloodClient {
  private:
   void handle_sync(NodeId from, const Msg& msg);
   void charge(energy::Category cat, double mj);
+  /// Check the signatures of `sigs` selected by `idx` over `preimage`,
+  /// resolving through the pipeline's speculation cache first and
+  /// batch-verifying the residue across the worker pool. Serial
+  /// fallback without a pipeline. Pure of energy accounting — callers
+  /// charge before deciding what still needs checking.
+  [[nodiscard]] bool check_sigs(
+      const Bytes& preimage,
+      const std::vector<std::pair<NodeId, Bytes>>& sigs,
+      const std::vector<std::size_t>& idx);
   /// Unicast-style request streams only: hand a freshly pooled request
   /// on to the current leader so it gets proposed.
   void maybe_forward_request(const Msg& m);
@@ -434,7 +464,21 @@ class ReplicaBase : public net::FloodClient {
   /// surface later, which is correct, just not free).
   std::map<crypto::Sha256Digest, std::uint64_t> verified_;
   std::uint64_t verified_hits_ = 0;
+  /// Verified-signature cache: digests of (author, preimage, signature)
+  /// triples this node verified individually — vote-class messages and
+  /// checkpoint attestations — mapped to the committed height current
+  /// when recorded. Certificate tallies (verify_qc /
+  /// verify_checkpoint_cert) consult it per contained signature: a hit
+  /// means this exact signature already passed on this node, so the
+  /// tally skips the metered re-verification. Unlike verified_, entries
+  /// are multi-use (a commitQC and a status message may both carry the
+  /// same vote) and GC'd by the same low-water-mark rule.
+  std::map<crypto::Sha256Digest, std::uint64_t> sig_verified_;
+  std::uint64_t sig_cache_hits_ = 0;
   std::uint64_t requests_forwarded_ = 0;
+  /// Reused outbound encoder (broadcast/send): clear() keeps the
+  /// allocation across encodes.
+  Writer wire_writer_;
 
   // -- garbage-flood early drop --------------------------------------------------
   /// Consecutive failed request-signature verifications per client; at

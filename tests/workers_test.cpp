@@ -1,0 +1,323 @@
+// Parallel crypto pipeline tests (src/crypto/workers.hpp): speculation /
+// join semantics, batch verification with fallback on forged signatures,
+// deterministic stats at any worker count, the byte-identical-output
+// contract of whole cluster runs across --workers × --threads (MinBFT's
+// attested-counter ordering included), and the verified-signature cache's
+// exact metered-verify accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/crypto/signer.hpp"
+#include "src/crypto/workers.hpp"
+#include "src/energy/meter.hpp"
+#include "src/exp/run_helpers.hpp"
+#include "src/exp/runner.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace eesmr {
+namespace {
+
+using crypto::PipelineStats;
+using crypto::VerifyPipeline;
+using harness::ClusterConfig;
+using harness::Protocol;
+using harness::RunResult;
+
+// ---------------------------------------------------------------------------
+// VerifyPipeline unit semantics
+// ---------------------------------------------------------------------------
+
+TEST(VerifyPipeline, JoinUsesSpeculatedResultAtAnyWorkerCount) {
+  for (const std::size_t workers : {0u, 2u}) {
+    VerifyPipeline p(workers);
+    std::atomic<int> spec_runs{0};
+    p.speculate("k1", [&] {
+      ++spec_runs;
+      return true;
+    });
+    // The join fallback must never run: the key was speculated.
+    const bool ok = p.join("k1", [] {
+      ADD_FAILURE() << "join fallback ran for a speculated key";
+      return false;
+    });
+    EXPECT_TRUE(ok) << "workers=" << workers;
+    EXPECT_EQ(spec_runs.load(), 1) << "workers=" << workers;
+    EXPECT_EQ(p.stats().speculated, 1u);
+    EXPECT_EQ(p.stats().join_hits, 1u);
+    EXPECT_EQ(p.stats().join_misses, 0u);
+  }
+}
+
+TEST(VerifyPipeline, SpeculateDedupsByKey) {
+  VerifyPipeline p(0);
+  int runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    p.speculate("dup", [&runs] {
+      ++runs;
+      return true;
+    });
+  }
+  EXPECT_EQ(p.stats().speculated, 1u);
+  EXPECT_TRUE(p.join("dup", [] { return false; }));
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(VerifyPipeline, JoinMissPublishesForLaterReceivers) {
+  // Cross-node memoization: the first receiver of an unspeculated frame
+  // verifies inline; the other n-1 receivers of the same frame hit.
+  VerifyPipeline p(0);
+  int runs = 0;
+  const auto fn = [&runs] {
+    ++runs;
+    return true;
+  };
+  EXPECT_TRUE(p.join("frame", fn));
+  EXPECT_EQ(p.stats().join_misses, 1u);
+  EXPECT_TRUE(p.join("frame", fn));
+  EXPECT_TRUE(p.join("frame", fn));
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(p.stats().join_hits, 2u);
+}
+
+TEST(VerifyPipeline, TryJoinAndPublish) {
+  VerifyPipeline p(0);
+  bool result = true;
+  EXPECT_FALSE(p.try_join("missing", &result));
+  p.publish("missing", false);
+  ASSERT_TRUE(p.try_join("missing", &result));
+  EXPECT_FALSE(result);
+}
+
+TEST(VerifyPipeline, EvictionCountsNeverJoinedEntriesAsWasted) {
+  VerifyPipeline p(0);
+  // Overflow the FIFO bound; evicted entries were never joined.
+  for (std::size_t i = 0; i < VerifyPipeline::kMaxEntries + 100; ++i) {
+    p.speculate("k" + std::to_string(i), [] { return true; });
+  }
+  EXPECT_EQ(p.stats().wasted, 100u);
+  EXPECT_EQ(p.stats().speculated, VerifyPipeline::kMaxEntries + 100);
+}
+
+TEST(VerifyPipeline, BatchVerifyFallsBackOnForgedSignature) {
+  // Real keyring batch: f+1 = 4 signatures, one forged. The batch
+  // reports per-item verdicts (fallback-to-individual), so exactly the
+  // forged index fails and the tally can still reject precisely.
+  const auto keyring = crypto::Keyring::simulated(
+      crypto::SchemeId::kRsa1024, 4, /*seed=*/7);
+  const Bytes msg = to_bytes(std::string("batch payload"));
+  std::vector<Bytes> sigs;
+  for (NodeId i = 0; i < 4; ++i) {
+    sigs.push_back(keyring->signer(i).sign(msg));
+  }
+  // Signature over the wrong message: the forged entry.
+  sigs[2] = keyring->signer(2).sign(to_bytes(std::string("forged")));
+
+  for (const std::size_t workers : {0u, 2u}) {
+    VerifyPipeline p(workers);
+    std::vector<crypto::VerifyFn> fns;
+    for (NodeId i = 0; i < 4; ++i) {
+      fns.push_back([&keyring, &msg, &sigs, i] {
+        return keyring->verify(i, msg, sigs[i]);
+      });
+    }
+    const std::vector<char> verdicts = p.verify_batch(fns);
+    ASSERT_EQ(verdicts.size(), 4u);
+    EXPECT_TRUE(verdicts[0]);
+    EXPECT_TRUE(verdicts[1]);
+    EXPECT_FALSE(verdicts[2]);
+    EXPECT_TRUE(verdicts[3]);
+    EXPECT_EQ(p.stats().batches, 1u) << "workers=" << workers;
+    EXPECT_EQ(p.stats().batch_items, 4u);
+    EXPECT_EQ(p.stats().batch_fallbacks, 1u);
+  }
+}
+
+TEST(VerifyPipeline, StatsIdenticalAcrossWorkerCounts) {
+  // The same sim-thread call sequence must produce identical counters
+  // whether verifies run inline or on a pool.
+  const auto drive = [](std::size_t workers) {
+    VerifyPipeline p(workers);
+    for (int i = 0; i < 10; ++i) {
+      p.speculate("s" + std::to_string(i), [] { return true; });
+    }
+    for (int i = 0; i < 5; ++i) {
+      (void)p.join("s" + std::to_string(i), [] { return false; });
+    }
+    (void)p.join("unseen", [] { return true; });
+    bool r = false;
+    (void)p.try_join("s7", &r);
+    p.publish("published", true);
+    std::vector<crypto::VerifyFn> fns(3, [] { return true; });
+    (void)p.verify_batch(fns);
+    return p.stats();
+  };
+  const PipelineStats a = drive(0);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const PipelineStats b = drive(workers);
+    EXPECT_EQ(a.speculated, b.speculated) << workers;
+    EXPECT_EQ(a.join_hits, b.join_hits) << workers;
+    EXPECT_EQ(a.join_misses, b.join_misses) << workers;
+    EXPECT_EQ(a.wasted, b.wasted) << workers;
+    EXPECT_EQ(a.batches, b.batches) << workers;
+    EXPECT_EQ(a.batch_items, b.batch_items) << workers;
+    EXPECT_EQ(a.batch_fallbacks, b.batch_fallbacks) << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-run determinism: byte-identical outputs at any --workers N
+// ---------------------------------------------------------------------------
+
+/// Run a 3-protocol client grid through the deterministic-parallel
+/// runner at a given (workers, threads) and return the exact artifacts
+/// --prom-out / --trace-out would serialize.
+std::pair<std::string, std::string> run_workers_grid(std::size_t workers,
+                                                     std::size_t threads) {
+  exp::Grid grid;
+  grid.axis("protocol", {"EESMR", "SyncHS", "MinBFT"});
+  exp::RunnerOptions ro;
+  ro.threads = threads;
+  ro.workers = workers;
+  ro.seed = 404;
+  ro.trace_requests = 2;
+  std::vector<exp::RunArtifacts> slots;
+  ro.artifacts = &slots;
+  ro.collect_registry = true;
+  ro.collect_trace = true;
+  (void)exp::run_matrix(grid, [&](const exp::RunContext& c) {
+    ClusterConfig cfg;
+    const std::string proto = c.label("protocol");
+    // MinBFT runs at n = 2f+1: its attested-counter ordering is the
+    // hardest case for out-of-order speculation (the trusted-counter
+    // checks must still happen in exact delivery order).
+    cfg.protocol = proto == "EESMR"    ? Protocol::kEesmr
+                   : proto == "SyncHS" ? Protocol::kSyncHotStuff
+                                       : Protocol::kMinBft;
+    cfg.n = proto == "MinBFT" ? 3 : 4;
+    cfg.f = 1;
+    cfg.seed = c.seed;
+    cfg.clients = 2;
+    cfg.checkpoint_interval = 8;
+    cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+    cfg.workload.outstanding = 2;
+    exp::prepare(c, cfg);
+    const RunResult r = exp::run_steady(c, cfg, 12);
+    exp::MetricRow row;
+    row.set("commits", r.min_committed());
+    row.set("spec_join_hits", r.prof.pipeline.join_hits);
+    row.set("bytes_copy_saved", r.prof.pipeline.bytes_copy_saved);
+    return row;
+  }, ro);
+
+  std::string prom;
+  exp::Json events = exp::Json::array();
+  int pid = 1;
+  for (exp::RunArtifacts& s : slots) {
+    prom += s.registry.text();
+    pid = s.tracer.append_chrome(events, pid, "run ");
+  }
+  return {prom, obs::Tracer::chrome_document(std::move(events)).pretty()};
+}
+
+TEST(WorkersDeterminism, ByteIdenticalAcrossWorkersAndThreads) {
+  const auto [prom0, trace0] = run_workers_grid(0, 1);
+  // The pipeline families export (speculation fires on every run) and
+  // the zero-copy counter moved.
+  EXPECT_NE(prom0.find("eesmr_prof_spec_verify_total"), std::string::npos);
+  EXPECT_NE(prom0.find("eesmr_prof_bytes_copy_saved_total"),
+            std::string::npos);
+  for (const auto& [workers, threads] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 1}, {8, 1}, {0, 4}, {2, 4}, {8, 4}}) {
+    const auto [prom, trace] = run_workers_grid(workers, threads);
+    EXPECT_EQ(prom, prom0) << "workers=" << workers
+                           << " threads=" << threads;
+    EXPECT_EQ(trace, trace0) << "workers=" << workers
+                             << " threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Speculation pays: cross-node memoization visible in the counters
+// ---------------------------------------------------------------------------
+
+TEST(WorkersDeterminism, SpeculationHitsAndZeroCopyOnHonestRun) {
+  ClusterConfig cfg;
+  cfg.protocol = Protocol::kSyncHotStuff;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.seed = 5;
+  cfg.clients = 2;
+  cfg.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+  cfg.workload.outstanding = 2;
+  harness::Cluster cluster(cfg);
+  const RunResult r = cluster.run_until_accepted(10, sim::seconds(60));
+  EXPECT_GE(r.requests_accepted, 10u);
+  // Broadcast frames are verified once and joined by every receiver:
+  // hits must dominate pure misses on an honest broadcast-heavy run.
+  EXPECT_GT(r.prof.pipeline.speculated, 0u);
+  EXPECT_GT(r.prof.pipeline.join_hits, r.prof.pipeline.join_misses);
+  // Zero-copy path: every scheduled delivery and every parsed packet
+  // used to copy its frame/payload.
+  EXPECT_GT(r.prof.pipeline.bytes_copy_saved, r.bytes_transmitted);
+}
+
+// ---------------------------------------------------------------------------
+// Verified-signature cache: exact metered accounting
+// ---------------------------------------------------------------------------
+
+TEST(SigCache, SkipsExactlyTheCachedTallyVerifications) {
+  // Sync HotStuff vote certificates re-verify signatures the replica
+  // already checked when the individual votes arrived. The cache makes
+  // each such tally check free; it changes no message traffic, so the
+  // cache-on and cache-off runs are event-identical and the kVerify
+  // meter-op delta is exactly the commit-time request re-checks (the
+  // PR-3 cache) plus the certificate-tally hits (this cache).
+  ClusterConfig base;
+  base.protocol = Protocol::kSyncHotStuff;
+  base.n = 4;
+  base.f = 1;
+  base.seed = 23;
+  base.clients = 2;
+  base.workload.mode = client::WorkloadSpec::Mode::kClosedLoop;
+  base.workload.outstanding = 1;
+  base.workload.max_requests = 10;
+
+  const auto run = [](ClusterConfig cfg) {
+    harness::Cluster cluster(cfg);
+    (void)cluster.run_until_accepted(20, sim::seconds(1000));
+    return cluster.run_for(sim::seconds(2));  // quiesce tail commits
+  };
+  ClusterConfig with = base;
+  with.verified_cache = true;
+  ClusterConfig without = base;
+  without.verified_cache = false;
+  const RunResult a = run(with);
+  const RunResult b = run(without);
+  ASSERT_EQ(a.requests_accepted, 20u);
+  ASSERT_EQ(b.requests_accepted, 20u);
+  EXPECT_TRUE(a.safety_ok());
+  EXPECT_TRUE(b.safety_ok());
+  EXPECT_EQ(a.min_committed(), b.min_committed());
+
+  const auto verify_ops = [&](const RunResult& r) {
+    std::uint64_t ops = 0;
+    for (std::size_t i = 0; i < base.n; ++i) {
+      ops += r.meters[i].ops(energy::Category::kVerify);
+    }
+    return ops;
+  };
+  // The cached run knows exactly how many tally verifies it skipped.
+  EXPECT_GT(a.prof.pipeline.sig_cache_hits, 0u);
+  EXPECT_EQ(b.prof.pipeline.sig_cache_hits, 0u);
+  EXPECT_EQ(verify_ops(b) - verify_ops(a),
+            20u * base.n + a.prof.pipeline.sig_cache_hits);
+}
+
+}  // namespace
+}  // namespace eesmr
