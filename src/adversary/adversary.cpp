@@ -194,6 +194,8 @@ const char* attack_name(AttackKind a) {
       return "replay_client_flood";
     case AttackKind::kChaseLeader:
       return "chase_leader";
+    case AttackKind::kMembershipChurn:
+      return "membership_churn";
   }
   return "?";
 }
@@ -213,6 +215,7 @@ const std::vector<AttackKind>& all_attacks() {
       AttackKind::kGarbageClientFlood,
       AttackKind::kReplayClientFlood,
       AttackKind::kChaseLeader,
+      AttackKind::kMembershipChurn,
   };
   return kAll;
 }
@@ -317,6 +320,39 @@ void apply_attack(harness::ClusterConfig& cfg, AttackKind attack) {
       adv.chase_leader.from_time = sim::milliseconds(300);
       return;
     }
+    case AttackKind::kMembershipChurn: {
+      // Byzantine equivocation straddling a membership handoff: one
+      // spare rides outside the genesis signer set and a committed
+      // policy block swaps it in for the last genesis signer — a
+      // one-for-one replacement, so the active set keeps the size the
+      // f-derived quorums were provisioned for (growing it instead
+      // would shrink quorum intersection under the very equivocators
+      // this cell runs). The usual f equivocators fire around the
+      // generation flip, and the joiner itself is crashed
+      // mid-bootstrap, recovering later via state transfer. Safety
+      // must hold across certificates formed on both sides of the
+      // flip.
+      cfg.n += 1;
+      cfg.spares = 1;
+      const NodeId joiner = static_cast<NodeId>(cfg.n - 1);
+      const NodeId retired = static_cast<NodeId>(cfg.n - 2);
+      harness::ClusterConfig::MembershipEvent swap;
+      swap.at = sim::milliseconds(150);
+      for (NodeId i = 0; i < cfg.n; ++i) {
+        if (i == retired) continue;
+        swap.policy.signers.push_back({i, 1});
+      }
+      cfg.membership_events.push_back(swap);
+      for (NodeId i = 1; i <= f; ++i) {
+        cfg.faults.push_back({i, protocol::ByzantineMode::kEquivocate, 5});
+      }
+      AdversarySpec::CrashRecover cr;
+      cr.node = joiner;
+      cr.crash_at = sim::milliseconds(250);
+      cr.recover_at = sim::milliseconds(1250);
+      adv.crashes.push_back(cr);
+      return;
+    }
   }
 }
 
@@ -377,6 +413,11 @@ DolevStrongVerdict run_dolev_strong_attack(std::size_t n, std::size_t f,
     case AttackKind::kReplayClientFlood:
       // BA has no clients; the closest analogue is a junk-flooding node.
       a.garbage = {static_cast<NodeId>(n - 1)};
+      break;
+    case AttackKind::kMembershipChurn:
+      // One-shot BA has no membership; the closest analogue is a relay
+      // lost mid-protocol (the "joiner" crashed during its bootstrap).
+      a.crash = {static_cast<NodeId>(n - 1)};
       break;
   }
 

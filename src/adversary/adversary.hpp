@@ -143,6 +143,8 @@ enum class AttackKind {
   kGarbageClientFlood,   ///< invalid-signature request flood
   kReplayClientFlood,    ///< (client, req_id) replay flood
   kChaseLeader,          ///< adaptive crash following the current leader
+  kMembershipChurn,      ///< Byzantine equivocation straddling a policy
+                         ///< handoff + a joiner crashed mid-bootstrap
 };
 
 const char* attack_name(AttackKind a);

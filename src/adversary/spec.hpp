@@ -102,6 +102,21 @@ struct AdversarySpec {
   };
   std::vector<ByzClient> clients;
 
+  /// Byzantine checkpoint attacks (replica-level flags). forge_digest:
+  /// the named replica corrupts the state digest on its BROADCAST
+  /// checkpoint votes (its local tally stays honest, so the cluster's
+  /// quorum of honest signatures still forms and the forged votes are
+  /// simply non-matching minority noise). withhold_snapshots: the
+  /// replica signs checkpoints honestly but never serves snapshot
+  /// payloads, starving state-transfer requesters until their retry
+  /// timer rotates to another certificate signer.
+  struct CheckpointAttack {
+    NodeId node = 0;
+    bool forge_digest = false;
+    bool withhold_snapshots = false;
+  };
+  std::vector<CheckpointAttack> checkpoint_attacks;
+
   /// Replicas consumed by the fault budget without a behavior change of
   /// their own (e.g. the targets of a LinkFault drop rule): excluded
   /// from the correct-node accounting like any Byzantine replica.
@@ -114,7 +129,8 @@ struct AdversarySpec {
 
   [[nodiscard]] bool empty() const {
     return link_faults.empty() && withholds.empty() && crashes.empty() &&
-           clients.empty() && mark_faulty.empty() && chase_leader.period == 0;
+           clients.empty() && mark_faulty.empty() &&
+           checkpoint_attacks.empty() && chase_leader.period == 0;
   }
 };
 

@@ -134,7 +134,10 @@ bool MinBftReplica::admit_attested(NodeId from, const Msg& msg,
                                    const Attestation& att) {
   switch (tracker_.observe(att)) {
     case AttestationTracker::Verdict::kAccept:
-      drain_holdback(att.node);
+      // Draining is the CALLER's job, after it processed this message's
+      // content: the held-back successor at counter+1 must not have its
+      // content handled before this message's, or equivocation at
+      // successive counters forks receivers on arrival order.
       return true;
     case AttestationTracker::Verdict::kReplay:
       // Same value, same digest: a redelivery (or a retry after chain
@@ -213,20 +216,25 @@ void MinBftReplica::handle_propose(NodeId from, const Msg& msg) {
     return;
   }
   if (!admit_attested(from, msg, att)) return;
-  if (msg.view != v_cur_) {
-    if (msg.view > v_cur_) buffer_future(msg);
-    return;
+  // Process this proposal's content BEFORE draining the hold-back queue:
+  // the held successor at counter+1 may be the second half of an
+  // equivocation pair, and handling it first would invert the counter
+  // order at the content layer (receivers would fork on arrival order).
+  if (msg.view == v_cur_ && phase_ == Phase::kSteady) {
+    accept_proposal(from, msg, b, att);
+  } else if (msg.view > v_cur_) {
+    buffer_future(msg);
   }
-  if (phase_ != Phase::kSteady) return;
-  accept_proposal(from, msg, b, att);
+  drain_holdback(att.node);
 }
 
 void MinBftReplica::accept_proposal(NodeId from, const Msg& msg,
                                     const Block& b, const Attestation& att) {
   const BlockHash h = b.hash();
   // Content equivocation at successive counters: every correct replica
-  // observes the same counter order, so all accept the first block for
-  // this height and demote the primary on the second.
+  // processes proposals in counter order (admission + caller-side
+  // holdback drain), so all accept the first block for this height and
+  // demote the primary on the second.
   auto [it, inserted] = seen_.try_emplace(b.height, h);
   if (!inserted && it->second != h) {
     (void)integrate_block(b, from);
@@ -288,6 +296,7 @@ void MinBftReplica::handle_commit_msg(NodeId from, const Msg& msg) {
   // crossed a view change still count (and must, for liveness under
   // leader churn).
   tally_commit(att.node, h);
+  drain_holdback(att.node);
 }
 
 void MinBftReplica::tally_commit(NodeId author, const BlockHash& h) {
@@ -542,6 +551,26 @@ void MinBftReplica::on_low_water(const Block& root) {
     }
   }
   tracker_.forget_window(kDigestWindow);
+}
+
+void MinBftReplica::on_membership_change(const smr::MembershipPolicy& policy) {
+  // Arm a contiguity rebase for every signer that was NOT active in the
+  // previous generation. Its counter kept attesting (view changes, past
+  // stints) while no one here tracked it, so demanding last+1 would park
+  // every future message in holdback forever. Stale holdback entries for
+  // that sender are dropped too — they predate the new baseline.
+  const std::uint64_t prev = policy.generation - 1;
+  for (const smr::PolicyEntry& e : policy.signers) {
+    if (membership().known(prev) && membership().is_signer(e.node, prev)) {
+      continue;
+    }
+    tracker_.rebase(e.node);
+    const auto q = holdback_.find(e.node);
+    if (q != holdback_.end()) {
+      holdback_total_ -= q->second.size();
+      holdback_.erase(q);
+    }
+  }
 }
 
 void MinBftReplica::on_state_transfer(const Block& root) {

@@ -68,6 +68,11 @@ class MinBftReplica final : public smr::ReplicaBase {
   void on_low_water(const smr::Block& root) override;
   void on_state_transfer(const smr::Block& root) override;
   void on_restart() override;
+  /// Rebase attested-counter tracking at the generation boundary: a
+  /// (re)joining signer's counter kept advancing while it was outside
+  /// the active set, so its next attestation is adopted as the new
+  /// contiguity baseline instead of holding forever on missed values.
+  void on_membership_change(const smr::MembershipPolicy& policy) override;
   /// Attested messages authenticate via their UI, not the outer Msg
   /// signature (MinBFT replaces the signature with the counter UI).
   [[nodiscard]] bool requires_signature_check(

@@ -202,7 +202,7 @@ void PbftReplica::on_prepared(const BlockHash& h, const Block& b) {
     prepared_tip_ = h;
     prepared_height_ = b.height;
     auto& bucket = prepares_[hkey(h)];
-    prepared_cert_ = QuorumCert::combine(std::vector<Msg>(
+    prepared_cert_ = make_cert(std::vector<Msg>(
         bucket.begin(), bucket.begin() + static_cast<std::ptrdiff_t>(
                                              std::min(bucket.size(),
                                                       quorum()))));

@@ -231,7 +231,7 @@ void SyncHsReplica::certify(const BlockHash& h) {
   prof_flow_block("certify", *b, energy::Stream::kVote, 0);
   certified_tip_ = h;
   certified_height_ = b->height;
-  tip_cert_ = QuorumCert::combine(std::vector<Msg>(
+  tip_cert_ = make_cert(std::vector<Msg>(
       votes_[hkey(h)].begin(),
       votes_[hkey(h)].begin() + static_cast<std::ptrdiff_t>(quorum())));
   if (proposer_for(b->round + 1) == cfg_.id && phase_ == Phase::kSteady &&
@@ -283,7 +283,7 @@ void SyncHsReplica::handle_blame(const Msg& msg) {
   if (!blamers_.insert(msg.author).second) return;
   blame_msgs_.push_back(msg);
   if (blamers_.size() >= quorum() && phase_ == Phase::kSteady) {
-    const QuorumCert qc = QuorumCert::combine(std::vector<Msg>(
+    const QuorumCert qc = make_cert(std::vector<Msg>(
         blame_msgs_.begin(),
         blame_msgs_.begin() + static_cast<std::ptrdiff_t>(quorum())));
     Msg qc_msg = make_msg(MsgType::kBlameQC, 0, qc.encode());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 #include "src/common/serde.hpp"
 
@@ -64,10 +65,17 @@ CheckpointMsg CheckpointMsg::decode(BytesView data) {
 Bytes CheckpointCert::encode() const {
   Writer w;
   w.bytes(id.encode());
-  w.u32(static_cast<std::uint32_t>(sigs.size()));
-  for (const auto& [author, sig] : sigs) {
-    w.u32(author);
-    w.bytes(sig);
+  if (scheme == smr::CertScheme::kAggregate) {
+    w.u32(smr::kAggCertSentinel);
+    w.u64(gen);
+    signers.encode_into(w);
+    w.bytes(agg_sig);
+  } else {
+    w.u32(static_cast<std::uint32_t>(sigs.size()));
+    for (const auto& [author, sig] : sigs) {
+      w.u32(author);
+      w.bytes(sig);
+    }
   }
   return w.take();
 }
@@ -77,14 +85,64 @@ CheckpointCert CheckpointCert::decode(BytesView data) {
   CheckpointCert c;
   c.id = CheckpointId::decode(r.bytes());
   const std::uint32_t n = r.u32();
-  // Clamp against hostile counts (see Block::decode).
-  c.sigs.reserve(std::min<std::size_t>(n, r.remaining() / 8 + 1));
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const NodeId author = r.u32();
-    c.sigs.emplace_back(author, r.bytes());
+  if (n == smr::kAggCertSentinel) {
+    c.scheme = smr::CertScheme::kAggregate;
+    c.gen = r.u64();
+    c.signers = crypto::SignerBitset::decode_from(r);
+    c.agg_sig = r.bytes();
+    if (c.agg_sig.size() != crypto::kAggSignatureBytes) {
+      throw SerdeError("CheckpointCert: bad aggregate signature size");
+    }
+  } else {
+    // Clamp against hostile counts (see Block::decode).
+    c.sigs.reserve(std::min<std::size_t>(n, r.remaining() / 8 + 1));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId author = r.u32();
+      c.sigs.emplace_back(author, r.bytes());
+    }
   }
   r.expect_done();
   return c;
+}
+
+std::size_t CheckpointCert::signer_count() const {
+  return scheme == smr::CertScheme::kAggregate ? signers.count()
+                                               : sigs.size();
+}
+
+std::vector<NodeId> CheckpointCert::signer_list() const {
+  if (scheme == smr::CertScheme::kAggregate) return signers.members();
+  std::vector<NodeId> out;
+  out.reserve(sigs.size());
+  for (const auto& [author, sig] : sigs) out.push_back(author);
+  return out;
+}
+
+CheckpointCert CheckpointCert::to_aggregate(std::size_t universe,
+                                            std::uint64_t generation) const {
+  CheckpointCert c;
+  c.id = id;
+  c.scheme = smr::CertScheme::kAggregate;
+  c.gen = generation;
+  c.signers = crypto::SignerBitset(universe);
+  c.agg_sig = crypto::AggKeyring::empty_aggregate();
+  for (const auto& [author, sig] : sigs) {
+    if (c.signers.test(author)) {
+      throw std::invalid_argument("CheckpointCert::to_aggregate: duplicate");
+    }
+    c.signers.set(author);
+    crypto::AggKeyring::fold_into(c.agg_sig, sig);
+  }
+  return c;
+}
+
+bool CheckpointCert::verify_aggregate(const crypto::AggKeyring& agg,
+                                      std::size_t quorum,
+                                      std::size_t n_replicas) const {
+  if (scheme != smr::CertScheme::kAggregate) return false;
+  if (signers.count() < quorum) return false;
+  if (signers.size() > n_replicas) return false;
+  return agg.verify_aggregate(signers, id.preimage(), agg_sig);
 }
 
 bool CheckpointCert::verify(const crypto::Keyring& keyring,
@@ -206,6 +264,21 @@ std::optional<CheckpointCert> CheckpointManager::add_signature(
   pending_.erase(pending_.begin(), pending_.upper_bound(id.height));
   gc_tallies_below(id.height);
   return cert;
+}
+
+bool CheckpointManager::install_certified(const CheckpointCert& cert) {
+  if (!enabled()) return false;
+  if (stable_ && cert.id.height <= stable_->id.height) return false;
+  stable_ = cert;
+  const auto pend = pending_.find(cert.id.height);
+  if (pend != pending_.end() && pend->second.id == cert.id) {
+    serving_payload_ = std::move(pend->second.payload);
+    serving_block_ = std::move(pend->second.block);
+    serving_valid_ = true;
+  }
+  pending_.erase(pending_.begin(), pending_.upper_bound(cert.id.height));
+  gc_tallies_below(cert.id.height);
+  return true;
 }
 
 void CheckpointManager::install_stable(const CheckpointCert& cert,

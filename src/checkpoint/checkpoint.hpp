@@ -29,8 +29,10 @@
 
 #include "src/common/bytes.hpp"
 #include "src/common/ids.hpp"
+#include "src/crypto/agg.hpp"
 #include "src/crypto/signer.hpp"
 #include "src/smr/block.hpp"
+#include "src/smr/message.hpp"
 
 namespace eesmr::checkpoint {
 
@@ -65,18 +67,43 @@ struct CheckpointMsg {
 
 /// f+1 replica signatures over the same CheckpointId — a stable
 /// checkpoint. Transferable: anyone can verify it against the directory.
+/// Like QuorumCert it has two wire forms (smr::CertScheme): individual
+/// (author, signature) pairs, or a generation-tagged {signer bitset, one
+/// aggregate signature} that stays O(1) as n grows.
 struct CheckpointCert {
   CheckpointId id;
   std::vector<std::pair<NodeId, Bytes>> sigs;  ///< (author, signature)
 
+  smr::CertScheme scheme = smr::CertScheme::kIndividual;
+  // Aggregate form only:
+  std::uint64_t gen = 0;         ///< membership generation of the signers
+  crypto::SignerBitset signers;  ///< who contributed shares
+  Bytes agg_sig;                 ///< XOR-fold of the members' shares
+
   [[nodiscard]] Bytes encode() const;
   static CheckpointCert decode(BytesView data);
 
+  /// Signer count / node-ids, across both forms.
+  [[nodiscard]] std::size_t signer_count() const;
+  [[nodiscard]] std::vector<NodeId> signer_list() const;
+
+  /// Fold this (individual-form, share-signed) cert into the aggregate
+  /// form over a `universe`-wide bitset tagged with `generation`.
+  [[nodiscard]] CheckpointCert to_aggregate(std::size_t universe,
+                                            std::uint64_t generation) const;
+
   /// Authors distinct, all replica-range (< n_replicas), all signatures
-  /// valid over id.preimage(), and count >= quorum.
+  /// valid over id.preimage(), and count >= quorum. Individual form only.
   [[nodiscard]] bool verify(const crypto::Keyring& keyring,
                             std::size_t quorum,
                             std::size_t n_replicas) const;
+
+  /// Aggregate-form validity: count >= quorum, all signers replica-range,
+  /// and the aggregate verifies over id.preimage(). (Signer membership in
+  /// `gen` is the replica's check — it owns the policy history.)
+  [[nodiscard]] bool verify_aggregate(const crypto::AggKeyring& agg,
+                                      std::size_t quorum,
+                                      std::size_t n_replicas) const;
 };
 
 /// One live entry of the exactly-once reply cache, carried inside a
@@ -160,6 +187,13 @@ class CheckpointManager {
   /// becomes the serving snapshot.
   void install_stable(const CheckpointCert& cert, Bytes payload,
                       smr::Block block);
+
+  /// Install an already-verified certificate without a payload (the
+  /// aggregate scheme's collector-flooded kCheckpointCert). Promotes a
+  /// matching pending local snapshot to the serving slot exactly like a
+  /// quorum assembled by add_signature; returns false for heights at or
+  /// below the current stable checkpoint.
+  bool install_certified(const CheckpointCert& cert);
 
   // -- observability / serving -------------------------------------------------
   [[nodiscard]] std::uint64_t stable_height() const {

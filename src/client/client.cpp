@@ -16,6 +16,11 @@ Client::Client(net::Network& net, ClientConfig cfg, energy::Meter* meter)
       sched_(net.scheduler()),
       rng_(cfg_.seed ^ (0xC11E00ull + cfg_.id)) {
   if (!cfg_.keyring) throw std::invalid_argument("Client: keyring required");
+  if (cfg_.cert_scheme == smr::CertScheme::kAggregate &&
+      (!cfg_.agg || cfg_.agg->size() < cfg_.n)) {
+    throw std::invalid_argument(
+        "Client: aggregate scheme needs agg keys covering all replicas");
+  }
   if (cfg_.id < cfg_.n) {
     throw std::invalid_argument("Client: id must be outside the replica range");
   }
@@ -146,10 +151,16 @@ void Client::on_deliver(NodeId, BytesView payload) {
   const auto it = pending_.find(rep->req_id);
   if (it == pending_.end()) return;  // unknown or already accepted
   // Only now pay for the signature check: late replies past acceptance
-  // and other clients' acknowledgments cost nothing.
+  // and other clients' acknowledgments cost nothing. Under the aggregate
+  // scheme the reply carries a 48-byte share over the acceptance
+  // preimage (client, req_id, result) instead of a directory signature
+  // over the Msg — the same bytes that later fold into the cert.
+  const bool aggregate = cfg_.cert_scheme == smr::CertScheme::kAggregate;
   if (meter_ != nullptr) {
     meter_->charge(energy::Category::kVerify,
-                   energy::verify_energy_mj(cfg_.keyring->scheme()));
+                   aggregate
+                       ? energy::agg_verify_energy_mj(1)
+                       : energy::verify_energy_mj(cfg_.keyring->scheme()));
   }
   if (cfg_.profiler != nullptr) {
     cfg_.profiler->count_crypto("client", "verify", "reply");
@@ -159,13 +170,19 @@ void Client::on_deliver(NodeId, BytesView payload) {
   // so accounting is identical whether the physical check ran here, on
   // a worker, or for an earlier receiver of the same frame.
   bool sig_ok;
+  const Bytes preimage =
+      aggregate
+          ? smr::acceptance_preimage(rep->client, rep->req_id, rep->result)
+          : m.preimage();
+  const auto check = [&] {
+    return aggregate ? cfg_.agg->verify_share(m.author, preimage, m.sig)
+                     : cfg_.keyring->verify(m.author, preimage, m.sig);
+  };
   if (cfg_.pipeline != nullptr) {
-    const Bytes preimage = m.preimage();
     sig_ok = cfg_.pipeline->join(
-        crypto::verify_key(m.author, preimage, m.sig),
-        [&] { return cfg_.keyring->verify(m.author, preimage, m.sig); });
+        crypto::verify_key(m.author, preimage, m.sig), check);
   } else {
-    sig_ok = cfg_.keyring->verify(m.author, m.preimage(), m.sig);
+    sig_ok = check();
   }
   if (!sig_ok) return;
 
@@ -176,8 +193,38 @@ void Client::on_deliver(NodeId, BytesView payload) {
   }
 
   Pending& p = it->second;
+  if (aggregate) p.shares[m.author] = {rep->result, m.sig};
   const auto result = p.acks.add(m.author, rep->result);
   if (!result.has_value()) return;
+
+  // Fold the f+1 shares matching the accepted result into one O(1)
+  // transferable acceptance certificate.
+  if (aggregate) {
+    smr::AcceptanceCert cert;
+    cert.client = cfg_.id;
+    cert.req_id = rep->req_id;
+    cert.result = *result;
+    cert.signers = crypto::SignerBitset(cfg_.n);
+    cert.agg_sig = crypto::AggKeyring::empty_aggregate();
+    for (const auto& [author, rs] : p.shares) {
+      if (rs.first != *result) continue;
+      if (cert.signers.count() > cfg_.f) break;  // f+1 shares suffice
+      cert.signers.set(author);
+      crypto::AggKeyring::fold_into(cert.agg_sig, rs.second);
+    }
+    if (meter_ != nullptr) {
+      meter_->charge(energy::Category::kSign,
+                     energy::agg_combine_energy_mj(cert.signers.count()));
+    }
+    if (cfg_.profiler != nullptr) {
+      cfg_.profiler->count_codec("client", "encode", energy::Stream::kReply,
+                                 cert.encode().size());
+    }
+    ++certs_folded_;
+    if (acceptance_certs_.size() < kMaxStoredResults) {
+      acceptance_certs_.emplace(rep->req_id, std::move(cert));
+    }
+  }
 
   // First time this request reaches f+1 identical results: accept.
   latency_.add(sched_.now() - p.submitted_at);

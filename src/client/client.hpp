@@ -22,6 +22,7 @@
 #include "src/obs/prof.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/app.hpp"
+#include "src/smr/message.hpp"
 #include "src/smr/request.hpp"
 
 namespace eesmr::client {
@@ -35,6 +36,13 @@ struct ClientConfig {
   std::size_t f = 1;
   /// Key directory covering replicas AND this client's id.
   std::shared_ptr<crypto::Keyring> keyring;
+  /// Certificate scheme the cluster runs. Under kAggregate, replies are
+  /// 48-byte aggregate shares over the acceptance preimage instead of
+  /// directory signatures over the Msg, and the client folds the f+1
+  /// matching shares into an O(1) transferable AcceptanceCert.
+  smr::CertScheme cert_scheme = smr::CertScheme::kIndividual;
+  /// Aggregate share directory; required iff cert_scheme == kAggregate.
+  std::shared_ptr<crypto::AggKeyring> agg;
   WorkloadSpec workload;
   std::uint64_t seed = 1;
   /// Retransmit a still-unaccepted request after this long (0 = never).
@@ -107,6 +115,16 @@ class Client final : public net::FloodClient {
     return results_;
   }
   static constexpr std::size_t kMaxStoredResults = 4096;
+  /// Folded acceptance certificates by req_id (aggregate scheme only;
+  /// capped like results()).
+  [[nodiscard]] const std::map<std::uint64_t, smr::AcceptanceCert>&
+  acceptance_certs() const {
+    return acceptance_certs_;
+  }
+  /// Total acceptance certificates folded (uncapped count).
+  [[nodiscard]] std::uint64_t acceptance_certs_folded() const {
+    return certs_folded_;
+  }
   /// Fewest distinct replica replies any accepted request had seen at
   /// acceptance time; >= f+1 by the acceptance rule. 0 before any accept.
   [[nodiscard]] std::size_t min_replies_at_accept() const {
@@ -123,6 +141,9 @@ class Client final : public net::FloodClient {
   struct Pending {
     sim::SimTime submitted_at = 0;
     smr::AckCollector acks;
+    /// Aggregate scheme: verified (result, share) per replier, so the
+    /// f+1 shares matching the accepted result fold into one cert.
+    std::map<NodeId, std::pair<Bytes, Bytes>> shares;
 
     Pending(sim::SimTime at, std::size_t f) : submitted_at(at), acks(f) {}
   };
@@ -154,6 +175,8 @@ class Client final : public net::FloodClient {
   std::size_t min_replies_at_accept_ = 0;
   std::map<std::uint64_t, Pending> pending_;
   std::map<std::uint64_t, Bytes> results_;
+  std::map<std::uint64_t, smr::AcceptanceCert> acceptance_certs_;
+  std::uint64_t certs_folded_ = 0;
   LatencyHistogram latency_;
 };
 

@@ -366,7 +366,7 @@ void EesmrReplica::maybe_join_blame_quorum() {
       blames.push_back(m);
       if (blames.size() == quorum()) break;
     }
-    const QuorumCert qc = QuorumCert::combine(blames);
+    const QuorumCert qc = make_cert(blames);
     Msg qc_msg = make_msg(MsgType::kBlameQC, 0, qc.encode());
     broadcast(qc_msg);
     on_blame_quorum();
@@ -514,7 +514,7 @@ void EesmrReplica::handle_certify(const Msg& msg) {
     trace_instant("commit", "certify",
                   {{"view", exp::Json(v_cur_)},
                    {"height", exp::Json(commit_qc_height_)}});
-    const QuorumCert qc = QuorumCert::combine(certify_msgs_);
+    const QuorumCert qc = make_cert(certify_msgs_);
     const std::uint64_t h = qc_block_height(qc);
     if (h >= commit_qc_height_) {
       commit_qc_ = qc;
@@ -749,7 +749,7 @@ void EesmrReplica::handle_vote(const Msg& msg) {
   nv_votes_.push_back(msg);
   if (nv_votes_.size() >= quorum()) {
     round2_sent_ = true;
-    const QuorumCert qc = QuorumCert::combine(nv_votes_);
+    const QuorumCert qc = make_cert(nv_votes_);
     Msg prop = make_msg(MsgType::kPropose, 2, qc.encode());
     broadcast(prop);
     handle_round2(cfg_.id, prop);

@@ -158,6 +158,25 @@ double batch_verify_energy_mj(crypto::SchemeId scheme, std::size_t k) {
   return first * (1.0 + marginal * static_cast<double>(k - 1));
 }
 
+// BLS12-381 on a Cortex-M-class device, scaled to the Table-2 envelope:
+// one G1 scalar multiplication (share), one pairing, one G1/G2 addition.
+constexpr double kAggShareMj = 2100.0;   // ~1.3x an ECDSA-P256 sign
+constexpr double kAggPairingMj = 4300.0; // per pairing; verify needs two
+constexpr double kAggPointAddMj = 2.1;   // pubkey / share aggregation step
+
+double agg_sign_energy_mj() { return kAggShareMj; }
+
+double agg_verify_energy_mj(std::size_t signers) {
+  if (signers == 0) return 0.0;
+  return 2.0 * kAggPairingMj +
+         kAggPointAddMj * static_cast<double>(signers - 1);
+}
+
+double agg_combine_energy_mj(std::size_t shares) {
+  if (shares <= 1) return 0.0;
+  return kAggPointAddMj * static_cast<double>(shares - 1);
+}
+
 double hash_energy_mj(std::size_t bytes) {
   return kHashBlockMj * static_cast<double>(sha256_blocks(bytes));
 }

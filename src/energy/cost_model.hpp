@@ -47,6 +47,25 @@ double verify_energy_mj(crypto::SchemeId scheme);
 /// all). k == 0 costs nothing; k == 1 equals verify_energy_mj.
 double batch_verify_energy_mj(crypto::SchemeId scheme, std::size_t k);
 
+// -- Aggregate (BLS-style) certificate costs (src/crypto/agg) ----------------
+// Pairing-based aggregates trade CPU for radio: a G1 share costs about a
+// scalar multiplication, verifying an aggregate costs two pairings plus a
+// public-key aggregation linear in the signer count, and combining shares
+// is a handful of point additions. The constants below are fitted to
+// published BLS12-381 Cortex-M-class measurements, scaled onto the same
+// device envelope as Table 2 (they sit roughly an order of magnitude
+// above ECDSA-P256, as the literature reports).
+
+/// Energy (mJ) to produce one 48-byte aggregate-scheme share.
+double agg_sign_energy_mj();
+
+/// Energy (mJ) to verify one aggregate covering `signers` shares (two
+/// pairings + (signers-1) pubkey additions). signers == 0 costs nothing.
+double agg_verify_energy_mj(std::size_t signers);
+
+/// Energy (mJ) to fold `shares` shares into one aggregate (point adds).
+double agg_combine_energy_mj(std::size_t shares);
+
 /// Energy (mJ) to hash a `bytes`-byte message with SHA-256
 /// (linear in the number of compression-function invocations, matching
 /// the paper's "cost of hashing increased linearly with message size").

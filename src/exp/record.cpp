@@ -47,6 +47,15 @@ Json summary_json(const harness::RunSummary& s) {
   j.set("msgs_withheld", s.msgs_withheld);
   j.set("byz_requests_sent", s.byz_requests_sent);
   j.set("adversary_energy_mj", s.adversary_energy_mj);
+  // Membership / certificate-scheme keys only on runs that used them,
+  // so legacy records round-trip byte-identically.
+  if (s.membership_changes != 0) {
+    j.set("membership_changes", s.membership_changes);
+  }
+  if (s.membership_generation != 0) {
+    j.set("membership_generation", s.membership_generation);
+  }
+  if (s.acceptance_certs != 0) j.set("acceptance_certs", s.acceptance_certs);
   return j;
 }
 
@@ -116,6 +125,18 @@ harness::RunSummary summary_from_json(const Json& doc) {
   s.byz_requests_sent =
       static_cast<std::uint64_t>(j.at("byz_requests_sent").as_int());
   s.adversary_energy_mj = j.at("adversary_energy_mj").as_double();
+  if (j.contains("membership_changes")) {
+    s.membership_changes =
+        static_cast<std::uint64_t>(j.at("membership_changes").as_int());
+  }
+  if (j.contains("membership_generation")) {
+    s.membership_generation =
+        static_cast<std::uint64_t>(j.at("membership_generation").as_int());
+  }
+  if (j.contains("acceptance_certs")) {
+    s.acceptance_certs =
+        static_cast<std::uint64_t>(j.at("acceptance_certs").as_int());
+  }
   return s;
 }
 

@@ -146,6 +146,13 @@ Cluster::~Cluster() = default;
 
 Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   if (cfg_.n < 2) throw std::invalid_argument("Cluster: n >= 2 required");
+  if (cfg_.spares >= cfg_.n) {
+    throw std::invalid_argument("Cluster: spares must leave members");
+  }
+  if (cfg_.spares > 0 && cfg_.protocol == Protocol::kTrustedBaseline) {
+    throw std::invalid_argument(
+        "Cluster: spares unsupported for the trusted baseline");
+  }
   if (cfg_.tracer != nullptr) {
     cfg_.tracer->open_epoch(std::string(protocol_name(cfg_.protocol)) +
                             " n=" + std::to_string(cfg_.n) +
@@ -228,6 +235,11 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   keyring_ = cfg_.simulated_keys
                  ? crypto::Keyring::simulated(cfg_.scheme, world, cfg_.seed)
                  : crypto::Keyring::generate(cfg_.scheme, world, cfg_.seed);
+  // Aggregate share directory: replicas only (clients hold it to verify
+  // reply shares and fold acceptance certs, never to sign).
+  if (cfg_.cert_scheme == smr::CertScheme::kAggregate) {
+    agg_ = crypto::AggKeyring::simulated(total, cfg_.seed);
+  }
 
   // Speculative crypto pipeline: workers verify transmitted signatures
   // off the sim thread; replicas/clients join results at their normal
@@ -243,6 +255,13 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   // adversarial on top of that.
   for (std::size_t ci = 0; ci < leaves; ++ci) {
     counted_[total + ci] = false;
+  }
+  // Spares follow the chain but are outside the genesis signer set: they
+  // stay out of the commit/energy accounting (min_committed_correct must
+  // not wait on a node that cannot vote yet); the SafetyChecker-adjacent
+  // final-log cross-check still covers them via RunResult::safety_ok.
+  for (std::size_t s = 0; s < cfg_.spares; ++s) {
+    counted_[cfg_.n - 1 - s] = false;
   }
   for (std::size_t bi = 0; bi < byz_clients; ++bi) {
     correct_[total + cfg_.clients + bi] = false;
@@ -265,6 +284,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   };
   for (const auto& w : adv.withholds) consume_budget(w.node);
   for (const auto& cr : adv.crashes) consume_budget(cr.node);
+  for (const auto& ca : adv.checkpoint_attacks) consume_budget(ca.node);
   for (NodeId id : adv.mark_faulty) consume_budget(id);
   if (!adv.link_faults.empty()) {
     injector_ = std::make_unique<adversary::NetAdversary>(
@@ -283,6 +303,9 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   // the measured workload.
   base.cmd_bytes = cfg_.clients > 0 ? 0 : cfg_.cmd_bytes;
   base.keyring = keyring_;
+  base.cert_scheme = cfg_.cert_scheme;
+  base.agg = agg_;
+  base.initial_members = total - cfg_.spares;
   base.checkpoint_interval = cfg_.checkpoint_interval;
   base.mempool_capacity = cfg_.mempool_capacity;
   base.client_pending_cap = cfg_.client_pending_cap;
@@ -417,6 +440,12 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       replicas_.at(node)->set_outbound_policy(withhold_filters_.back().get());
     }
   }
+  // Byzantine checkpoint attacks: replica-level flags (forged broadcast
+  // digests, withheld snapshot payloads).
+  for (const auto& ca : adv.checkpoint_attacks) {
+    replicas_.at(ca.node)->set_forge_checkpoint_digest(ca.forge_digest);
+    replicas_.at(ca.node)->set_withhold_snapshots(ca.withhold_snapshots);
+  }
   // Every faulted replica (Byzantine protocol mode, withhold filter,
   // crash schedule, or network-level script against it) may legitimately
   // commit a private fork nobody else saw — e.g. an equivocating or
@@ -442,6 +471,8 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       cc.n = total;
       cc.f = cfg_.f;
       cc.keyring = keyring_;
+      cc.cert_scheme = cfg_.cert_scheme;
+      cc.agg = agg_;
       cc.workload = cfg_.workload;
       cc.seed = cfg_.seed + 7919 * (ci + 1);
       cc.retry_after = cfg_.client_retry;
@@ -511,15 +542,44 @@ void Cluster::install_speculation_hook() {
         m.type == smr::MsgType::kCheckpoint || m.sig.empty()) {
       return;
     }
-    const Bytes preimage = m.preimage();
+    // Under the aggregate scheme, certificate-bound types and kReply
+    // carry 48-byte shares, not directory signatures — and a reply
+    // share covers the acceptance preimage (client, req_id, result),
+    // not the Msg preimage. Speculating the wrong check would poison
+    // every receiver's pipeline join with a cached `false`.
+    const bool aggregate =
+        cfg_.cert_scheme == smr::CertScheme::kAggregate &&
+        (smr::certificate_bound(m.type) ||
+         m.type == smr::MsgType::kReply);
+    Bytes preimage;
+    if (aggregate && m.type == smr::MsgType::kReply) {
+      const auto rep = smr::ClientReply::decode(m.data);
+      if (!rep.has_value()) return;
+      preimage = smr::acceptance_preimage(rep->client, rep->req_id,
+                                          rep->result);
+    } else {
+      preimage = m.preimage();
+    }
     std::string key = crypto::verify_key(m.author, preimage, m.sig);
     // The closure owns its inputs (it may run on a worker thread after
-    // this frame is gone) and is pure: Keyring::verify is const and
-    // charges nothing. Energy/profiler accounting stays at the join.
-    pipeline_->speculate(
-        std::move(key),
-        [kr = keyring_, author = m.author, preimage = std::move(preimage),
-         sig = std::move(m.sig)] { return kr->verify(author, preimage, sig); });
+    // this frame is gone) and is pure: Keyring::verify and
+    // AggKeyring::verify_share are const and charge nothing.
+    // Energy/profiler accounting stays at the join.
+    if (aggregate) {
+      pipeline_->speculate(
+          std::move(key),
+          [agg = agg_, author = m.author, preimage = std::move(preimage),
+           sig = std::move(m.sig)] {
+            return agg->verify_share(author, preimage, sig);
+          });
+    } else {
+      pipeline_->speculate(
+          std::move(key),
+          [kr = keyring_, author = m.author, preimage = std::move(preimage),
+           sig = std::move(m.sig)] {
+            return kr->verify(author, preimage, sig);
+          });
+    }
   });
 }
 
@@ -558,6 +618,32 @@ void Cluster::start() {
                 [this, node = cr.node] {
         net_->set_node_online(node, true);
         replicas_[node]->set_online(true);
+      });
+    }
+  }
+  // Membership reconfiguration schedule: at each event time the full
+  // next-generation policy enters every ONLINE replica's mempool as a
+  // tagged command; the leader proposes it like any request and the
+  // flip happens at that block's commit boundary on every replica.
+  {
+    std::uint64_t next_gen = 0;
+    for (ClusterConfig::MembershipEvent ev : cfg_.membership_events) {
+      if (ev.policy.generation == 0) {
+        ev.policy.generation = next_gen + 1;
+      }
+      next_gen = ev.policy.generation;
+      sched_.at(std::max<sim::SimTime>(ev.at, sched_.now()), "control",
+                [this, p = ev.policy] {
+        const Bytes cmd = p.encode();
+        for (auto& r : replicas_) {
+          if (r->online()) r->mempool().submit({cmd});
+        }
+        if (cfg_.tracer != nullptr) {
+          cfg_.tracer->instant(sched_.now(), -1, "membership",
+                               "policy_injected",
+                               {{"generation", exp::Json(p.generation)},
+                                {"signers", exp::Json(p.signers.size())}});
+        }
       });
     }
   }
@@ -732,6 +818,14 @@ RunResult Cluster::snapshot() const {
     out.request_retransmissions += c->retransmissions();
     out.request_failovers += c->failovers();
     out.request_hints_applied += c->leader_hints_applied();
+    out.acceptance_certs += c->acceptance_certs_folded();
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!correct_[i] || !counted_[i]) continue;
+    out.membership_changes = std::max<std::uint64_t>(
+        out.membership_changes, replicas_[i]->membership_changes());
+    out.membership_generation = std::max<std::uint64_t>(
+        out.membership_generation, replicas_[i]->membership_generation());
   }
   if (cfg_.protocol == Protocol::kTrustedBaseline) {
     const auto* ctl = dynamic_cast<const baselines::TrustedController*>(

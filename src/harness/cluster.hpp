@@ -62,6 +62,27 @@ struct ClusterConfig {
   /// Use the keyed-hash simulation keyring (sized/energy-accounted as
   /// `scheme`); set false for real RSA/ECDSA keys.
   bool simulated_keys = true;
+  /// Certificate scheme for quorum certificates, checkpoint certificates
+  /// and reply acceptance. kAggregate replaces O(n) signature lists with
+  /// {signer bitset, one 48-byte aggregate} (simulated BLS, src/crypto/
+  /// agg.hpp) — O(1) wire size at any n.
+  smr::CertScheme cert_scheme = smr::CertScheme::kIndividual;
+  /// Trailing replicas (ids [n - spares, n)) kept OUT of the genesis
+  /// signer set: they relay and follow the chain but cannot vote, lead
+  /// or attest checkpoints until a committed membership policy admits
+  /// them. Excluded from commit/energy accounting (counted = false).
+  /// Requires spares < n; unsupported for the trusted baseline.
+  std::size_t spares = 0;
+  /// Live membership reconfigurations: at `at`, the full next-generation
+  /// signer set is injected as a tagged policy command into every online
+  /// replica's mempool and takes effect cluster-wide at the commit
+  /// boundary of the block that carries it. A zero `generation` is
+  /// auto-numbered 1, 2, ... in schedule order.
+  struct MembershipEvent {
+    sim::Duration at = 0;
+    smr::MembershipPolicy policy;
+  };
+  std::vector<MembershipEvent> membership_events;
   std::size_t batch_size = 1;
   std::size_t cmd_bytes = 16;
   protocol::EesmrOptions eesmr;
@@ -190,6 +211,10 @@ class Cluster {
   }
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
   [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+  /// Aggregate share directory (null under the individual scheme).
+  [[nodiscard]] const std::shared_ptr<crypto::AggKeyring>& agg() const {
+    return agg_;
+  }
   /// End-to-end Δ derived from the topology (hop bound × diameter + 1).
   [[nodiscard]] sim::Duration delta() const { return delta_; }
 
@@ -228,6 +253,7 @@ class Cluster {
   /// clients (always present; workers come from cfg_.crypto_workers).
   std::unique_ptr<crypto::VerifyPipeline> pipeline_;
   std::shared_ptr<crypto::Keyring> keyring_;
+  std::shared_ptr<crypto::AggKeyring> agg_;
   std::vector<std::unique_ptr<smr::ReplicaBase>> replicas_;
   std::vector<std::unique_ptr<smr::KvStore>> apps_;
   std::vector<std::unique_ptr<client::Client>> clients_;

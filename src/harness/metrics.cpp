@@ -146,6 +146,24 @@ void RunResult::to_registry(obs::Registry& reg,
     static_cast<double>(byz_requests_sent));
   g("eesmr_run_adversary_energy_mj",
     "Energy spent by adversarial nodes (mJ)", adversary_energy_mj());
+  // Membership / certificate-scheme families only exist on runs that
+  // used them — legacy registries (and the JSON records derived from
+  // them) keep their historical key set.
+  if (membership_changes != 0) {
+    c("eesmr_run_membership_changes_total",
+      "Committed membership policy blocks applied",
+      static_cast<double>(membership_changes));
+  }
+  if (membership_generation != 0) {
+    g("eesmr_run_membership_generation",
+      "Highest active membership generation",
+      static_cast<double>(membership_generation));
+  }
+  if (acceptance_certs != 0) {
+    c("eesmr_run_acceptance_certs_total",
+      "O(1) acceptance certificates folded by clients",
+      static_cast<double>(acceptance_certs));
+  }
 
   reg.set_histogram("eesmr_request_latency_ms",
                     "Submit-to-accept request latency, bucketed (ms)", base,
@@ -310,6 +328,13 @@ RunSummary summary_from_registry(const obs::Registry& reg,
   s.msgs_withheld = u("eesmr_run_msgs_withheld_total");
   s.byz_requests_sent = u("eesmr_run_byz_requests_sent_total");
   s.adversary_energy_mj = v("eesmr_run_adversary_energy_mj");
+  // Optional families (registered only when nonzero).
+  const auto opt_u = [&](const char* name) -> std::uint64_t {
+    return reg.find(name) == nullptr ? 0 : u(name);
+  };
+  s.membership_changes = opt_u("eesmr_run_membership_changes_total");
+  s.membership_generation = opt_u("eesmr_run_membership_generation");
+  s.acceptance_certs = opt_u("eesmr_run_acceptance_certs_total");
   return s;
 }
 

@@ -93,6 +93,17 @@ struct RunResult {
   /// Requests flooded by Byzantine clients.
   std::uint64_t byz_requests_sent = 0;
 
+  // Membership / certificate-scheme measurements (all zero on runs
+  // without policy events or the aggregate scheme; exported to the
+  // registry and the JSON record only when nonzero, so legacy baselines
+  // keep their historical key set).
+  /// Committed policy blocks applied (max over counted correct nodes).
+  std::uint64_t membership_changes = 0;
+  /// Highest active membership generation over counted correct nodes.
+  std::uint64_t membership_generation = 0;
+  /// O(1) acceptance certificates folded by clients (aggregate scheme).
+  std::uint64_t acceptance_certs = 0;
+
   /// Deterministic profiler snapshot (src/obs/prof.hpp): scheduler
   /// event-kind counts, per-site crypto op counts, codec byte counts,
   /// early drops, sampled-request energy attribution, and (opt-in,
@@ -223,6 +234,11 @@ struct RunSummary {
   std::uint64_t msgs_withheld = 0;
   std::uint64_t byz_requests_sent = 0;
   double adversary_energy_mj = 0;
+
+  // Membership / certificate scheme (see RunResult; zero when unused).
+  std::uint64_t membership_changes = 0;
+  std::uint64_t membership_generation = 0;
+  std::uint64_t acceptance_certs = 0;
 };
 
 }  // namespace eesmr::harness

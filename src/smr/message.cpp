@@ -7,6 +7,16 @@
 
 namespace eesmr::smr {
 
+const char* cert_scheme_name(CertScheme s) {
+  switch (s) {
+    case CertScheme::kIndividual:
+      return "individual";
+    case CertScheme::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
 const char* msg_type_name(MsgType t) {
   switch (t) {
     case MsgType::kPropose:
@@ -45,6 +55,8 @@ const char* msg_type_name(MsgType t) {
       return "Reply";
     case MsgType::kCheckpoint:
       return "Checkpoint";
+    case MsgType::kCheckpointCert:
+      return "CheckpointCert";
     case MsgType::kStateRequest:
       return "StateRequest";
     case MsgType::kStateResponse:
@@ -59,6 +71,28 @@ const char* msg_type_name(MsgType t) {
       return "NewView";
   }
   return "?";
+}
+
+bool certificate_bound(MsgType t) {
+  switch (t) {
+    // Votes: quorum certificates collect their signatures.
+    case MsgType::kVote:
+    case MsgType::kVoteMsg:
+    case MsgType::kCertify:
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+    // View-change evidence: blame QCs and new-view justifications.
+    case MsgType::kBlame:
+    case MsgType::kBlameQC:
+    case MsgType::kCommitUpdate:
+    case MsgType::kCommitQC:
+    case MsgType::kStatus:
+    case MsgType::kViewChange:
+    case MsgType::kNewView:
+      return true;
+    default:
+      return false;
+  }
 }
 
 energy::Stream stream_of(MsgType t) {
@@ -91,6 +125,7 @@ energy::Stream stream_of(MsgType t) {
     case MsgType::kReply:
       return energy::Stream::kReply;
     case MsgType::kCheckpoint:
+    case MsgType::kCheckpointCert:
       return energy::Stream::kCheckpoint;
     case MsgType::kStateRequest:
     case MsgType::kStateResponse:
@@ -142,10 +177,17 @@ Bytes QuorumCert::encode() const {
   w.u64(view);
   w.u64(round);
   w.bytes(data);
-  w.u32(static_cast<std::uint32_t>(sigs.size()));
-  for (const auto& [author, sig] : sigs) {
-    w.u32(author);
-    w.bytes(sig);
+  if (scheme == CertScheme::kAggregate) {
+    w.u32(kAggCertSentinel);
+    w.u64(gen);
+    signers.encode_into(w);
+    w.bytes(agg_sig);
+  } else {
+    w.u32(static_cast<std::uint32_t>(sigs.size()));
+    for (const auto& [author, sig] : sigs) {
+      w.u32(author);
+      w.bytes(sig);
+    }
   }
   return w.take();
 }
@@ -158,14 +200,64 @@ QuorumCert QuorumCert::decode(BytesView bytes) {
   qc.round = r.u64();
   qc.data = r.bytes();
   const std::uint32_t n = r.u32();
-  // Clamp against hostile counts (see Block::decode).
-  qc.sigs.reserve(std::min<std::size_t>(n, r.remaining() / 8 + 1));
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const NodeId author = r.u32();
-    qc.sigs.emplace_back(author, r.bytes());
+  if (n == kAggCertSentinel) {
+    qc.scheme = CertScheme::kAggregate;
+    qc.gen = r.u64();
+    qc.signers = crypto::SignerBitset::decode_from(r);
+    qc.agg_sig = r.bytes();
+    if (qc.agg_sig.size() != crypto::kAggSignatureBytes) {
+      throw SerdeError("QuorumCert: bad aggregate signature size");
+    }
+  } else {
+    // Clamp against hostile counts (see Block::decode).
+    qc.sigs.reserve(std::min<std::size_t>(n, r.remaining() / 8 + 1));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId author = r.u32();
+      qc.sigs.emplace_back(author, r.bytes());
+    }
   }
   r.expect_done();
   return qc;
+}
+
+std::size_t QuorumCert::signer_count() const {
+  return scheme == CertScheme::kAggregate ? signers.count() : sigs.size();
+}
+
+std::vector<NodeId> QuorumCert::signer_list() const {
+  if (scheme == CertScheme::kAggregate) return signers.members();
+  std::vector<NodeId> out;
+  out.reserve(sigs.size());
+  for (const auto& [author, sig] : sigs) out.push_back(author);
+  return out;
+}
+
+QuorumCert QuorumCert::to_aggregate(std::size_t universe,
+                                    std::uint64_t generation) const {
+  QuorumCert qc;
+  qc.type = type;
+  qc.view = view;
+  qc.round = round;
+  qc.data = data;
+  qc.scheme = CertScheme::kAggregate;
+  qc.gen = generation;
+  qc.signers = crypto::SignerBitset(universe);
+  qc.agg_sig = crypto::AggKeyring::empty_aggregate();
+  for (const auto& [author, sig] : sigs) {
+    if (qc.signers.test(author)) {
+      throw std::invalid_argument("QuorumCert::to_aggregate: duplicate");
+    }
+    qc.signers.set(author);
+    crypto::AggKeyring::fold_into(qc.agg_sig, sig);
+  }
+  return qc;
+}
+
+bool QuorumCert::verify_aggregate(const crypto::AggKeyring& agg,
+                                  std::size_t quorum) const {
+  if (scheme != CertScheme::kAggregate) return false;
+  if (signers.count() < quorum) return false;
+  return agg.verify_aggregate(signers, preimage(), agg_sig);
 }
 
 Bytes QuorumCert::preimage() const {

@@ -16,10 +16,26 @@
 #include "src/common/bytes.hpp"
 #include "src/common/ids.hpp"
 #include "src/common/serde.hpp"
+#include "src/crypto/agg.hpp"
 #include "src/crypto/signer.hpp"
 #include "src/energy/meter.hpp"
 
 namespace eesmr::smr {
+
+/// How certificates (vote QCs, checkpoint certs, reply acceptance) carry
+/// their signatures on the wire.
+enum class CertScheme : std::uint8_t {
+  kIndividual = 0,  ///< f+1 (author, signature) pairs — O(n · siglen).
+  kAggregate = 1,   ///< signer bitset + one 48-byte aggregate — O(1).
+};
+
+const char* cert_scheme_name(CertScheme s);
+
+/// Sentinel in the QC signature-count slot marking the aggregate wire
+/// form. Individual certificates can never carry this count (the decoder
+/// clamp alone caps plausible counts orders of magnitude lower), so old
+/// encodings remain valid and byte-identical.
+constexpr std::uint32_t kAggCertSentinel = 0xFFFFFFFFu;
 
 enum class MsgType : std::uint8_t {
   // Steady state.
@@ -62,9 +78,21 @@ enum class MsgType : std::uint8_t {
   kCommit = 22,
   kViewChange = 23,
   kNewView = 24,
+  /// Aggregate-scheme stable-checkpoint certificate: the rotating
+  /// collector that folded f+1 share attestations floods the O(1)
+  /// {bitset, aggregate} certificate instead of every replica flooding
+  /// its own attestation (see ReplicaBase::checkpoint_collector).
+  kCheckpointCert = 25,
 };
 
 const char* msg_type_name(MsgType t);
+
+/// True for message types whose signatures later reappear inside
+/// certificates (votes and view-change evidence): the types the
+/// verified-signature cache remembers, and — under CertScheme::
+/// kAggregate — the ones signed with 48-byte aggregate shares instead
+/// of directory signatures.
+[[nodiscard]] bool certificate_bound(MsgType t);
 
 /// Channel class (energy attribution stream) a message type travels on.
 /// The replica's typed channels are opened per stream; every message is
@@ -93,7 +121,10 @@ struct Msg {
 };
 
 /// f+1 signatures on the same (type, view, round, data) — the paper's QC
-/// function (Algorithm 1, line 114).
+/// function (Algorithm 1, line 114). Two wire forms (CertScheme): the
+/// individual form carries (author, signature) pairs; the aggregate form
+/// carries {membership generation, signer bitset, one aggregate
+/// signature} and is O(1)-size regardless of quorum.
 struct QuorumCert {
   MsgType type = MsgType::kBlame;
   std::uint64_t view = 0;
@@ -101,8 +132,33 @@ struct QuorumCert {
   Bytes data;
   std::vector<std::pair<NodeId, Bytes>> sigs;  ///< (author, signature)
 
+  CertScheme scheme = CertScheme::kIndividual;
+  // Aggregate form only:
+  std::uint64_t gen = 0;         ///< membership generation of the signers
+  crypto::SignerBitset signers;  ///< who contributed shares
+  Bytes agg_sig;                 ///< XOR-fold of the members' shares
+
   [[nodiscard]] Bytes encode() const;
   static QuorumCert decode(BytesView bytes);
+
+  /// Signer count, across both forms.
+  [[nodiscard]] std::size_t signer_count() const;
+  /// Signer node-ids, across both forms.
+  [[nodiscard]] std::vector<NodeId> signer_list() const;
+
+  /// Fold this (individual-form, share-signed) cert into the aggregate
+  /// form over a `universe`-wide bitset tagged with generation `gen`.
+  /// Throws std::invalid_argument on out-of-range signers or non-share
+  /// signature sizes.
+  [[nodiscard]] QuorumCert to_aggregate(std::size_t universe,
+                                        std::uint64_t generation) const;
+
+  /// Aggregate-form validity: count >= quorum and the aggregate verifies
+  /// against the claimed signers. (Membership of the signers in the
+  /// cert's generation is the replica's job — it owns the policy
+  /// history.)
+  [[nodiscard]] bool verify_aggregate(const crypto::AggKeyring& agg,
+                                      std::size_t quorum) const;
 
   /// The preimage each contained signature covers (a Msg preimage with
   /// this cert's type/view/round/data). Exposed so verifiers can check

@@ -66,15 +66,6 @@ const char* site_of(MsgType t) {
   }
 }
 
-/// True for message types whose signatures later reappear inside
-/// certificates (quorum certs collect votes and view-change evidence),
-/// i.e. the ones worth remembering in the verified-signature cache.
-bool certificate_bound(MsgType t) {
-  const char* site = site_of(t);
-  return std::string_view(site) == "vote" ||
-         std::string_view(site) == "view_change";
-}
-
 /// Verified-signature cache key: digest of (author, preimage, sig), so
 /// an entry costs 32 bytes regardless of payload size. Like the
 /// verified-bytes cache, the digest is a data-structure detail (a real
@@ -96,6 +87,7 @@ ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
       cfg_(std::move(cfg)),
       meter_(meter),
       mempool_(cfg_.cmd_bytes, cfg_.mempool_capacity),
+      membership_(cfg_.initial_members != 0 ? cfg_.initial_members : cfg_.n),
       committed_tip_(genesis_hash()),
       ckpt_(cfg_.checkpoint_interval, cfg_.f + 1),
       st_timer_(sched_) {
@@ -104,6 +96,10 @@ ReplicaBase::ReplicaBase(net::Network& net, ReplicaConfig cfg,
   }
   if (cfg_.keyring->size() < cfg_.n) {
     throw std::invalid_argument("ReplicaBase: keyring too small");
+  }
+  if (cfg_.cert_scheme == CertScheme::kAggregate &&
+      (cfg_.agg == nullptr || cfg_.agg->size() < cfg_.n)) {
+    throw std::invalid_argument("ReplicaBase: aggregate scheme needs agg keys");
   }
   // Open one typed channel per stream. The unicast-style policies
   // address the other protocol nodes.
@@ -215,30 +211,68 @@ Msg ReplicaBase::make_msg(MsgType type, std::uint64_t round, Bytes data) {
   m.round = round;
   m.author = cfg_.id;
   m.data = std::move(data);
-  m.sig = cfg_.keyring->signer(cfg_.id).sign(m.preimage());
-  charge(energy::Category::kSign,
-         energy::sign_energy_mj(cfg_.keyring->scheme()));
+  if (aggregate_certs() && certificate_bound(type)) {
+    // Vote-class signatures are 48-byte aggregate-scheme shares, so the
+    // certificates they fold into stay O(1) on the wire.
+    m.sig = cfg_.agg->share(cfg_.id, m.preimage());
+    charge(energy::Category::kSign, energy::agg_sign_energy_mj());
+  } else {
+    m.sig = cfg_.keyring->signer(cfg_.id).sign(m.preimage());
+    charge(energy::Category::kSign,
+           energy::sign_energy_mj(cfg_.keyring->scheme()));
+  }
   prof_crypto("sign", site_of(type));
   return m;
 }
 
+bool ReplicaBase::recent_signer(NodeId id) const {
+  const std::uint64_t cur = membership_.generation();
+  if (membership_.is_signer(id, cur)) return true;
+  // Certificates and votes formed just before a flip are still in
+  // flight; accept signers from the bounded generation window.
+  for (std::uint64_t g = cur; g-- > 0;) {
+    if (!membership_.known(g)) break;
+    if (membership_.is_signer(id, g)) return true;
+  }
+  return false;
+}
+
 bool ReplicaBase::verify_msg(const Msg& m) {
   if (m.author >= cfg_.n) return false;
-  charge(energy::Category::kVerify,
-         energy::verify_energy_mj(cfg_.keyring->scheme()));
-  prof_crypto("verify", site_of(m.type));
+  // Post-reconfiguration gate (free, before any energy is charged): a
+  // departed member's vote-class traffic no longer counts.
+  if (membership_enforced() && certificate_bound(m.type) &&
+      !recent_signer(m.author)) {
+    return false;
+  }
   const Bytes preimage = m.preimage();
   bool ok;
-  if (cfg_.pipeline != nullptr) {
-    // Resolve through the pipeline: a frame speculated at transmit time
-    // (or verified by this node via an earlier join) is a cache hit and
-    // costs no host-side crypto here. The metered charge above is the
-    // simulation's energy model and is unchanged either way.
-    ok = cfg_.pipeline->join(
-        crypto::verify_key(m.author, preimage, m.sig),
-        [&] { return cfg_.keyring->verify(m.author, preimage, m.sig); });
+  if (aggregate_certs() && certificate_bound(m.type)) {
+    // Share check: priced as a one-signer aggregate verification.
+    charge(energy::Category::kVerify, energy::agg_verify_energy_mj(1));
+    prof_crypto("verify", site_of(m.type));
+    if (cfg_.pipeline != nullptr) {
+      ok = cfg_.pipeline->join(
+          crypto::verify_key(m.author, preimage, m.sig),
+          [&] { return cfg_.agg->verify_share(m.author, preimage, m.sig); });
+    } else {
+      ok = cfg_.agg->verify_share(m.author, preimage, m.sig);
+    }
   } else {
-    ok = cfg_.keyring->verify(m.author, preimage, m.sig);
+    charge(energy::Category::kVerify,
+           energy::verify_energy_mj(cfg_.keyring->scheme()));
+    prof_crypto("verify", site_of(m.type));
+    if (cfg_.pipeline != nullptr) {
+      // Resolve through the pipeline: a frame speculated at transmit time
+      // (or verified by this node via an earlier join) is a cache hit and
+      // costs no host-side crypto here. The metered charge above is the
+      // simulation's energy model and is unchanged either way.
+      ok = cfg_.pipeline->join(
+          crypto::verify_key(m.author, preimage, m.sig),
+          [&] { return cfg_.keyring->verify(m.author, preimage, m.sig); });
+    } else {
+      ok = cfg_.keyring->verify(m.author, preimage, m.sig);
+    }
   }
   if (ok && cfg_.verified_cache && certificate_bound(m.type)) {
     sig_verified_.emplace(sig_digest(m.author, preimage, m.sig),
@@ -296,7 +330,87 @@ bool ReplicaBase::check_sigs(
   return all_ok;
 }
 
+crypto::Sha256Digest ReplicaBase::agg_cert_digest(
+    BytesView preimage, const crypto::SignerBitset& signers,
+    BytesView agg_sig) {
+  Writer w;
+  w.bytes(preimage);
+  signers.encode_into(w);
+  w.raw(agg_sig);
+  return crypto::Sha256::hash(w.buffer());
+}
+
+std::uint64_t ReplicaBase::generation_for_signers(
+    const std::vector<NodeId>& signer_ids) const {
+  for (std::uint64_t g = membership_.generation();; --g) {
+    if (membership_.known(g)) {
+      bool all = true;
+      for (NodeId id : signer_ids) {
+        if (!membership_.is_signer(id, g)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return g;
+    }
+    if (g == 0) break;
+  }
+  return membership_.generation();
+}
+
+bool ReplicaBase::verify_agg_cert(BytesView preimage,
+                                  const crypto::SignerBitset& signers,
+                                  std::uint64_t gen, BytesView agg_sig,
+                                  std::size_t quorum_size, const char* site) {
+  if (cfg_.agg == nullptr) return false;
+  if (signers.size() > cfg_.n) return false;
+  if (signers.count() < quorum_size) return false;
+  // Signers must all be members of the cert's tagged generation, and the
+  // generation must still be inside the policy-history window.
+  if (!membership_.known(gen)) return false;
+  for (NodeId id = 0; id < signers.size(); ++id) {
+    if (signers.test(id) && !membership_.is_signer(id, gen)) return false;
+  }
+  // Whole-certificate cache: an aggregate is one pairing-based check, so
+  // the cache keys the (preimage, signers, aggregate) triple as a unit.
+  const auto digest = agg_cert_digest(preimage, signers, agg_sig);
+  if (cfg_.verified_cache && sig_verified_.count(digest) > 0) {
+    ++sig_cache_hits_;
+    return true;
+  }
+  charge(energy::Category::kVerify,
+         energy::agg_verify_energy_mj(signers.count()));
+  prof_crypto("verify", site);
+  if (!cfg_.agg->verify_aggregate(signers, preimage, agg_sig)) return false;
+  if (cfg_.verified_cache) sig_verified_.emplace(digest, committed_height_);
+  return true;
+}
+
+QuorumCert ReplicaBase::make_cert(const std::vector<Msg>& msgs) {
+  QuorumCert qc = QuorumCert::combine(msgs);
+  if (aggregate_certs()) {
+    charge(energy::Category::kSign,
+           energy::agg_combine_energy_mj(qc.sigs.size()));
+    qc = qc.to_aggregate(cfg_.n, generation_for_signers(qc.signer_list()));
+  }
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("cert", "encode", stream_of(qc.type),
+                               qc.encode().size());
+  }
+  return qc;
+}
+
 bool ReplicaBase::verify_qc(const QuorumCert& qc, std::size_t quorum_size) {
+  if (qc.scheme == CertScheme::kAggregate) {
+    return aggregate_certs() &&
+           verify_agg_cert(qc.preimage(), qc.signers, qc.gen, qc.agg_sig,
+                           quorum_size, "vote");
+  }
+  if (aggregate_certs()) {
+    // Under the aggregate scheme votes carry shares, not directory
+    // signatures — an individual-form cert cannot be honest.
+    return false;
+  }
   const Bytes preimage = qc.preimage();
   // Accounting first, exactly as the serial path charged: one metered
   // verification per contained signature — minus the signatures this
@@ -328,6 +442,13 @@ bool ReplicaBase::verify_qc(const QuorumCert& qc, std::size_t quorum_size) {
 
 bool ReplicaBase::verify_checkpoint_cert(
     const checkpoint::CheckpointCert& cert) {
+  if (cert.scheme == CertScheme::kAggregate) {
+    // Checkpoint quorum is always f+1 (one correct attester suffices).
+    return aggregate_certs() &&
+           verify_agg_cert(cert.id.preimage(), cert.signers, cert.gen,
+                           cert.agg_sig, cfg_.f + 1, "checkpoint");
+  }
+  if (aggregate_certs()) return false;
   const Bytes preimage = cert.id.preimage();
   std::vector<std::size_t> uncached;
   uncached.reserve(cert.sigs.size());
@@ -419,12 +540,27 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
     if (tolerate_fork_) return;
     throw std::logic_error("commit_chain: conflicting commit (safety bug)");
   }
+  std::vector<MembershipPolicy> pending_policies;
   for (const Block& b : store_.chain_between(h, committed_tip_)) {
     log_.push_back(b);
     ++committed_blocks_;
     committed_.insert(hkey(b.hash()));
     mempool_.remove_committed(b);
     for (const Command& cmd : b.cmds) {
+      // Committed membership-policy command: collect it; the active
+      // signer set flips at this block's commit boundary (below), after
+      // every command in the block has executed.
+      try {
+        if (const auto pol = MembershipPolicy::decode_command(cmd.data)) {
+          pending_policies.push_back(*pol);
+          if (app_ != nullptr) results_.push_back({});
+          continue;
+        }
+      } catch (const SerdeError&) {
+        // Tagged but malformed: a deterministic no-op on every replica.
+        if (app_ != nullptr) results_.push_back({});
+        continue;
+      }
       const auto req = ClientRequest::decode(cmd.data);
       Bytes result;
       if (req.has_value()) {
@@ -499,6 +635,30 @@ void ReplicaBase::commit_chain(const BlockHash& h) {
       }
     }
     executed_cmds_ += b.cmds.size();
+    // Commit boundary: apply the block's policy commands in order. Only
+    // the direct successor generation applies (duplicates and stale
+    // re-proposals are no-ops), it must keep a quorum's worth of
+    // replica-range signers, and every correct replica flips here — the
+    // same deterministic log position.
+    for (const MembershipPolicy& p : pending_policies) {
+      if (p.signers.size() < quorum()) continue;
+      bool in_range = true;
+      for (const PolicyEntry& e : p.signers) {
+        if (e.node >= cfg_.n) {
+          in_range = false;
+          break;
+        }
+      }
+      if (!in_range) continue;
+      if (membership_.apply(p)) {
+        ++membership_changes_;
+        trace_instant("membership", "policy_applied",
+                      {{"generation", exp::Json(p.generation)},
+                       {"signers", exp::Json(p.signers.size())}});
+        on_membership_change(p);
+      }
+    }
+    pending_policies.clear();
     if (tracing()) {
       trace_instant("commit", "commit",
                     {{"height", exp::Json(b.height)},
@@ -523,6 +683,7 @@ void ReplicaBase::on_commit(const Block&) {}
 void ReplicaBase::on_low_water(const Block&) {}
 void ReplicaBase::on_state_transfer(const Block&) {}
 void ReplicaBase::on_restart() {}
+void ReplicaBase::on_membership_change(const MembershipPolicy&) {}
 
 // ---------------------------------------------------------------------------
 // Checkpointing (src/checkpoint/): snapshot, stabilize, truncate
@@ -581,9 +742,19 @@ void ReplicaBase::maybe_checkpoint(const Block& b) {
 
   checkpoint::CheckpointMsg cp;
   cp.id = id;
-  cp.sig = cfg_.keyring->signer(cfg_.id).sign(id.preimage());
-  charge(energy::Category::kSign,
-         energy::sign_energy_mj(cfg_.keyring->scheme()));
+  // Byzantine digest forgery: broadcast an attestation over a corrupted
+  // digest while the local tally keeps the honest one (the attacker
+  // stays internally consistent). f+1 matching attestations are needed
+  // for stability, so honest nodes can never stabilize the forgery.
+  if (forge_ckpt_) cp.id.digest[0] ^= 0xFF;
+  if (aggregate_certs()) {
+    cp.sig = cfg_.agg->share(cfg_.id, cp.id.preimage());
+    charge(energy::Category::kSign, energy::agg_sign_energy_mj());
+  } else {
+    cp.sig = cfg_.keyring->signer(cfg_.id).sign(cp.id.preimage());
+    charge(energy::Category::kSign,
+           energy::sign_energy_mj(cfg_.keyring->scheme()));
+  }
   prof_crypto("sign", "checkpoint");
   ckpt_.record_local(id, std::move(bytes), b);
 
@@ -596,15 +767,41 @@ void ReplicaBase::maybe_checkpoint(const Block& b) {
   m.round = r_cur_;
   m.author = cfg_.id;
   m.data = cp.encode();
-  broadcast(m);
+  const NodeId collector =
+      aggregate_certs() ? checkpoint_collector(id.height) : kNoNode;
+  if (aggregate_certs()) {
+    // A 48-byte share is only useful to whoever folds the certificate:
+    // instead of every replica flooding its attestation (the O(n) cert
+    // bytes the individual scheme needs at every tallier), route the
+    // share to the height's collector, which floods one O(1)
+    // {bitset, aggregate} certificate for everyone (kCheckpointCert).
+    if (collector != cfg_.id) send(collector, m);
+  } else {
+    broadcast(m);
+  }
 
-  if (const auto cert = ckpt_.add_signature(cfg_.id, id, cp.sig)) {
+  // The local tally records the honest attestation even when the
+  // broadcast was forged (the forged copy went to everyone else).
+  // Aggregate scheme: only the collector tallies — everyone else learns
+  // stability from its certificate.
+  if (aggregate_certs() && collector != cfg_.id) return;
+  Bytes own_sig = cp.sig;
+  if (forge_ckpt_) {
+    own_sig = aggregate_certs()
+                  ? cfg_.agg->share(cfg_.id, id.preimage())
+                  : cfg_.keyring->signer(cfg_.id).sign(id.preimage());
+  }
+  if (const auto cert = ckpt_.add_signature(cfg_.id, id, own_sig)) {
     on_stable_checkpoint(*cert);
+    broadcast_checkpoint_cert(*cert);
   }
 }
 
 void ReplicaBase::handle_checkpoint(const Msg& msg) {
   if (!ckpt_.enabled() || msg.author >= cfg_.n) return;
+  // Departed members no longer attest state (joiners start attesting as
+  // soon as their generation commits).
+  if (membership_enforced() && !recent_signer(msg.author)) return;
   checkpoint::CheckpointMsg cp;
   try {
     cp = checkpoint::CheckpointMsg::decode(msg.data);
@@ -612,17 +809,33 @@ void ReplicaBase::handle_checkpoint(const Msg& msg) {
     return;
   }
   if (cp.id.height <= ckpt_.stable_height()) return;
-  charge(energy::Category::kVerify,
-         energy::verify_energy_mj(cfg_.keyring->scheme()));
-  prof_crypto("verify", "checkpoint");
   const Bytes preimage = cp.id.preimage();
   bool ok;
-  if (cfg_.pipeline != nullptr) {
-    ok = cfg_.pipeline->join(
-        crypto::verify_key(msg.author, preimage, cp.sig),
-        [&] { return cfg_.keyring->verify(msg.author, preimage, cp.sig); });
+  if (aggregate_certs()) {
+    // Share-signed attestation (folds into the checkpoint certificate).
+    charge(energy::Category::kVerify, energy::agg_verify_energy_mj(1));
+    prof_crypto("verify", "checkpoint");
+    if (cfg_.pipeline != nullptr) {
+      ok = cfg_.pipeline->join(crypto::verify_key(msg.author, preimage,
+                                                  cp.sig),
+                               [&] {
+                                 return cfg_.agg->verify_share(
+                                     msg.author, preimage, cp.sig);
+                               });
+    } else {
+      ok = cfg_.agg->verify_share(msg.author, preimage, cp.sig);
+    }
   } else {
-    ok = cfg_.keyring->verify(msg.author, preimage, cp.sig);
+    charge(energy::Category::kVerify,
+           energy::verify_energy_mj(cfg_.keyring->scheme()));
+    prof_crypto("verify", "checkpoint");
+    if (cfg_.pipeline != nullptr) {
+      ok = cfg_.pipeline->join(
+          crypto::verify_key(msg.author, preimage, cp.sig),
+          [&] { return cfg_.keyring->verify(msg.author, preimage, cp.sig); });
+    } else {
+      ok = cfg_.keyring->verify(msg.author, preimage, cp.sig);
+    }
   }
   if (!ok) return;
   // Remember the attestation: a checkpoint certificate tallied later
@@ -633,7 +846,46 @@ void ReplicaBase::handle_checkpoint(const Msg& msg) {
   }
   if (const auto cert = ckpt_.add_signature(msg.author, cp.id, cp.sig)) {
     on_stable_checkpoint(*cert);
+    broadcast_checkpoint_cert(*cert);
   }
+}
+
+NodeId ReplicaBase::checkpoint_collector(std::uint64_t height) const {
+  // The height-th active signer of the committed prefix: every correct
+  // replica evaluates this at the same committed state, so the choice is
+  // deterministic and generation-aware (joiners become collectors once
+  // their policy commits; departed members never do).
+  return membership_.leader_at(height);
+}
+
+void ReplicaBase::broadcast_checkpoint_cert(
+    const checkpoint::CheckpointCert& cert) {
+  if (!aggregate_certs()) return;
+  checkpoint::CheckpointCert agg = cert.to_aggregate(
+      cfg_.n, generation_for_signers(cert.signer_list()));
+  charge(energy::Category::kSign,
+         energy::agg_combine_energy_mj(cert.sigs.size()));
+  Msg m;
+  m.type = MsgType::kCheckpointCert;
+  m.view = v_cur_;
+  m.round = r_cur_;
+  m.author = cfg_.id;
+  m.data = agg.encode();
+  broadcast(m);
+}
+
+void ReplicaBase::handle_checkpoint_cert(const Msg& msg) {
+  if (!ckpt_.enabled() || !aggregate_certs()) return;
+  checkpoint::CheckpointCert cert;
+  try {
+    cert = checkpoint::CheckpointCert::decode(msg.data);
+  } catch (const SerdeError&) {
+    return;
+  }
+  if (cert.scheme != CertScheme::kAggregate) return;
+  if (cert.id.height <= ckpt_.stable_height()) return;
+  if (!verify_checkpoint_cert(cert)) return;
+  if (ckpt_.install_certified(cert)) on_stable_checkpoint(cert);
 }
 
 void ReplicaBase::on_stable_checkpoint(
@@ -741,13 +993,13 @@ void ReplicaBase::send_state_request() {
   if (!st_inflight_ || !cert.has_value()) return;
   // Ask a checkpoint signer (it committed the height, so it can serve);
   // rotate through signers on timeout.
+  const std::vector<NodeId> signers = cert->signer_list();
   NodeId target = kNoNode;
-  for (std::size_t i = 0; i < cert->sigs.size(); ++i) {
-    const NodeId candidate =
-        cert->sigs[(st_signer_idx_ + i) % cert->sigs.size()].first;
+  for (std::size_t i = 0; i < signers.size(); ++i) {
+    const NodeId candidate = signers[(st_signer_idx_ + i) % signers.size()];
     if (candidate != cfg_.id) {
       target = candidate;
-      st_signer_idx_ = (st_signer_idx_ + i + 1) % cert->sigs.size();
+      st_signer_idx_ = (st_signer_idx_ + i + 1) % signers.size();
       break;
     }
   }
@@ -778,6 +1030,9 @@ void ReplicaBase::handle_state_request(NodeId from, const Msg& msg) {
 }
 
 void ReplicaBase::serve_checkpoint(NodeId from) {
+  // Byzantine snapshot withholding: the requester's timeout rotates it
+  // to another checkpoint signer, which serves instead.
+  if (withhold_snap_) return;
   const auto& cert = ckpt_.stable_cert();
   if (!cert.has_value()) return;
   const Bytes* payload = ckpt_.payload_for(cert->id.height);
@@ -787,8 +1042,26 @@ void ReplicaBase::serve_checkpoint(NodeId from) {
   // the largest frames in the system, and a Byzantine requester must not
   // drain our transmit energy.
   if (!st_served_.insert(from).second) return;
+  // A cert assembled from share attestations goes out in the O(1)
+  // aggregate form, tagged with the latest generation containing every
+  // signer (a cert received already-aggregated is forwarded as is).
+  Bytes cert_wire;
+  if (aggregate_certs() && cert->scheme == CertScheme::kIndividual) {
+    checkpoint::CheckpointCert agg_form = cert->to_aggregate(
+        cfg_.n, generation_for_signers(cert->signer_list()));
+    charge(energy::Category::kSign,
+           energy::agg_combine_energy_mj(cert->sigs.size()));
+    cert_wire = agg_form.encode();
+  } else {
+    cert_wire = cert->encode();
+  }
+  if (cfg_.profiler != nullptr) {
+    cfg_.profiler->count_codec("cert", "encode",
+                               energy::Stream::kStateTransfer,
+                               cert_wire.size());
+  }
   Writer w;
-  w.bytes(cert->encode());
+  w.bytes(cert_wire);
   w.bytes(block->encode());
   w.bytes(*payload);
   Msg resp = make_msg(MsgType::kStateResponse, r_cur_, w.take());
@@ -991,7 +1264,23 @@ void ReplicaBase::reply_to_client(const ClientRequest& req,
   // Leader hint for TargetedSubset clients: rides under the reply
   // signature, so lying is confined to the f Byzantine repliers.
   rep.leader = leader_of(v_cur_);
-  Msg m = make_msg(MsgType::kReply, r_cur_, rep.encode());
+  Msg m;
+  if (aggregate_certs()) {
+    // Share over the acceptance preimage (client, req_id, result) — not
+    // the Msg preimage — so the client can fold its f+1 matching replies
+    // into one O(1) transferable acceptance certificate.
+    m.type = MsgType::kReply;
+    m.view = v_cur_;
+    m.round = r_cur_;
+    m.author = cfg_.id;
+    m.data = rep.encode();
+    m.sig = cfg_.agg->share(
+        cfg_.id, acceptance_preimage(req.client, req.req_id, result));
+    charge(energy::Category::kSign, energy::agg_sign_energy_mj());
+    prof_crypto("sign", "reply");
+  } else {
+    m = make_msg(MsgType::kReply, r_cur_, rep.encode());
+  }
   if (cfg_.profiler != nullptr &&
       cfg_.profiler->is_sampled(req.client, req.req_id)) {
     prof_flow("reply", req.client, req.req_id);
@@ -1030,6 +1319,12 @@ void ReplicaBase::on_deliver(NodeId origin, BytesView payload) {
     // Authenticated by the dedicated checkpoint signature inside the
     // payload (the one certificates collect); no outer Msg signature.
     handle_checkpoint(m);
+    return;
+  }
+  if (m.type == MsgType::kCheckpointCert) {
+    // Self-authenticating: the embedded f+1 aggregate certificate is the
+    // proof; no outer Msg signature.
+    handle_checkpoint_cert(m);
     return;
   }
   if (m.type == MsgType::kStateRequest) {

@@ -25,6 +25,7 @@
 #include "src/smr/app.hpp"
 #include "src/smr/chain.hpp"
 #include "src/smr/mempool.hpp"
+#include "src/smr/membership.hpp"
 #include "src/smr/message.hpp"
 #include "src/smr/request.hpp"
 
@@ -48,6 +49,19 @@ struct ReplicaConfig {
   std::shared_ptr<crypto::Keyring> keyring;
   /// Charge sign/verify/hash energy to the meter (on by default).
   bool meter_crypto = true;
+
+  /// Certificate wire scheme: individual (author, signature) pairs, or
+  /// signer-bitset + one aggregate signature (O(1) certs). Under
+  /// kAggregate, vote-class messages and checkpoint attestations are
+  /// share-signed with `agg` so their signatures fold into certificates.
+  CertScheme cert_scheme = CertScheme::kIndividual;
+  /// Aggregate-scheme key directory (required iff cert_scheme is
+  /// kAggregate); shared across the cluster like `keyring`.
+  std::shared_ptr<crypto::AggKeyring> agg;
+  /// Nodes in the genesis membership generation {0..initial_members-1}.
+  /// 0 resolves to n. Replicas in [initial_members, n) are spares that
+  /// only become signers when a committed policy block admits them.
+  std::size_t initial_members = 0;
 
   /// Per-stream dissemination policies for this replica's typed
   /// channels. Entries left at Kind::kDefault resolve to the protocol's
@@ -226,13 +240,37 @@ class ReplicaBase : public net::FloodClient {
     return results_;
   }
 
-  /// Round-robin leader assignment (Leader(v) in the paper).
+  /// Round-robin leader assignment over the active signer set
+  /// (Leader(v) in the paper; identical to `view % n` until a committed
+  /// policy block changes the membership).
   [[nodiscard]] NodeId leader_of(std::uint64_t view) const {
-    return static_cast<NodeId>(view % cfg_.n);
+    return membership_.leader_at(view);
   }
   [[nodiscard]] bool is_leader() const {
     return leader_of(v_cur_) == cfg_.id;
   }
+
+  // -- membership observability ------------------------------------------------
+  [[nodiscard]] const MembershipState& membership() const {
+    return membership_;
+  }
+  [[nodiscard]] std::uint64_t membership_generation() const {
+    return membership_.generation();
+  }
+  /// Committed policy blocks applied by this replica.
+  [[nodiscard]] std::uint64_t membership_changes() const {
+    return membership_changes_;
+  }
+
+  // -- Byzantine checkpoint harness hooks (src/adversary) ----------------------
+  /// Broadcast checkpoint attestations over a forged snapshot digest
+  /// (the local tally keeps the honest one — a real attacker stays
+  /// internally consistent). Honest nodes must never assemble a stable
+  /// certificate from the forged digest.
+  void set_forge_checkpoint_digest(bool v) { forge_ckpt_ = v; }
+  /// Refuse to serve snapshots (state-transfer starvation): requesters
+  /// must recover by rotating to another checkpoint signer.
+  void set_withhold_snapshots(bool v) { withhold_snap_ = v; }
 
  protected:
   // -- crypto with energy metering ------------------------------------------------
@@ -241,6 +279,16 @@ class ReplicaBase : public net::FloodClient {
   /// Verify a message signature (drops author range errors too).
   [[nodiscard]] bool verify_msg(const Msg& m);
   [[nodiscard]] bool verify_qc(const QuorumCert& qc, std::size_t quorum_size);
+  /// Running the aggregate certificate scheme?
+  [[nodiscard]] bool aggregate_certs() const {
+    return cfg_.cert_scheme == CertScheme::kAggregate;
+  }
+  /// Assemble a certificate from verified matching messages under the
+  /// configured scheme: QuorumCert::combine, folded into the bitset +
+  /// aggregate form (tagged with the current membership generation) when
+  /// the aggregate scheme is on. Charges the combine cost and counts the
+  /// certificate's wire bytes against the profiler's "cert" component.
+  [[nodiscard]] QuorumCert make_cert(const std::vector<Msg>& msgs);
   /// Hash a block, charging hash energy.
   [[nodiscard]] BlockHash hash_block(const Block& b);
   [[nodiscard]] std::size_t quorum() const {
@@ -295,6 +343,11 @@ class ReplicaBase : public net::FloodClient {
   /// re-arm their progress/blame timers here: a timeout that fired
   /// while offline was swallowed and never re-scheduled itself.
   virtual void on_restart();
+  /// Called after a committed policy block flipped the active signer
+  /// set to `policy` (at the commit boundary, after the block's commands
+  /// executed). Protocols rebase per-sender state here — e.g. MinBFT
+  /// drops AttestationTracker lanes for departed members.
+  virtual void on_membership_change(const MembershipPolicy& policy);
 
   // -- client request/reply path ----------------------------------------------------
   /// Verify and pool a client-submitted kRequest (authors live above the
@@ -355,6 +408,8 @@ class ReplicaBase : public net::FloodClient {
 
   BlockStore store_;
   Mempool mempool_;
+  /// Policy-generation history (genesis = initial_members at weight 1).
+  MembershipState membership_;
 
   std::uint64_t v_cur_ = 1;
   std::uint64_t r_cur_ = 3;
@@ -362,6 +417,37 @@ class ReplicaBase : public net::FloodClient {
  private:
   void handle_sync(NodeId from, const Msg& msg);
   void charge(energy::Category cat, double mj);
+  /// Is `id` a signer of the current or a recent (windowed) generation?
+  /// Gates vote-class traffic once membership has changed: a departed
+  /// member's votes stop counting, modulo certificates still in flight
+  /// from just before the flip.
+  [[nodiscard]] bool recent_signer(NodeId id) const;
+  /// Whether the signer gate is live: after any policy flip, or from
+  /// genesis when spares exist (initial_members < n — a spare's votes
+  /// must not count before a policy admits it).
+  [[nodiscard]] bool membership_enforced() const {
+    return membership_.generation() > 0 ||
+           membership_.active_count() < cfg_.n;
+  }
+  /// Latest known generation whose signer set contains every node in
+  /// `signer_ids` (falls back to the current generation): the tag for an
+  /// aggregate certificate folded from these signers' shares.
+  [[nodiscard]] std::uint64_t generation_for_signers(
+      const std::vector<NodeId>& signer_ids) const;
+  /// Whole-certificate cache digest for an aggregate cert (covers
+  /// preimage, signer bitset and aggregate signature).
+  static crypto::Sha256Digest agg_cert_digest(
+      BytesView preimage, const crypto::SignerBitset& signers,
+      BytesView agg_sig);
+  /// Aggregate-cert validity shared by verify_qc /
+  /// verify_checkpoint_cert: quorum count, known generation, signers all
+  /// members of it, then the cached-or-metered aggregate verification
+  /// over `preimage`.
+  [[nodiscard]] bool verify_agg_cert(BytesView preimage,
+                                     const crypto::SignerBitset& signers,
+                                     std::uint64_t gen, BytesView agg_sig,
+                                     std::size_t quorum_size,
+                                     const char* site);
   /// Check the signatures of `sigs` selected by `idx` over `preimage`,
   /// resolving through the pipeline's speculation cache first and
   /// batch-verifying the residue across the worker pool. Serial
@@ -383,6 +469,16 @@ class ReplicaBase : public net::FloodClient {
   /// Snapshot + sign + flood a checkpoint if one is due at block `b`.
   void maybe_checkpoint(const Block& b);
   void handle_checkpoint(const Msg& msg);
+  /// Aggregate scheme: the replica that folds f+1 checkpoint shares for
+  /// height `height` and floods the O(1) certificate. Rotates over the
+  /// active signer set of the committed prefix (height-indexed), so a
+  /// withholding collector only delays its own heights — the next
+  /// checkpoint rotates to an honest one.
+  [[nodiscard]] NodeId checkpoint_collector(std::uint64_t height) const;
+  /// Collector side of the aggregate scheme: fold a freshly assembled
+  /// share tally into the O(1) aggregate form and flood kCheckpointCert.
+  void broadcast_checkpoint_cert(const checkpoint::CheckpointCert& cert);
+  void handle_checkpoint_cert(const Msg& msg);
   void handle_state_request(NodeId from, const Msg& msg);
   /// Send the current stable checkpoint snapshot to `from` (once per
   /// stable checkpoint): the state-transfer reply, also used to answer
@@ -507,6 +603,11 @@ class ReplicaBase : public net::FloodClient {
   sim::Timer st_timer_;
   std::uint64_t state_transfers_ = 0;
   sim::Duration last_recovery_ = 0;
+
+  // -- membership & Byzantine-checkpoint state ----------------------------------
+  std::uint64_t membership_changes_ = 0;
+  bool forge_ckpt_ = false;
+  bool withhold_snap_ = false;
 
   bool online_ = true;
 };

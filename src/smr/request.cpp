@@ -65,4 +65,55 @@ std::optional<ClientReply> ClientReply::decode(BytesView data) {
   }
 }
 
+namespace {
+/// Domain tag separating acceptance preimages from requests (0xC11E),
+/// checkpoints (0xC4E0) and policy commands (0xEE57).
+constexpr std::uint16_t kAcceptTag = 0xACC1;
+}  // namespace
+
+Bytes acceptance_preimage(NodeId client, std::uint64_t req_id,
+                          const Bytes& result) {
+  Writer w;
+  w.u16(kAcceptTag);
+  w.u32(client);
+  w.u64(req_id);
+  w.bytes(result);
+  return w.take();
+}
+
+Bytes AcceptanceCert::encode() const {
+  Writer w;
+  w.u32(client);
+  w.u64(req_id);
+  w.bytes(result);
+  w.u64(gen);
+  signers.encode_into(w);
+  w.bytes(agg_sig);
+  return w.take();
+}
+
+AcceptanceCert AcceptanceCert::decode(BytesView data) {
+  Reader r(data);
+  AcceptanceCert c;
+  c.client = r.u32();
+  c.req_id = r.u64();
+  c.result = r.bytes();
+  c.gen = r.u64();
+  c.signers = crypto::SignerBitset::decode_from(r);
+  c.agg_sig = r.bytes();
+  if (c.agg_sig.size() != crypto::kAggSignatureBytes) {
+    throw SerdeError("AcceptanceCert: bad aggregate signature size");
+  }
+  r.expect_done();
+  return c;
+}
+
+bool AcceptanceCert::verify(const crypto::AggKeyring& agg,
+                            std::size_t quorum) const {
+  if (signers.count() < quorum) return false;
+  return agg.verify_aggregate(signers,
+                              acceptance_preimage(client, req_id, result),
+                              agg_sig);
+}
+
 }  // namespace eesmr::smr

@@ -19,6 +19,7 @@
 
 #include "src/common/bytes.hpp"
 #include "src/common/ids.hpp"
+#include "src/crypto/agg.hpp"
 #include "src/crypto/signer.hpp"
 
 namespace eesmr::smr {
@@ -59,6 +60,33 @@ struct ClientReply {
 
   [[nodiscard]] Bytes encode() const;
   static std::optional<ClientReply> decode(BytesView data);
+};
+
+/// Domain-tagged preimage an aggregate-scheme reply signature covers:
+/// (tag, client, req_id, result) — deliberately excluding view/round so
+/// any f+1 repliers' shares over the same result fold into one
+/// transferable acceptance certificate.
+Bytes acceptance_preimage(NodeId client, std::uint64_t req_id,
+                          const Bytes& result);
+
+/// O(1) transferable proof of acceptance under the aggregate scheme:
+/// f+1 replicas executed (client, req_id) with `result`. The client
+/// folds it from the matching repliers' shares; anyone holding the agg
+/// directory can re-verify it later (audit, cross-shard hand-off).
+struct AcceptanceCert {
+  NodeId client = kNoNode;
+  std::uint64_t req_id = 0;
+  Bytes result;
+  std::uint64_t gen = 0;         ///< membership generation of the signers
+  crypto::SignerBitset signers;  ///< replicas whose shares were folded
+  Bytes agg_sig;
+
+  [[nodiscard]] Bytes encode() const;
+  static AcceptanceCert decode(BytesView data);
+
+  /// Aggregate verifies over acceptance_preimage() and count >= quorum.
+  [[nodiscard]] bool verify(const crypto::AggKeyring& agg,
+                            std::size_t quorum) const;
 };
 
 }  // namespace eesmr::smr

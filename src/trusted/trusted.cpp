@@ -92,6 +92,13 @@ bool verify_attestation(const crypto::Keyring& keyring, const Attestation& att,
 AttestationTracker::Verdict AttestationTracker::observe(
     const Attestation& att) {
   PerSender& s = senders_[att.node];
+  if (att.counter > s.last && s.rebase_pending) {
+    s.rebase_pending = false;
+    ++rebased_;
+    s.last = att.counter;
+    s.digests.emplace(att.counter, att.digest);
+    return Verdict::kAccept;
+  }
   if (att.counter == s.last + 1 ||
       (max_gap_ != 0 && att.counter > s.last + max_gap_)) {
     s.last = att.counter;
@@ -109,6 +116,19 @@ AttestationTracker::Verdict AttestationTracker::observe(
   // correct receiver's frontier — safe to treat as a dupe).
   ++replays_;
   return Verdict::kReplay;
+}
+
+void AttestationTracker::rebase(NodeId node) {
+  senders_[node].rebase_pending = true;
+}
+
+std::uint64_t AttestationTracker::rebases_pending() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, s] : senders_) {
+    (void)node;
+    if (s.rebase_pending) ++n;
+  }
+  return n;
 }
 
 void AttestationTracker::skip_to(NodeId node, std::uint64_t counter) {

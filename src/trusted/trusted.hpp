@@ -122,6 +122,18 @@ class AttestationTracker {
   /// transfer, which carry their own certificates). 0 = never jump.
   void set_max_gap(std::uint64_t gap) { max_gap_ = gap; }
 
+  /// Membership-generation rebase: accept `node`'s NEXT attestation as
+  /// the new contiguity baseline regardless of gap. A (re)joining
+  /// signer's counter kept advancing while it was outside the active
+  /// set, so holding for the missed values would wedge it forever; the
+  /// skipped values stay permanently unacceptable (no digest memory →
+  /// late arrivals classify as replays), so no value is accepted twice.
+  void rebase(NodeId node);
+  /// Rebases still pending (armed but not yet consumed by an arrival).
+  [[nodiscard]] std::uint64_t rebases_pending() const;
+  /// Rebases consumed by a baseline-adopting arrival.
+  [[nodiscard]] std::uint64_t rebases_applied() const { return rebased_; }
+
   /// Abandon waiting for values below `counter` from `node`: adopt
   /// counter-1 as the new frontier so `counter` itself becomes the next
   /// acceptable value. For use when the receiver has established (e.g.
@@ -148,6 +160,9 @@ class AttestationTracker {
  private:
   struct PerSender {
     std::uint64_t last = 0;
+    /// Armed by rebase(): the next higher-than-frontier arrival is
+    /// adopted as the new baseline instead of being held.
+    bool rebase_pending = false;
     /// Digests of accepted values still in the dedup window, for telling
     /// replays from reuse. Pruned by forget_below.
     std::map<std::uint64_t, Bytes> digests;
@@ -157,6 +172,7 @@ class AttestationTracker {
   std::uint64_t replays_ = 0;
   std::uint64_t reuse_ = 0;
   std::uint64_t gap_skips_ = 0;
+  std::uint64_t rebased_ = 0;
 };
 
 }  // namespace eesmr::trusted

@@ -1,0 +1,419 @@
+// Certificate-scheme conformance tier (`ctest -L certs`): the simulated
+// BLS aggregate layer (src/crypto/agg.hpp), its certificate wire forms,
+// and the scheme's end-to-end equivalence guarantees — an aggregate-
+// scheme cluster commits byte-identical chains to an individual-scheme
+// one, at any worker count, while its vote-class wire bytes shrink.
+#include <gtest/gtest.h>
+
+#include "src/checkpoint/checkpoint.hpp"
+#include "src/common/serde.hpp"
+#include "src/crypto/agg.hpp"
+#include "src/energy/cost_model.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/smr/message.hpp"
+#include "src/smr/request.hpp"
+
+namespace eesmr {
+namespace {
+
+using crypto::AggKeyring;
+using crypto::kAggSignatureBytes;
+using crypto::SignerBitset;
+
+// ---------------------------------------------------------------------------
+// SignerBitset
+// ---------------------------------------------------------------------------
+
+TEST(SignerBitset, SetTestCountMembers) {
+  SignerBitset s(10);
+  EXPECT_EQ(s.count(), 0u);
+  s.set(0);
+  s.set(7);
+  s.set(9);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_TRUE(s.test(9));
+  EXPECT_FALSE(s.test(10));  // out of universe: false, not UB
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.members(), (std::vector<NodeId>{0, 7, 9}));
+  EXPECT_THROW(s.set(10), std::out_of_range);
+}
+
+TEST(SignerBitset, EncodeDecodeRoundTrip) {
+  SignerBitset s(13);
+  s.set(2);
+  s.set(8);
+  s.set(12);
+  Writer w;
+  s.encode_into(w);
+  Reader r(w.buffer());
+  const SignerBitset back = SignerBitset::decode_from(r);
+  r.expect_done();
+  EXPECT_EQ(back, s);
+}
+
+TEST(SignerBitset, DecodeRejectsBitsBeyondUniverse) {
+  // Canonical-encoding rule: a set bit at or past n has no logical
+  // meaning, so accepting it would give one signer set two encodings —
+  // and signed content must be byte-identical.
+  Writer w;
+  w.u32(5);                            // universe of 5 → 1 byte of bits
+  w.raw(Bytes{static_cast<std::uint8_t>(0xE0)});  // bits 5,6,7 set
+  Reader r(w.buffer());
+  EXPECT_THROW(SignerBitset::decode_from(r), SerdeError);
+}
+
+// ---------------------------------------------------------------------------
+// AggKeyring
+// ---------------------------------------------------------------------------
+
+TEST(AggKeyring, ShareBindsNodeAndMessage) {
+  const auto agg = AggKeyring::simulated(4, 42);
+  const Bytes msg = to_bytes("certify height 7");
+  const Bytes sig = agg->share(1, msg);
+  EXPECT_EQ(sig.size(), kAggSignatureBytes);
+  EXPECT_TRUE(agg->verify_share(1, msg, sig));
+  EXPECT_FALSE(agg->verify_share(2, msg, sig));                  // wrong node
+  EXPECT_FALSE(agg->verify_share(1, to_bytes("other"), sig));    // wrong msg
+  Bytes bad = sig;
+  bad[0] ^= 0x01;
+  EXPECT_FALSE(agg->verify_share(1, msg, bad));                  // forged
+}
+
+TEST(AggKeyring, DeterministicInSeed) {
+  const auto a = AggKeyring::simulated(4, 7);
+  const auto b = AggKeyring::simulated(4, 7);
+  const auto c = AggKeyring::simulated(4, 8);
+  const Bytes msg = to_bytes("m");
+  EXPECT_EQ(a->share(0, msg), b->share(0, msg));
+  EXPECT_NE(a->share(0, msg), c->share(0, msg));
+}
+
+TEST(AggKeyring, AggregateVerifiesForExactSignerSet) {
+  const auto agg = AggKeyring::simulated(6, 1);
+  const Bytes msg = to_bytes("vote");
+  SignerBitset signers(6);
+  Bytes folded = AggKeyring::empty_aggregate();
+  for (NodeId id : {0, 2, 5}) {
+    signers.set(id);
+    AggKeyring::fold_into(folded, agg->share(id, msg));
+  }
+  EXPECT_TRUE(agg->verify_aggregate(signers, msg, folded));
+  EXPECT_FALSE(agg->verify_aggregate(signers, to_bytes("other"), folded));
+}
+
+TEST(AggKeyring, MissingSignerShareRejected) {
+  // Bitset claims {0, 2, 5} but node 5's share was never folded.
+  const auto agg = AggKeyring::simulated(6, 1);
+  const Bytes msg = to_bytes("vote");
+  SignerBitset signers(6);
+  for (NodeId id : {0, 2, 5}) signers.set(id);
+  Bytes folded = AggKeyring::empty_aggregate();
+  AggKeyring::fold_into(folded, agg->share(0, msg));
+  AggKeyring::fold_into(folded, agg->share(2, msg));
+  EXPECT_FALSE(agg->verify_aggregate(signers, msg, folded));
+}
+
+TEST(AggKeyring, ExtraUnclaimedShareRejected) {
+  const auto agg = AggKeyring::simulated(6, 1);
+  const Bytes msg = to_bytes("vote");
+  SignerBitset signers(6);
+  for (NodeId id : {0, 2}) signers.set(id);
+  Bytes folded = AggKeyring::empty_aggregate();
+  for (NodeId id : {0, 2, 3}) AggKeyring::fold_into(folded, agg->share(id, msg));
+  EXPECT_FALSE(agg->verify_aggregate(signers, msg, folded));
+}
+
+TEST(AggKeyring, DuplicateShareCancelsStructurally) {
+  // XOR folding makes a doubled share cancel out — the aggregate then no
+  // longer matches the claimed set, exactly like a doubled term shifting
+  // the group sum in real BLS.
+  const auto agg = AggKeyring::simulated(6, 1);
+  const Bytes msg = to_bytes("vote");
+  SignerBitset signers(6);
+  for (NodeId id : {0, 2}) signers.set(id);
+  Bytes folded = AggKeyring::empty_aggregate();
+  AggKeyring::fold_into(folded, agg->share(0, msg));
+  AggKeyring::fold_into(folded, agg->share(2, msg));
+  AggKeyring::fold_into(folded, agg->share(2, msg));  // duplicate
+  EXPECT_FALSE(agg->verify_aggregate(signers, msg, folded));
+}
+
+TEST(AggKeyring, EmptySignerSetRejected) {
+  const auto agg = AggKeyring::simulated(4, 1);
+  EXPECT_FALSE(agg->verify_aggregate(SignerBitset(4), to_bytes("m"),
+                                     AggKeyring::empty_aggregate()));
+}
+
+TEST(AggKeyring, AggregationIsOrderIndependent) {
+  const auto agg = AggKeyring::simulated(5, 9);
+  const Bytes msg = to_bytes("m");
+  Bytes ab = AggKeyring::empty_aggregate();
+  AggKeyring::fold_into(ab, agg->share(1, msg));
+  AggKeyring::fold_into(ab, agg->share(4, msg));
+  Bytes ba = AggKeyring::empty_aggregate();
+  AggKeyring::fold_into(ba, agg->share(4, msg));
+  AggKeyring::fold_into(ba, agg->share(1, msg));
+  EXPECT_EQ(ab, ba);
+}
+
+// ---------------------------------------------------------------------------
+// Energy model
+// ---------------------------------------------------------------------------
+
+TEST(AggEnergy, VerifyScalesLinearlyAfterPairings) {
+  // Two fixed pairings plus one point-add per extra signer: k=1 is the
+  // floor, and each signer after that costs the same small increment.
+  const double base = energy::agg_verify_energy_mj(1);
+  const double k2 = energy::agg_verify_energy_mj(2);
+  const double k10 = energy::agg_verify_energy_mj(10);
+  EXPECT_GT(base, 0.0);
+  EXPECT_GT(k2, base);
+  EXPECT_NEAR(k10 - k2, 8 * (k2 - base), 1e-9);
+  // Combining is point-adds only — far below a verification.
+  EXPECT_LT(energy::agg_combine_energy_mj(10),
+            energy::agg_verify_energy_mj(1));
+  EXPECT_DOUBLE_EQ(energy::agg_combine_energy_mj(1), 0.0);
+  EXPECT_GT(energy::agg_sign_energy_mj(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Certificate wire forms
+// ---------------------------------------------------------------------------
+
+smr::QuorumCert share_signed_qc(const AggKeyring& agg,
+                                const std::vector<NodeId>& signers) {
+  smr::QuorumCert qc;
+  qc.type = smr::MsgType::kVote;
+  qc.view = 3;
+  qc.round = 9;
+  qc.data = to_bytes("block hash stand-in");
+  const Bytes preimage = qc.preimage();
+  for (NodeId id : signers) qc.sigs.emplace_back(id, agg.share(id, preimage));
+  return qc;
+}
+
+TEST(AggregateQuorumCert, ToAggregateRoundTripsAndVerifies) {
+  const auto agg = AggKeyring::simulated(7, 3);
+  const smr::QuorumCert qc = share_signed_qc(*agg, {0, 1, 4});
+  const smr::QuorumCert aqc = qc.to_aggregate(7, 2);
+  EXPECT_EQ(aqc.scheme, smr::CertScheme::kAggregate);
+  EXPECT_EQ(aqc.gen, 2u);
+  EXPECT_EQ(aqc.signer_count(), 3u);
+  EXPECT_EQ(aqc.signer_list(), (std::vector<NodeId>{0, 1, 4}));
+  EXPECT_TRUE(aqc.verify_aggregate(*agg, 3));
+  EXPECT_FALSE(aqc.verify_aggregate(*agg, 4));  // below quorum
+
+  const smr::QuorumCert back = smr::QuorumCert::decode(aqc.encode());
+  EXPECT_EQ(back.scheme, smr::CertScheme::kAggregate);
+  EXPECT_EQ(back.gen, aqc.gen);
+  EXPECT_EQ(back.signers, aqc.signers);
+  EXPECT_EQ(back.agg_sig, aqc.agg_sig);
+  EXPECT_TRUE(back.verify_aggregate(*agg, 3));
+  EXPECT_EQ(back.encode(), aqc.encode());
+}
+
+TEST(AggregateQuorumCert, DuplicateSignerThrowsOnFold) {
+  const auto agg = AggKeyring::simulated(7, 3);
+  smr::QuorumCert qc = share_signed_qc(*agg, {0, 1});
+  qc.sigs.emplace_back(1, agg->share(1, qc.preimage()));
+  EXPECT_THROW(qc.to_aggregate(7, 0), std::invalid_argument);
+}
+
+TEST(AggregateQuorumCert, ForgedAggregateRejected) {
+  const auto agg = AggKeyring::simulated(7, 3);
+  smr::QuorumCert aqc = share_signed_qc(*agg, {0, 1, 4}).to_aggregate(7, 0);
+  aqc.agg_sig[10] ^= 0x40;
+  EXPECT_FALSE(aqc.verify_aggregate(*agg, 3));
+}
+
+TEST(AggregateQuorumCert, WireSizeIsConstantInSignerCount) {
+  // The O(n) → O(1) claim at wire level: 3 signers or 6, the aggregate
+  // encoding's size moves by at most the bitset byte — while the
+  // individual form grows by a whole signature per signer.
+  const auto agg = AggKeyring::simulated(32, 3);
+  const smr::QuorumCert small =
+      share_signed_qc(*agg, {0, 1, 2}).to_aggregate(32, 0);
+  const smr::QuorumCert large =
+      share_signed_qc(*agg, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+          .to_aggregate(32, 0);
+  EXPECT_EQ(small.encode().size(), large.encode().size());
+}
+
+TEST(AggregateCheckpointCert, RoundTripAndTamperRejection) {
+  const auto agg = AggKeyring::simulated(5, 11);
+  checkpoint::CheckpointId id;
+  id.height = 40;
+  id.block = Bytes(32, 0xAB);
+  id.digest = Bytes(32, 0xCD);
+  checkpoint::CheckpointCert cert;
+  cert.id = id;
+  const Bytes preimage = id.preimage();
+  for (NodeId n : {1, 3}) cert.sigs.emplace_back(n, agg->share(n, preimage));
+  const checkpoint::CheckpointCert acert = cert.to_aggregate(5, 0);
+  EXPECT_TRUE(acert.verify_aggregate(*agg, 2, 5));
+  EXPECT_FALSE(acert.verify_aggregate(*agg, 3, 5));  // below quorum
+
+  const auto back = checkpoint::CheckpointCert::decode(acert.encode());
+  EXPECT_TRUE(back.verify_aggregate(*agg, 2, 5));
+  EXPECT_EQ(back.encode(), acert.encode());
+
+  checkpoint::CheckpointCert forged = acert;
+  forged.id.digest[0] ^= 0xFF;
+  EXPECT_FALSE(forged.verify_aggregate(*agg, 2, 5));
+}
+
+TEST(AcceptanceCert, FoldVerifyAndTamperRejection) {
+  const auto agg = AggKeyring::simulated(4, 5);
+  smr::AcceptanceCert cert;
+  cert.client = 9;
+  cert.req_id = 77;
+  cert.result = to_bytes("OK value");
+  cert.signers = SignerBitset(4);
+  cert.agg_sig = AggKeyring::empty_aggregate();
+  const Bytes preimage =
+      smr::acceptance_preimage(cert.client, cert.req_id, cert.result);
+  for (NodeId n : {0, 3}) {
+    cert.signers.set(n);
+    AggKeyring::fold_into(cert.agg_sig, agg->share(n, preimage));
+  }
+  EXPECT_TRUE(cert.verify(*agg, 2));
+  EXPECT_FALSE(cert.verify(*agg, 3));  // below quorum
+
+  const smr::AcceptanceCert back = smr::AcceptanceCert::decode(cert.encode());
+  EXPECT_TRUE(back.verify(*agg, 2));
+
+  smr::AcceptanceCert forged = cert;
+  forged.result = to_bytes("OK forged");
+  EXPECT_FALSE(forged.verify(*agg, 2));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scheme equivalence
+// ---------------------------------------------------------------------------
+
+harness::RunResult run_scheme(harness::Protocol protocol,
+                              smr::CertScheme scheme, std::size_t workers,
+                              std::size_t n = 4, std::size_t f = 1,
+                              std::uint64_t checkpoint_interval = 4) {
+  harness::ClusterConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.cert_scheme = scheme;
+  cfg.crypto_workers = workers;
+  cfg.clients = 1;
+  cfg.workload.max_requests = 12;
+  cfg.checkpoint_interval = checkpoint_interval;
+  cfg.seed = 77;
+  harness::Cluster cluster(cfg);
+  return cluster.run_until_commits(8, sim::seconds(120));
+}
+
+TEST(AggregateScheme, CommitChainsByteIdenticalToIndividual) {
+  // The scheme changes certificates, never ordering: same seed, same
+  // protocol, both schemes must commit byte-identical block chains.
+  // Checkpointing is off here because its dissemination deliberately
+  // differs per scheme (share flood vs collector + O(1) cert), which
+  // shifts GC timing — the agreement layer is what must be bit-equal.
+  for (const harness::Protocol p :
+       {harness::Protocol::kEesmr, harness::Protocol::kSyncHotStuff,
+        harness::Protocol::kPbft, harness::Protocol::kMinBft}) {
+    const harness::RunResult ind =
+        run_scheme(p, smr::CertScheme::kIndividual, 0, 4, 1, 0);
+    const harness::RunResult agg =
+        run_scheme(p, smr::CertScheme::kAggregate, 0, 4, 1, 0);
+    ASSERT_GE(agg.min_committed(), 8u) << harness::protocol_name(p);
+    ASSERT_EQ(ind.logs.size(), agg.logs.size()) << harness::protocol_name(p);
+    for (std::size_t i = 0; i < ind.logs.size(); ++i) {
+      ASSERT_EQ(ind.logs[i].size(), agg.logs[i].size())
+          << harness::protocol_name(p) << " node " << i;
+      for (std::size_t b = 0; b < ind.logs[i].size(); ++b) {
+        EXPECT_EQ(ind.logs[i][b].encode(), agg.logs[i][b].encode())
+            << harness::protocol_name(p) << " node " << i << " block " << b;
+      }
+    }
+    EXPECT_TRUE(agg.safety_ok()) << harness::protocol_name(p);
+    EXPECT_GT(agg.acceptance_certs, 0u) << harness::protocol_name(p);
+  }
+}
+
+TEST(AggregateScheme, ByteIdenticalAtAnyWorkerCount) {
+  // The crypto pipeline moves physical verification off the sim thread,
+  // never decisions: worker count must not change a single byte on the
+  // wire or in the chain.
+  const harness::RunResult w0 =
+      run_scheme(harness::Protocol::kEesmr, smr::CertScheme::kAggregate, 0);
+  const harness::RunResult w3 =
+      run_scheme(harness::Protocol::kEesmr, smr::CertScheme::kAggregate, 3);
+  EXPECT_EQ(w0.bytes_transmitted, w3.bytes_transmitted);
+  EXPECT_EQ(w0.transmissions, w3.transmissions);
+  ASSERT_EQ(w0.logs.size(), w3.logs.size());
+  for (std::size_t i = 0; i < w0.logs.size(); ++i) {
+    ASSERT_EQ(w0.logs[i].size(), w3.logs[i].size());
+    for (std::size_t b = 0; b < w0.logs[i].size(); ++b) {
+      EXPECT_EQ(w0.logs[i][b].encode(), w3.logs[i][b].encode());
+    }
+  }
+}
+
+TEST(AggregateScheme, CollectorStabilizesCheckpointsWithO1Certs) {
+  // Aggregate scheme: checkpoint shares route to the height's rotating
+  // collector, which floods one {bitset, aggregate} certificate. Every
+  // replica must still reach stability (low-water GC advances) — and the
+  // checkpoint stream must carry far fewer bytes than the share flood
+  // of the individual scheme.
+  const harness::RunResult ind = run_scheme(
+      harness::Protocol::kSyncHotStuff, smr::CertScheme::kIndividual, 0);
+  const harness::RunResult agg = run_scheme(
+      harness::Protocol::kSyncHotStuff, smr::CertScheme::kAggregate, 0);
+  for (const harness::ReplicaFootprint& fp : agg.footprints) {
+    EXPECT_GT(fp.checkpoints_taken, 0u);
+    EXPECT_GT(fp.stable_height, 0u);  // certs reached everyone
+  }
+  const auto ind_ckpt = ind.stream_totals(energy::Stream::kCheckpoint);
+  const auto agg_ckpt = agg.stream_totals(energy::Stream::kCheckpoint);
+  EXPECT_LT(agg_ckpt.bytes_sent * 2, ind_ckpt.bytes_sent);
+}
+
+TEST(AggregateScheme, ShrinksVoteStreamBytes) {
+  // RSA-1024 signatures are 128 bytes; shares are 48. At n=7 the vote
+  // stream (share-signed votes) and every certificate shipped inside
+  // proposals shrink accordingly.
+  const harness::RunResult ind = run_scheme(
+      harness::Protocol::kSyncHotStuff, smr::CertScheme::kIndividual, 0, 7, 3);
+  const harness::RunResult agg = run_scheme(
+      harness::Protocol::kSyncHotStuff, smr::CertScheme::kAggregate, 0, 7, 3);
+  const auto ind_votes = ind.stream_totals(energy::Stream::kVote);
+  const auto agg_votes = agg.stream_totals(energy::Stream::kVote);
+  EXPECT_LT(agg_votes.bytes_sent, ind_votes.bytes_sent);
+  EXPECT_LT(agg.bytes_transmitted, ind.bytes_transmitted);
+}
+
+TEST(AggregateScheme, ClientFoldsVerifiableAcceptanceCerts) {
+  harness::ClusterConfig cfg;
+  cfg.protocol = harness::Protocol::kEesmr;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.cert_scheme = smr::CertScheme::kAggregate;
+  cfg.clients = 1;
+  cfg.workload.max_requests = 6;
+  cfg.seed = 5;
+  harness::Cluster cluster(cfg);
+  const harness::RunResult r =
+      cluster.run_until_accepted(6, sim::seconds(120));
+  ASSERT_EQ(r.requests_accepted, 6u);
+  ASSERT_NE(cluster.agg(), nullptr);
+  const auto& certs = cluster.client(0).acceptance_certs();
+  ASSERT_EQ(certs.size(), 6u);
+  for (const auto& [req_id, cert] : certs) {
+    EXPECT_EQ(cert.signers.count(), cfg.f + 1) << "req " << req_id;
+    EXPECT_TRUE(cert.verify(*cluster.agg(), cfg.f + 1)) << "req " << req_id;
+    // Transferable: the wire round-trip verifies too.
+    EXPECT_TRUE(smr::AcceptanceCert::decode(cert.encode())
+                    .verify(*cluster.agg(), cfg.f + 1));
+  }
+}
+
+}  // namespace
+}  // namespace eesmr

@@ -6,9 +6,11 @@
 
 #include "src/checkpoint/checkpoint.hpp"
 #include "src/common/serde.hpp"
+#include "src/crypto/agg.hpp"
 #include "src/crypto/sha256.hpp"
 #include "src/sim/rng.hpp"
 #include "src/smr/block.hpp"
+#include "src/smr/membership.hpp"
 #include "src/smr/message.hpp"
 #include "src/smr/request.hpp"
 
@@ -45,6 +47,14 @@ TEST(FuzzDecode, RandomBytes) {
     expect_no_crash(
         [](BytesView d) { (void)checkpoint::SnapshotPayload::decode(d); },
         junk);
+    // PR 10 wire formats: membership policies and aggregate certificates.
+    expect_no_crash(
+        [](BytesView d) { (void)smr::MembershipPolicy::decode(d); }, junk);
+    expect_no_crash(
+        [](BytesView d) { (void)smr::MembershipPolicy::decode_command(d); },
+        junk);
+    expect_no_crash(
+        [](BytesView d) { (void)smr::AcceptanceCert::decode(d); }, junk);
   }
 }
 
@@ -328,6 +338,147 @@ TEST(FuzzDecode, FrameMutationsAcrossAllWireFormatsRejectCleanly) {
     } catch (const SerdeError&) {
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// PR 10 wire formats: bitset (aggregate) quorum certificates,
+// membership-policy blocks, generation-tagged aggregate checkpoint
+// certificates and client acceptance certificates. Same contract as the
+// frame fuzzer above: flip/truncate/extend a valid encoding, and decode+
+// verify must reject cleanly — surviving certificates may only cover
+// byte-identical signed content. (The aggregate forms carry no malleable
+// signature padding: the 48-byte fold either matches the recomputed MAC
+// for the exact claimed signer set and preimage, or it doesn't.)
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDecode, MutatedAggregateAndPolicyWireFormatsRejectCleanly) {
+  constexpr std::size_t kN = 6;
+  const auto agg = crypto::AggKeyring::simulated(kN, 0xa99);
+
+  smr::QuorumCert qc;
+  qc.type = smr::MsgType::kCertify;
+  qc.view = 2;
+  qc.round = 11;
+  qc.data = Bytes(32, 0x44);
+  const Bytes qc_preimage = qc.preimage();
+  for (NodeId i = 0; i < 3; ++i) {
+    qc.sigs.emplace_back(i, agg->share(i, qc_preimage));
+  }
+  const smr::QuorumCert aqc = qc.to_aggregate(kN, 3);
+
+  smr::MembershipPolicy pol;
+  pol.generation = 4;
+  for (NodeId i = 0; i < 5; ++i) pol.signers.push_back({i, 1});
+
+  checkpoint::CheckpointId id;
+  id.height = 24;
+  id.block = Bytes(32, 0x31);
+  id.digest = Bytes(32, 0x13);
+  checkpoint::CheckpointCert ckpt;
+  ckpt.id = id;
+  for (NodeId i = 2; i < 4; ++i) {
+    ckpt.sigs.emplace_back(i, agg->share(i, id.preimage()));
+  }
+  const checkpoint::CheckpointCert ackpt = ckpt.to_aggregate(kN, 3);
+
+  smr::AcceptanceCert acc;
+  acc.client = 7;
+  acc.req_id = 21;
+  acc.result = to_bytes(std::string("accepted-result"));
+  acc.signers = crypto::SignerBitset(kN);
+  acc.agg_sig = crypto::AggKeyring::empty_aggregate();
+  const Bytes acc_preimage =
+      smr::acceptance_preimage(acc.client, acc.req_id, acc.result);
+  for (NodeId i : {1, 5}) {
+    acc.signers.set(i);
+    crypto::AggKeyring::fold_into(acc.agg_sig, agg->share(i, acc_preimage));
+  }
+
+  const std::vector<Bytes> corpora = {aqc.encode(), pol.encode(),
+                                      ackpt.encode(), acc.encode()};
+  sim::Rng mutator(0xb17);
+  for (int iter = 0; iter < 6000; ++iter) {
+    const std::size_t which = iter % corpora.size();
+    Bytes mutated = corpora[which];
+    switch (mutator.below(3)) {
+      case 0: {  // flip 1-4 bytes
+        const std::size_t flips = 1 + mutator.below(4);
+        for (std::size_t i = 0; i < flips; ++i) {
+          mutated[mutator.below(mutated.size())] ^=
+              static_cast<std::uint8_t>(1 + mutator.below(255));
+        }
+        break;
+      }
+      case 1:  // truncate
+        mutated.resize(mutator.below(mutated.size() + 1));
+        break;
+      default: {  // extend with junk
+        const std::size_t extra = 1 + mutator.below(32);
+        for (std::size_t i = 0; i < extra; ++i) {
+          mutated.push_back(static_cast<std::uint8_t>(mutator.next()));
+        }
+        break;
+      }
+    }
+
+    try {
+      const smr::QuorumCert m = smr::QuorumCert::decode(mutated);
+      if (m.scheme == smr::CertScheme::kAggregate &&
+          m.verify_aggregate(*agg, 3)) {
+        EXPECT_EQ(m.preimage(), qc_preimage)
+            << "mutated aggregate QC accepted with altered content";
+        EXPECT_EQ(m.signers, aqc.signers);
+      }
+    } catch (const SerdeError&) {
+    } catch (const std::invalid_argument&) {
+    }
+
+    // Policies carry no signature of their own (they are authenticated
+    // by the chain that commits them): decode must stay total, and any
+    // survivor is just structurally checked downstream by apply().
+    expect_no_crash(
+        [](BytesView d) { (void)smr::MembershipPolicy::decode(d); },
+        mutated);
+    expect_no_crash(
+        [](BytesView d) { (void)smr::MembershipPolicy::decode_command(d); },
+        mutated);
+
+    try {
+      const auto c = checkpoint::CheckpointCert::decode(mutated);
+      if (c.verify_aggregate(*agg, 2, kN)) {
+        EXPECT_EQ(c.id, id)
+            << "mutated aggregate checkpoint cert accepted with altered id";
+      }
+    } catch (const SerdeError&) {
+    } catch (const std::invalid_argument&) {
+    }
+
+    try {
+      const auto c = smr::AcceptanceCert::decode(mutated);
+      if (c.verify(*agg, 2)) {
+        EXPECT_EQ(smr::acceptance_preimage(c.client, c.req_id, c.result),
+                  acc_preimage)
+            << "mutated acceptance cert accepted with altered content";
+      }
+    } catch (const SerdeError&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(FuzzDecode, AggregateCertCountBombRejected) {
+  // The aggregate branch is selected by the 0xFFFFFFFF count sentinel;
+  // a hostile bitset universe (4 G nodes) must not allocate gigabytes.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(smr::MsgType::kCertify));
+  w.u64(1);
+  w.u64(1);
+  w.bytes(Bytes(32, 0x01));
+  w.u32(0xffffffffu);  // aggregate sentinel
+  w.u64(0);            // generation
+  w.u32(0xfffffff0u);  // bitset universe: ~4G signers
+  expect_no_crash([](BytesView d) { (void)smr::QuorumCert::decode(d); },
+                  w.buffer());
 }
 
 TEST(FuzzDecode, LengthPrefixBombsRejected) {
